@@ -1,0 +1,42 @@
+# Dynamoth — common development targets.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench experiments examples vet clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite, including the minutes-long full-scale Figure 5 reproduction.
+test:
+	$(GO) test ./...
+
+# Everything except the slow full-scale runs.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -short -race ./...
+
+# Reduced-scale figure benches + substrate microbenches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at full scale (writes to stdout;
+# the checked-in experiments_output.txt is this output for seed 1).
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/chat
+	$(GO) run ./examples/game
+	$(GO) run ./examples/elastic
+
+clean:
+	$(GO) clean ./...

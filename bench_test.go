@@ -1,0 +1,366 @@
+// Benchmarks reproducing every table and figure of the paper's evaluation
+// (§V) at a reduced, shape-preserving scale, plus microbenchmarks of the
+// substrates on the hot path. Run the full-scale figures with
+// cmd/experiments instead:
+//
+//	go test -bench=. -benchmem            # everything below
+//	go run ./cmd/experiments -run all     # paper-scale reproduction
+//
+// Figure benches report their headline numbers as custom metrics
+// (mean response time, max healthy clients, server counts), so the
+// paper-vs-measured comparison of EXPERIMENTS.md can be regenerated from
+// the bench output alone.
+package dynamoth_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/cluster"
+	"github.com/dynamoth/dynamoth/internal/balancer"
+	"github.com/dynamoth/dynamoth/internal/broker"
+	"github.com/dynamoth/dynamoth/internal/experiment"
+	"github.com/dynamoth/dynamoth/internal/hashring"
+	"github.com/dynamoth/dynamoth/internal/localplan"
+	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/resp"
+	"github.com/dynamoth/dynamoth/internal/sim"
+	"github.com/dynamoth/dynamoth/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 4a — Experiment 1 "All Publishers" (§V-C1): response time vs
+// subscriber count, with and without all-publishers replication.
+
+func BenchmarkFig4aAllPublishers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunFig4a(experiment.MicroOptions{
+			Steps:   []int{100, 300, 500, 700},
+			Measure: 10 * time.Second,
+			Seed:    int64(i + 1),
+		})
+		if i == 0 {
+			rtPlain, _ := res.Series.Get(700, "noRepl_ms")
+			rtRepl, _ := res.Series.Get(700, "repl_ms")
+			b.ReportMetric(rtPlain, "noRepl_ms@700subs")
+			b.ReportMetric(rtRepl, "repl_ms@700subs")
+			b.ReportMetric(float64(res.MaxHealthyNoRepl), "healthy_noRepl_subs")
+			b.ReportMetric(float64(res.MaxHealthyRepl), "healthy_repl_subs")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4b — Experiment 1 "All Subscribers" (§V-C2): response time and
+// delivery vs publisher count, with and without all-subscribers replication.
+
+func BenchmarkFig4bAllSubscribers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunFig4b(experiment.MicroOptions{
+			Steps:   []int{100, 200, 400, 600},
+			Measure: 10 * time.Second,
+			Seed:    int64(i + 1),
+		})
+		if i == 0 {
+			delivPlain, _ := res.Series.Get(400, "noRepl_delivery")
+			delivRepl, _ := res.Series.Get(400, "repl_delivery")
+			b.ReportMetric(delivPlain*100, "noRepl_delivery_pct@400pubs")
+			b.ReportMetric(delivRepl*100, "repl_delivery_pct@400pubs")
+			b.ReportMetric(float64(res.MaxHealthyNoRepl), "healthy_noRepl_pubs")
+			b.ReportMetric(float64(res.MaxHealthyRepl), "healthy_repl_pubs")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — Experiment 2 (§V-D): the scalability comparison. One bench per
+// curve: Dynamoth and the consistent-hashing baseline, same workload.
+
+func benchScalability(b *testing.B, mode sim.Mode) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunScalability(mode, 480, 400*time.Second, int64(i+1))
+		if i == 0 {
+			b.ReportMetric(float64(res.MaxHealthyPlayers), "healthy_players")
+			b.ReportMetric(res.MeanRTms, "steady_rt_ms")
+			b.ReportMetric(float64(res.PeakServers), "peak_servers")
+			b.ReportMetric(float64(res.Rebalances), "rebalances")
+		}
+	}
+}
+
+func BenchmarkFig5ScalabilityDynamoth(b *testing.B) {
+	benchScalability(b, sim.ModeDynamoth)
+}
+
+func BenchmarkFig5ScalabilityConsistentHashing(b *testing.B) {
+	benchScalability(b, sim.ModeConsistentHashing)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — Experiment 2's per-server load ratios for the Dynamoth run: the
+// balancer must keep the average below 1 until global saturation.
+
+func BenchmarkFig6LoadRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunScalability(sim.ModeDynamoth, 480, 400*time.Second, int64(i+1))
+		if i == 0 {
+			// Average and busiest load ratio midway through the ramp
+			// (while the system is healthy).
+			avg, _ := res.Series.Get(200, "avgLR")
+			max, _ := res.Series.Get(200, "maxLR")
+			b.ReportMetric(avg, "avgLR_midrun")
+			b.ReportMetric(max, "maxLR_midrun")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — Experiment 3 (§V-E): elasticity under a rise/drop/rise wave.
+
+func BenchmarkFig7Elasticity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunElasticity(400, 100, 300, 160*time.Second, int64(i+1))
+		if i == 0 {
+			b.ReportMetric(float64(res.PeakServers), "peak_servers")
+			b.ReportMetric(float64(res.FinalServers), "final_servers")
+			b.ReportMetric(res.MeanRTms, "steady_rt_ms")
+			b.ReportMetric(float64(res.Rebalances), "rebalances")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate microbenchmarks (the hot paths under every figure above).
+
+func BenchmarkEnvelopeMarshal(b *testing.B) {
+	env := &message.Envelope{
+		Type:    message.TypeData,
+		ID:      message.ID{Node: 7, Seq: 42},
+		Channel: "tile-3-4",
+		Payload: make([]byte, 200),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = env.Marshal()
+	}
+}
+
+func BenchmarkEnvelopeUnmarshal(b *testing.B) {
+	env := &message.Envelope{
+		Type:    message.TypeData,
+		ID:      message.ID{Node: 7, Seq: 42},
+		Channel: "tile-3-4",
+		Payload: make([]byte, 200),
+	}
+	data := env.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := message.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashringLookup(b *testing.B) {
+	ring := hashring.New(128, "pub1", "pub2", "pub3", "pub4", "pub5", "pub6", "pub7", "pub8")
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tile-%d-%d", i%16, i/16)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ring.Lookup(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkPlanLookup(b *testing.B) {
+	p := plan.New("pub1", "pub2", "pub3", "pub4")
+	for i := 0; i < 32; i++ {
+		p.Set(fmt.Sprintf("tile-%d", i), plan.Entry{
+			Strategy: plan.StrategySingle,
+			Servers:  []plan.ServerID{fmt.Sprintf("pub%d", i%4+1)},
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = p.Lookup(fmt.Sprintf("tile-%d", i%64))
+	}
+}
+
+func BenchmarkDeduperObserve(b *testing.B) {
+	d := message.NewDeduper(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Observe(message.ID{Node: 1, Seq: uint64(i)})
+	}
+}
+
+func BenchmarkBrokerFanOut(b *testing.B) {
+	for _, subs := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			br := broker.New(broker.Options{OutputBuffer: 1 << 16})
+			defer br.Close()
+			connect := func() {
+				for br.Subscribers("bench") < subs {
+					s, err := br.Connect("c", discardSink{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.Subscribe("bench"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			connect()
+			payload := make([]byte, 200)
+			kills := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := br.Publish("bench", payload); got != subs {
+					// A maximum-pressure publisher can outrun a consumer's
+					// writer goroutine; the broker then kills the slow
+					// consumer exactly like Redis. Reconnect and keep
+					// measuring (the kill rate is reported).
+					kills++
+					connect()
+				}
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(kills)/float64(b.N)*100, "slow_consumer_kills_%")
+			}
+		})
+	}
+}
+
+type discardSink struct{}
+
+func (discardSink) Deliver(string, []byte) {}
+func (discardSink) Closed(error)           {}
+
+func BenchmarkClientPublish(b *testing.B) {
+	c, err := cluster.Start(cluster.Options{InitialServers: 2, Balancer: cluster.BalancerNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	client, err := c.NewClient(dynamoth.Config{NodeID: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	payload := make([]byte, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Publish("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimEventThroughput(b *testing.B) {
+	// End-to-end simulator cost per published message (the currency every
+	// figure above is paid in).
+	s := sim.New(sim.Config{Mode: sim.ModeNone, Seed: 1})
+	clients := make([]*sim.Client, 16)
+	for i := range clients {
+		clients[i] = s.AddClient(uint32(100 + i))
+		clients[i].Subscribe(fmt.Sprintf("t-%d", i%4))
+	}
+	s.RunFor(2 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clients[i%16].PublishTimed(fmt.Sprintf("t-%d", i%4), 200)
+		if i%1024 == 1023 {
+			s.RunFor(5 * time.Second)
+		}
+	}
+	s.RunFor(10 * time.Second)
+}
+
+func BenchmarkWorkloadAdvance(b *testing.B) {
+	cfg := workload.Config{}.FillDefaults()
+	rng := newBenchRand()
+	p := workload.NewPlayer(1, cfg, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Advance(time.Duration(i)*333*time.Millisecond, 333*time.Millisecond, rng)
+	}
+}
+
+func newBenchRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func BenchmarkRESPCommandRoundTrip(b *testing.B) {
+	var buf bytes.Buffer
+	w := resp.NewWriter(&buf)
+	payload := make([]byte, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := w.WriteCommand([]byte("PUBLISH"), []byte("tile-3-4"), payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := resp.NewReader(&buf).ReadCommand(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalPlanLookup(b *testing.B) {
+	store := localplan.New([]string{"pub1", "pub2", "pub3", "pub4"}, 0)
+	now := time.Now()
+	for i := 0; i < 32; i++ {
+		store.Update(fmt.Sprintf("tile-%d", i), plan.Entry{
+			Strategy: plan.StrategySingle,
+			Servers:  []plan.ServerID{"pub2"},
+		}, 5, now)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store.Lookup(fmt.Sprintf("tile-%d", i%64), now)
+	}
+}
+
+func BenchmarkPlannerGeneratePlan(b *testing.B) {
+	// One full two-step planning round over an 8-server, 64-channel state.
+	cfg := balancer.DefaultConfig()
+	cfg.MaxServers = 8
+	servers := make([]string, 8)
+	for i := range servers {
+		servers[i] = fmt.Sprintf("pub%d", i+1)
+	}
+	current := plan.New(servers...)
+	loads := make([]balancer.ServerLoad, len(servers))
+	for i, id := range servers {
+		loads[i] = balancer.ServerLoad{
+			Server:   id,
+			MaxBps:   1.25e6,
+			Channels: map[string]balancer.ChannelLoad{},
+		}
+	}
+	for c := 0; c < 64; c++ {
+		name := fmt.Sprintf("tile-%d", c)
+		idx := c % len(servers)
+		out := 1e4 + float64(c)*3e3
+		loads[idx].Channels[name] = balancer.ChannelLoad{
+			Publications: 40, Subscribers: 15, BytesOut: out,
+		}
+		loads[idx].MeasuredBps += out
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pl := balancer.NewPlanner(cfg, plan.IsControlChannel, nil, 1.25e6)
+		_ = pl.GeneratePlan(current, loads)
+	}
+}

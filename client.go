@@ -1,0 +1,654 @@
+package dynamoth
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/localplan"
+	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/transport"
+)
+
+// Message is a publication delivered to a subscriber.
+type Message struct {
+	// Channel the publication was made on.
+	Channel string
+	// Payload is the application data. The slice is owned by the receiver.
+	Payload []byte
+	// Publisher is the numeric node ID of the publishing client (0 if
+	// unknown).
+	Publisher uint32
+}
+
+// Config configures a client.
+type Config struct {
+	// Addrs maps bootstrap pub/sub server IDs to TCP addresses. Used by
+	// Connect; ignored when a custom dialer is supplied.
+	Addrs map[string]string
+	// NodeID identifies this client; 0 picks a random ID. IDs must be
+	// unique across the deployment (they key message deduplication).
+	NodeID uint32
+	// EntryTimeout is the local plan entry timer of §IV-A5: entries unused
+	// for this long (and not subscribed) revert to consistent hashing.
+	// Default 30 s.
+	EntryTimeout time.Duration
+	// SubscribeBuffer is the per-subscription delivery buffer; when full,
+	// new messages are dropped (slow application). Default 256.
+	SubscribeBuffer int
+	// Clock provides time (default real). Accelerated tests inject a
+	// scaled clock.
+	Clock clock.Clock
+	// Seed seeds the replica-picking RNG (0 = nondeterministic).
+	Seed int64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.EntryTimeout <= 0 {
+		c.EntryTimeout = 30 * time.Second
+	}
+	if c.SubscribeBuffer <= 0 {
+		c.SubscribeBuffer = 256
+	}
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.NodeID == 0 {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return fmt.Errorf("dynamoth: generating node ID: %w", err)
+		}
+		c.NodeID = binary.LittleEndian.Uint32(b[:]) | 1 // never zero
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(c.NodeID)
+	}
+	return nil
+}
+
+// Client errors.
+var (
+	ErrClosed        = errors.New("dynamoth: client closed")
+	ErrNotSubscribed = errors.New("dynamoth: not subscribed")
+	ErrNoServers     = errors.New("dynamoth: no bootstrap servers")
+)
+
+// Stats are client-side counters.
+type Stats struct {
+	Published  uint64 // publications sent (per target server)
+	Received   uint64 // data messages delivered to the application
+	Duplicates uint64 // messages suppressed by deduplication
+	Dropped    uint64 // messages dropped on full subscription buffers
+	Redirects  uint64 // wrong-server/switch notifications processed
+}
+
+// Client is a Dynamoth pub/sub client: a standard publish/subscribe API
+// backed by a lazily maintained partial plan (§II-C).
+type Client struct {
+	cfg    Config
+	dialer transport.Dialer
+	gen    *message.Generator
+	dedup  *message.Deduper
+
+	rngMu sync.Mutex
+	rng   *mrand.Rand
+
+	mu     sync.Mutex
+	local  *localplan.Store
+	conns  map[plan.ServerID]*clientConn
+	subs   map[string]*subscription
+	closed bool
+
+	published  atomic.Uint64
+	received   atomic.Uint64
+	duplicates atomic.Uint64
+	dropped    atomic.Uint64
+	redirects  atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type subscription struct {
+	out     chan Message
+	servers []plan.ServerID
+	broken  bool // needs repair after a disconnect
+}
+
+type clientConn struct {
+	conn   transport.Conn
+	server plan.ServerID
+}
+
+// Connect dials a Dynamoth deployment over TCP using the bootstrap servers
+// in cfg.Addrs.
+func Connect(cfg Config) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, ErrNoServers
+	}
+	addrs := make(map[plan.ServerID]string, len(cfg.Addrs))
+	servers := make([]string, 0, len(cfg.Addrs))
+	for id, addr := range cfg.Addrs {
+		addrs[id] = addr
+		servers = append(servers, id)
+	}
+	return ConnectWithDialer(transport.NewTCPDialer(addrs), servers, cfg)
+}
+
+// ConnectWithDialer creates a client over an arbitrary transport. servers is
+// the bootstrap server set (the consistent-hash ring of "plan 0"). Most
+// callers use Connect or cluster.Cluster.NewClient instead.
+func ConnectWithDialer(dialer transport.Dialer, servers []string, cfg Config) (*Client, error) {
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:    cfg,
+		dialer: dialer,
+		gen:    message.NewGenerator(cfg.NodeID),
+		dedup:  message.NewDeduper(0),
+		rng:    mrand.New(mrand.NewSource(cfg.Seed)),
+		local:  localplan.New(servers, cfg.EntryTimeout),
+		conns:  make(map[plan.ServerID]*clientConn),
+		subs:   make(map[string]*subscription),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	// Subscribe to this client's inbox so servers can redirect us
+	// (§IV "Publishing on old server").
+	inbox := plan.InboxChannel(cfg.NodeID)
+	home := c.local.Base().Home(inbox)
+	conn, err := c.connLocked(home)
+	if err != nil {
+		return nil, fmt.Errorf("dynamoth: connecting to bootstrap server %s: %w", home, err)
+	}
+	if err := conn.conn.Subscribe(inbox); err != nil {
+		return nil, fmt.Errorf("dynamoth: subscribing inbox: %w", err)
+	}
+	go c.maintain()
+	return c, nil
+}
+
+// NodeID returns the client's node identity.
+func (c *Client) NodeID() uint32 { return c.cfg.NodeID }
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Published:  c.published.Load(),
+		Received:   c.received.Load(),
+		Duplicates: c.duplicates.Load(),
+		Dropped:    c.dropped.Load(),
+		Redirects:  c.redirects.Load(),
+	}
+}
+
+// Publish sends payload on channel, routed by the client's current plan
+// knowledge (explicit entry, else consistent hashing).
+func (c *Client) Publish(channel string, payload []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	entry, version := c.lookupVersionLocked(channel)
+	env := &message.Envelope{
+		Type:    message.TypeData,
+		ID:      c.gen.Next(),
+		Channel: channel,
+		Payload: payload,
+		// Publications carry the plan version the routing decision was
+		// based on, so dispatchers can detect stale clients lazily.
+		PlanVersion: version,
+	}
+	data := env.Marshal()
+	targets := plan.PublishTargets(entry, c.pick)
+	conns := make([]*clientConn, 0, len(targets))
+	var dialErr error
+	for _, s := range targets {
+		conn, err := c.resolveConnLocked(channel, s)
+		if err != nil {
+			dialErr = err
+			continue
+		}
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+
+	if len(conns) == 0 {
+		if dialErr != nil {
+			return fmt.Errorf("dynamoth: publish %q: %w", channel, dialErr)
+		}
+		return fmt.Errorf("dynamoth: publish %q: no target servers", channel)
+	}
+	var firstErr error
+	for _, conn := range conns {
+		if err := conn.conn.Publish(channel, data); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			c.handleDisconnectedConn(conn)
+			continue
+		}
+		c.published.Add(1)
+	}
+	return firstErr
+}
+
+// Subscribe registers interest in channel and returns the delivery stream.
+// Subscribing twice to the same channel returns the same stream.
+func (c *Client) Subscribe(channel string) (<-chan Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if sub, ok := c.subs[channel]; ok {
+		return sub.out, nil
+	}
+	entry := c.lookupLocked(channel)
+	targets := plan.SubscribeTargets(entry, channel, c.clientKey())
+	sub := &subscription{
+		out:     make(chan Message, c.cfg.SubscribeBuffer),
+		servers: append([]plan.ServerID(nil), targets...),
+	}
+	c.subs[channel] = sub
+	if err := c.subscribeOnLocked(channel, targets); err != nil {
+		delete(c.subs, channel)
+		return nil, err
+	}
+	return sub.out, nil
+}
+
+// Unsubscribe drops interest in channel and closes its stream.
+func (c *Client) Unsubscribe(channel string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	sub, ok := c.subs[channel]
+	if !ok {
+		return ErrNotSubscribed
+	}
+	delete(c.subs, channel)
+	for _, s := range sub.servers {
+		if conn, ok := c.conns[s]; ok {
+			_ = conn.conn.Unsubscribe(channel) // best effort; conn may be dying
+		}
+	}
+	close(sub.out)
+	return nil
+}
+
+// Close shuts the client down, closing all connections and streams.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*clientConn, 0, len(c.conns))
+	for _, conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.conns = make(map[plan.ServerID]*clientConn)
+	for ch, sub := range c.subs {
+		close(sub.out)
+		delete(c.subs, ch)
+	}
+	c.mu.Unlock()
+
+	close(c.stop)
+	for _, conn := range conns {
+		_ = conn.conn.Close() // teardown
+	}
+	<-c.done
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// internals
+
+func (c *Client) clientKey() string {
+	return plan.InboxChannel(c.cfg.NodeID) // unique, stable per client
+}
+
+func (c *Client) pick(n int) int {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// lookupLocked resolves a channel against the local plan, falling back to
+// consistent hashing, and touches the entry timer.
+func (c *Client) lookupLocked(channel string) plan.Entry {
+	e, _ := c.lookupVersionLocked(channel)
+	return e
+}
+
+// lookupVersionLocked additionally reports the plan version the entry was
+// learned at (0 for the consistent-hashing fallback).
+func (c *Client) lookupVersionLocked(channel string) (plan.Entry, uint64) {
+	return c.local.Lookup(channel, c.cfg.Clock.Now())
+}
+
+// resolveConnLocked returns a connection to target, substituting the next
+// reachable ring candidate when target is gone (e.g. a released server still
+// named by a stale mapping). The substitute's dispatcher will redirect us.
+func (c *Client) resolveConnLocked(channel string, target plan.ServerID) (*clientConn, error) {
+	conn, err := c.connLocked(target)
+	if err == nil {
+		return conn, nil
+	}
+	for _, cand := range c.local.Base().Ring().LookupN(channel, 16) {
+		if cand == target {
+			continue
+		}
+		if conn, cerr := c.connLocked(cand); cerr == nil {
+			return conn, nil
+		}
+	}
+	return nil, err
+}
+
+// connLocked returns (dialing if needed) the connection to a server.
+func (c *Client) connLocked(server plan.ServerID) (*clientConn, error) {
+	if conn, ok := c.conns[server]; ok {
+		return conn, nil
+	}
+	cc := &clientConn{server: server}
+	conn, err := c.dialer.Dial(server, &connHandler{c: c, cc: cc})
+	if err != nil {
+		return nil, err
+	}
+	cc.conn = conn
+	c.conns[server] = cc
+	return cc, nil
+}
+
+func (c *Client) subscribeOnLocked(channel string, targets []plan.ServerID) error {
+	var firstErr error
+	okCount := 0
+	for _, s := range targets {
+		conn, err := c.resolveConnLocked(channel, s)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := conn.conn.Subscribe(channel); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		okCount++
+	}
+	if okCount == 0 && firstErr != nil {
+		return fmt.Errorf("dynamoth: subscribe %q: %w", channel, firstErr)
+	}
+	return nil
+}
+
+// handleMessage processes every inbound payload from any connection.
+func (c *Client) handleMessage(channel string, payload []byte) {
+	env, err := message.Unmarshal(payload)
+	if err != nil {
+		return // not Dynamoth traffic
+	}
+	switch env.Type {
+	case message.TypeData, message.TypeForwarded:
+		if c.dedup.Observe(env.ID) {
+			c.duplicates.Add(1)
+			return
+		}
+		c.touch(channel)
+		c.deliver(channel, env)
+	case message.TypeSwitch:
+		c.redirects.Add(1)
+		c.updateRing(env)
+		c.applyEntryUpdate(env.Channel, env, true)
+	case message.TypeWrongServer:
+		c.redirects.Add(1)
+		c.updateRing(env)
+		c.applyEntryUpdate(env.Channel, env, false)
+	default:
+		// Plans, load reports and drain notifications are for the
+		// infrastructure, not clients.
+	}
+}
+
+func (c *Client) deliver(channel string, env *message.Envelope) {
+	msg := Message{
+		Channel:   channel,
+		Payload:   append([]byte(nil), env.Payload...),
+		Publisher: env.ID.Node,
+	}
+	// The non-blocking send happens under the mutex so it cannot race the
+	// close(sub.out) in Unsubscribe/Close (which hold the same mutex).
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub := c.subs[channel]
+	if sub == nil {
+		return // already unsubscribed; late delivery
+	}
+	select {
+	case sub.out <- msg:
+		c.received.Add(1)
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+// touch resets the plan-entry timer for a channel (§IV-A5: "the timer is
+// reset whenever the client sends or receives a publication").
+func (c *Client) touch(channel string) {
+	c.mu.Lock()
+	c.local.Touch(channel, c.cfg.Clock.Now())
+	c.mu.Unlock()
+}
+
+// applyEntryUpdate installs the mapping carried by a switch or wrong-server
+// notification and, for switches on subscribed channels, moves the
+// subscription (subscribe to the new servers first, then unsubscribe from
+// the abandoned ones; deduplication absorbs the overlap window).
+func (c *Client) applyEntryUpdate(channel string, env *message.Envelope, resubscribe bool) {
+	strategy := plan.Strategy(env.Strategy)
+	if !strategy.Valid() || len(env.Servers) == 0 || channel == "" {
+		return
+	}
+	newEntry := plan.Entry{Strategy: strategy, Servers: append([]plan.ServerID(nil), env.Servers...)}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	if !c.local.Update(channel, newEntry, env.PlanVersion, c.cfg.Clock.Now()) {
+		c.mu.Unlock()
+		return // stale notification
+	}
+	sub := c.subs[channel]
+	if sub == nil || !resubscribe {
+		c.mu.Unlock()
+		return
+	}
+	oldServers := sub.servers
+	newTargets := plan.SubscribeTargets(newEntry, channel, c.clientKey())
+	sub.servers = append([]plan.ServerID(nil), newTargets...)
+	// Subscribe on the new servers while still holding the lock (conn
+	// operations don't re-enter the client mutex).
+	_ = c.subscribeOnLocked(channel, added(oldServers, newTargets))
+	for _, s := range removed(oldServers, newTargets) {
+		if conn, ok := c.conns[s]; ok {
+			_ = conn.conn.Unsubscribe(channel) // best effort
+		}
+	}
+	c.mu.Unlock()
+}
+
+// handleDisconnectedConn drops a dead connection and marks affected
+// subscriptions for repair.
+func (c *Client) handleDisconnectedConn(cc *clientConn) {
+	c.mu.Lock()
+	if current, ok := c.conns[cc.server]; ok && current == cc {
+		delete(c.conns, cc.server)
+	}
+	for _, sub := range c.subs {
+		for _, s := range sub.servers {
+			if s == cc.server {
+				sub.broken = true
+				break
+			}
+		}
+	}
+	inboxHome := c.local.Base().Home(plan.InboxChannel(c.cfg.NodeID))
+	needInbox := inboxHome == cc.server
+	c.mu.Unlock()
+	_ = cc.conn.Close()
+	if needInbox {
+		c.repairInbox()
+	}
+}
+
+// updateRing folds ring membership carried by control envelopes into the
+// client's fallback ring (§II-C: clients hash over the active server set),
+// re-homing the redirect inbox if its hash home moved.
+func (c *Client) updateRing(env *message.Envelope) {
+	if len(env.RingServers) == 0 {
+		return
+	}
+	inbox := plan.InboxChannel(c.cfg.NodeID)
+	c.mu.Lock()
+	oldHome := c.local.Base().Home(inbox)
+	changed := c.local.UpdateRing(env.RingServers, env.PlanVersion)
+	var newHome plan.ServerID
+	if changed {
+		newHome = c.local.Base().Home(inbox)
+		if newHome != oldHome {
+			if conn, err := c.connLocked(newHome); err == nil {
+				_ = conn.conn.Subscribe(inbox)
+			}
+			if conn, ok := c.conns[oldHome]; ok {
+				_ = conn.conn.Unsubscribe(inbox)
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) repairInbox() {
+	inbox := plan.InboxChannel(c.cfg.NodeID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	home := c.local.Base().Home(inbox)
+	if conn, err := c.connLocked(home); err == nil {
+		_ = conn.conn.Subscribe(inbox)
+	}
+}
+
+// maintain runs the entry-timer sweep (§IV-A5) and subscription repair.
+func (c *Client) maintain() {
+	defer close(c.done)
+	interval := c.cfg.EntryTimeout / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	ticker := c.cfg.Clock.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C():
+			c.sweep()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+func (c *Client) sweep() {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	var repairs []string
+	c.local.Sweep(now, func(ch string) bool {
+		_, subscribed := c.subs[ch]
+		return subscribed
+	})
+	for ch, sub := range c.subs {
+		if sub.broken {
+			sub.broken = false
+			repairs = append(repairs, ch)
+		}
+	}
+	for _, ch := range repairs {
+		sub := c.subs[ch]
+		entry := c.lookupLocked(ch)
+		targets := plan.SubscribeTargets(entry, ch, c.clientKey())
+		sub.servers = append([]plan.ServerID(nil), targets...)
+		if err := c.subscribeOnLocked(ch, targets); err != nil {
+			sub.broken = true // retry next sweep
+		}
+	}
+	c.mu.Unlock()
+}
+
+// connHandler routes transport events back into the client.
+type connHandler struct {
+	c  *Client
+	cc *clientConn
+}
+
+func (h *connHandler) OnMessage(channel string, payload []byte) {
+	h.c.handleMessage(channel, payload)
+}
+
+func (h *connHandler) OnDisconnect(error) {
+	h.c.handleDisconnectedConn(h.cc)
+}
+
+// added returns the servers in next that are not in prev.
+func added(prev, next []plan.ServerID) []plan.ServerID {
+	var out []plan.ServerID
+	for _, s := range next {
+		if !containsServer(prev, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// removed returns the servers in prev that are not in next.
+func removed(prev, next []plan.ServerID) []plan.ServerID {
+	var out []plan.ServerID
+	for _, s := range prev {
+		if !containsServer(next, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func containsServer(list []plan.ServerID, s plan.ServerID) bool {
+	for _, have := range list {
+		if have == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,441 @@
+// Package cluster runs a complete Dynamoth deployment inside one process:
+// a pool of pub/sub server nodes (broker + local load analyzer +
+// dispatcher), the load balancer, and a simulated cloud provider that boots
+// and releases nodes on the balancer's demand. It is the quickest way to use
+// or study the full system — examples, integration tests and the live
+// experiments are built on it.
+//
+//	c, err := cluster.Start(cluster.Options{InitialServers: 2})
+//	defer c.Stop()
+//	client, err := c.NewClient(dynamoth.Config{})
+//
+// Optional WAN latency injection reproduces the paper's testbed conditions
+// (§V-B): client↔server legs sample a King-dataset-like distribution while
+// server↔server forwarding stays on the cloud LAN.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/internal/balancer"
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/cloud"
+	"github.com/dynamoth/dynamoth/internal/dispatcher"
+	"github.com/dynamoth/dynamoth/internal/lla"
+	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/netsim"
+	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/server"
+	"github.com/dynamoth/dynamoth/internal/transport"
+)
+
+// BalancerMode selects the load-balancing strategy.
+type BalancerMode string
+
+// Balancer modes.
+const (
+	// BalancerDynamoth runs the paper's hierarchical load balancer
+	// (channel-level replication + system-level rebalancing + elasticity).
+	BalancerDynamoth BalancerMode = "dynamoth"
+	// BalancerConsistentHashing runs the baseline of Experiment 2.
+	BalancerConsistentHashing BalancerMode = "consistent-hashing"
+	// BalancerNone runs a fixed pool with no rebalancing.
+	BalancerNone BalancerMode = "none"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// InitialServers is the bootstrap pool size (default 1).
+	InitialServers int
+	// MaxServers caps elasticity (default 8, as in the paper).
+	MaxServers int
+	// Balancer selects the strategy (default BalancerDynamoth).
+	Balancer BalancerMode
+	// WANLatency injects sampled wide-area latency on the client↔server
+	// path, as the paper's testbed did.
+	WANLatency bool
+	// MaxOutgoingBps is each server's egress capacity T_i
+	// (default 1.25 MB/s, the DESIGN.md calibration).
+	MaxOutgoingBps float64
+	// Clock provides time; a scaled clock accelerates everything
+	// coherently (default real).
+	Clock clock.Clock
+	// Seed seeds latency sampling (default 1).
+	Seed int64
+	// TWait overrides the minimum time between plans (default 10 s).
+	TWait time.Duration
+	// BootDelay overrides the cloud boot latency (default 10 s).
+	BootDelay time.Duration
+	// UnitInterval overrides the LLA time unit (default 1 s).
+	UnitInterval time.Duration
+	// ReportEvery overrides the LLA report interval (default 3 s).
+	ReportEvery time.Duration
+	// OutputBuffer overrides the broker per-session output buffer.
+	OutputBuffer int
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	opts Options
+	clk  clock.Clock
+
+	mu      sync.Mutex
+	nodes   map[plan.ServerID]*server.Node
+	watched map[plan.ServerID]*watcher
+	nextNum uint32
+
+	dialer   *transport.MemDialer // client-facing (WAN latency if enabled)
+	reports  chan *lla.Report
+	orch     *balancer.Orchestrator
+	provider *cloud.Simulator
+
+	stopOnce sync.Once
+}
+
+// watcher holds the LB's report subscription on one node.
+type watcher struct {
+	sess interface{ Close() }
+}
+
+// Start boots a cluster.
+func Start(opts Options) (*Cluster, error) {
+	if opts.InitialServers <= 0 {
+		opts.InitialServers = 1
+	}
+	if opts.MaxServers <= 0 {
+		opts.MaxServers = 8
+	}
+	if opts.MaxServers < opts.InitialServers {
+		opts.MaxServers = opts.InitialServers
+	}
+	if opts.Balancer == "" {
+		opts.Balancer = BalancerDynamoth
+	}
+	if opts.MaxOutgoingBps <= 0 {
+		opts.MaxOutgoingBps = 1.25e6
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	c := &Cluster{
+		opts:    opts,
+		clk:     opts.Clock,
+		nodes:   make(map[plan.ServerID]*server.Node),
+		watched: make(map[plan.ServerID]*watcher),
+		reports: make(chan *lla.Report, 256),
+	}
+
+	var dialerOpts transport.MemDialerOptions
+	if opts.WANLatency {
+		dialerOpts = transport.MemDialerOptions{
+			Latency: netsim.NewPathModel(),
+			Clock:   opts.Clock,
+			Seed:    opts.Seed,
+			Class:   netsim.Client,
+		}
+	} else {
+		dialerOpts = transport.MemDialerOptions{Clock: opts.Clock}
+	}
+	c.dialer = transport.NewMemDialer(nil, dialerOpts)
+
+	// Bootstrap pool.
+	names := make([]plan.ServerID, 0, opts.InitialServers)
+	for i := 1; i <= opts.InitialServers; i++ {
+		names = append(names, fmt.Sprintf("pub%d", i))
+	}
+	initial := plan.New(names...)
+	initial.Version = 1
+	for _, id := range names {
+		if err := c.startNode(id, initial); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+
+	c.provider = cloud.NewSimulator(cloud.Config{
+		BootDelay:    opts.BootDelay,
+		Clock:        opts.Clock,
+		NamePrefix:   "pub-x",
+		MaxInstances: 0,
+	})
+
+	// Load balancer.
+	if opts.Balancer != BalancerNone {
+		cfg := balancer.DefaultConfig()
+		cfg.MaxServers = opts.MaxServers
+		cfg.MinServers = opts.InitialServers
+		if opts.TWait > 0 {
+			cfg.TWait = opts.TWait
+		}
+		var gen balancer.PlanGenerator
+		switch opts.Balancer {
+		case BalancerConsistentHashing:
+			gen = balancer.NewCHPlanner(cfg)
+		default:
+			pinned := func(s string) bool { return s == names[0] }
+			gen = balancer.NewPlanner(cfg, plan.IsControlChannel, pinned, opts.MaxOutgoingBps)
+		}
+		c.orch = balancer.NewOrchestrator(balancer.OrchestratorOptions{
+			Planner:       gen,
+			Config:        cfg,
+			Initial:       initial,
+			Reports:       c.reports,
+			PublishPlan:   c.publishPlan,
+			Cloud:         clusterCloud{c},
+			Clock:         opts.Clock,
+			DefaultMaxBps: opts.MaxOutgoingBps,
+		})
+		go c.orch.Run()
+	}
+	return c, nil
+}
+
+// NewClient returns a Dynamoth client connected to the cluster. The zero
+// Config is valid.
+func (c *Cluster) NewClient(cfg dynamoth.Config) (*dynamoth.Client, error) {
+	c.mu.Lock()
+	var servers []string
+	p := c.currentPlanLocked()
+	servers = append(servers, p.RingServers...)
+	c.mu.Unlock()
+	if len(servers) == 0 {
+		return nil, errors.New("cluster: no servers")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = c.clk
+	}
+	return dynamoth.ConnectWithDialer(c.dialer, servers, cfg)
+}
+
+// Servers returns the IDs of the currently running nodes.
+func (c *Cluster) Servers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ActiveServers returns the number of running nodes.
+func (c *Cluster) ActiveServers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// PlanVersion returns the current plan version (1 = bootstrap).
+func (c *Cluster) PlanVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.currentPlanLocked().Version
+}
+
+// Rebalances returns the number of plan changes the balancer performed.
+func (c *Cluster) Rebalances() int {
+	if c.orch == nil {
+		return 0
+	}
+	return c.orch.Rebalances()
+}
+
+// InstanceHours returns cloud usage beyond the bootstrap pool.
+func (c *Cluster) InstanceHours() float64 {
+	if c.provider == nil {
+		return 0
+	}
+	return c.provider.InstanceHours()
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		if c.orch != nil {
+			c.orch.Stop()
+		}
+		c.mu.Lock()
+		nodes := make([]*server.Node, 0, len(c.nodes))
+		for _, n := range c.nodes {
+			nodes = append(nodes, n)
+		}
+		c.nodes = make(map[plan.ServerID]*server.Node)
+		for _, w := range c.watched {
+			w.sess.Close()
+		}
+		c.watched = make(map[plan.ServerID]*watcher)
+		c.mu.Unlock()
+		for _, n := range nodes {
+			n.Close()
+		}
+		c.dialer.Close()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// internals
+
+func (c *Cluster) currentPlanLocked() *plan.Plan {
+	if c.orch != nil {
+		return c.orch.Plan()
+	}
+	ids := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	p := plan.New(ids...)
+	p.Version = 1
+	return p
+}
+
+// forward implements dispatcher forwarding across nodes (cloud LAN).
+func (c *Cluster) forward(serverID plan.ServerID, channel string, payload []byte) error {
+	c.mu.Lock()
+	n := c.nodes[serverID]
+	c.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("cluster: no node %s", serverID)
+	}
+	n.Broker.Publish(channel, payload)
+	return nil
+}
+
+// startNode creates and registers one node, wiring the report collector.
+func (c *Cluster) startNode(id plan.ServerID, initial *plan.Plan) error {
+	c.mu.Lock()
+	c.nextNum++
+	num := 0xD000 + c.nextNum
+	c.mu.Unlock()
+
+	n, err := server.New(server.Options{
+		ID:             id,
+		NodeNum:        num,
+		Initial:        initial.Clone(),
+		Forwarder:      dispatcher.ForwarderFunc(c.forward),
+		Clock:          c.clk,
+		MaxOutgoingBps: c.opts.MaxOutgoingBps,
+		Unit:           c.opts.UnitInterval,
+		ReportEvery:    c.opts.ReportEvery,
+		OutputBuffer:   c.opts.OutputBuffer,
+		PublishReports: true,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: starting node %s: %w", id, err)
+	}
+
+	// The LB's report subscription on this node's broker.
+	sess, err := n.Broker.Connect("lb-collector", reportSink{c})
+	if err != nil {
+		n.Close()
+		return err
+	}
+	if _, err := sess.Subscribe(plan.ReportChannel); err != nil {
+		n.Close()
+		return err
+	}
+
+	c.mu.Lock()
+	c.nodes[id] = n
+	c.watched[id] = &watcher{sess: sess}
+	c.mu.Unlock()
+	c.dialer.AddServer(id, n.Broker)
+	return nil
+}
+
+// publishPlan distributes a plan to every node's dispatcher over the
+// control plane.
+func (c *Cluster) publishPlan(p *plan.Plan) {
+	data, err := p.Marshal()
+	if err != nil {
+		return
+	}
+	env := &message.Envelope{
+		Type:    message.TypePlan,
+		ID:      message.ID{Node: 0xDB, Seq: p.Version},
+		Channel: plan.PlanChannel,
+		Payload: data,
+	}
+	payload := env.Marshal()
+	c.mu.Lock()
+	nodes := make([]*server.Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.Broker.Publish(plan.PlanChannel, payload)
+	}
+}
+
+// reportSink feeds LLA reports from any node into the LB.
+type reportSink struct{ c *Cluster }
+
+// Deliver implements broker.Sink.
+func (s reportSink) Deliver(_ string, payload []byte) {
+	env, err := message.Unmarshal(payload)
+	if err != nil || env.Type != message.TypeLoadReport {
+		return
+	}
+	r, err := lla.UnmarshalReport(env.Payload)
+	if err != nil {
+		return
+	}
+	select {
+	case s.c.reports <- r:
+	default: // LB lagging; a newer report will follow
+	}
+}
+
+// Closed implements broker.Sink.
+func (reportSink) Closed(error) {}
+
+// clusterCloud adapts the cluster to balancer.CloudProvider: spawning boots
+// a cloud instance and then starts a full node on it.
+type clusterCloud struct{ c *Cluster }
+
+// Spawn implements balancer.CloudProvider.
+func (cc clusterCloud) Spawn(ctx context.Context) (plan.ServerID, error) {
+	id, err := cc.c.provider.Spawn(ctx)
+	if err != nil {
+		return "", err
+	}
+	var initial *plan.Plan
+	if cc.c.orch != nil {
+		initial = cc.c.orch.Plan()
+	} else {
+		cc.c.mu.Lock()
+		initial = cc.c.currentPlanLocked()
+		cc.c.mu.Unlock()
+	}
+	if err := cc.c.startNode(id, initial); err != nil {
+		_ = cc.c.provider.Release(id)
+		return "", err
+	}
+	return id, nil
+}
+
+// Release implements balancer.CloudProvider.
+func (cc clusterCloud) Release(id plan.ServerID) error {
+	cc.c.mu.Lock()
+	n := cc.c.nodes[id]
+	delete(cc.c.nodes, id)
+	if w, ok := cc.c.watched[id]; ok {
+		w.sess.Close()
+		delete(cc.c.watched, id)
+	}
+	cc.c.mu.Unlock()
+	cc.c.dialer.RemoveServer(id)
+	if n != nil {
+		n.Close()
+	}
+	return cc.c.provider.Release(id)
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/internal/clock"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestClusterBasicPubSub(t *testing.T) {
+	c, err := Start(Options{InitialServers: 2, Balancer: BalancerNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	if got := c.ActiveServers(); got != 2 {
+		t.Fatalf("ActiveServers=%d", got)
+	}
+
+	sub, err := c.NewClient(dynamoth.Config{NodeID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := c.NewClient(dynamoth.Config{NodeID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	msgs, err := sub.Subscribe("lobby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("lobby", []byte("welcome")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-msgs:
+		if string(m.Payload) != "welcome" {
+			t.Fatalf("payload=%q", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery through cluster")
+	}
+}
+
+func TestClusterWANLatency(t *testing.T) {
+	clk := clock.NewScaled(epoch, 50)
+	c, err := Start(Options{InitialServers: 1, Balancer: BalancerNone, WANLatency: true, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	cl, err := c.NewClient(dynamoth.Config{NodeID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	msgs, err := cl.Subscribe("ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip through a WAN-latency cluster should average ~75ms
+	// virtual (paper Fig 5c steady state): two one-way samples of ~35ms.
+	var total time.Duration
+	const probes = 20
+	for i := 0; i < probes; i++ {
+		start := clk.Now()
+		if err := cl.Publish("ping", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-msgs:
+			total += clk.Since(start)
+		case <-time.After(2 * time.Second):
+			t.Fatal("no delivery")
+		}
+	}
+	mean := total / probes
+	if mean < 20*time.Millisecond || mean > 400*time.Millisecond {
+		t.Fatalf("mean virtual RTT=%v, want WAN-ish (~75ms)", mean)
+	}
+}
+
+func TestClusterElasticScaleUpAndDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elasticity test is seconds-long")
+	}
+	clk := clock.NewScaled(epoch, 10)
+	c, err := Start(Options{
+		InitialServers: 1,
+		MaxServers:     4,
+		Balancer:       BalancerDynamoth,
+		Clock:          clk,
+		MaxOutgoingBps: 4000, // tiny virtual capacity so light load overloads
+		TWait:          3 * time.Second,
+		BootDelay:      2 * time.Second,
+		ReportEvery:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Several subscribers per channel plus steady publishers: enough
+	// virtual byte rate to exceed 4 kB/s (virtual) egress many times over.
+	const channels = 6
+	var clients []*dynamoth.Client
+	for i := 0; i < channels; i++ {
+		sub, err := c.NewClient(dynamoth.Config{NodeID: uint32(100 + i), Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, sub)
+		for j := 0; j < 2; j++ {
+			if _, err := sub.Subscribe(fmt.Sprintf("room-%d", (i+j)%channels)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pub, err := c.NewClient(dynamoth.Config{NodeID: 99, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients = append(clients, pub)
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	stopLoad := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		payload := make([]byte, 120)
+		i := 0
+		for {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			_ = pub.Publish(fmt.Sprintf("room-%d", i%channels), payload)
+			i++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Scale-up: within a couple of virtual minutes a server is added.
+	deadline := time.Now().Add(20 * time.Second)
+	for c.ActiveServers() < 2 {
+		if time.Now().After(deadline) {
+			close(stopLoad)
+			<-loadDone
+			t.Fatalf("no scale-up: servers=%d rebalances=%d", c.ActiveServers(), c.Rebalances())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	close(stopLoad)
+	<-loadDone
+
+	// Scale-down: with the load gone, the pool shrinks back to 1.
+	deadline = time.Now().Add(30 * time.Second)
+	for c.ActiveServers() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no scale-down: servers=%d", c.ActiveServers())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if c.Rebalances() < 2 {
+		t.Fatalf("rebalances=%d, want several", c.Rebalances())
+	}
+}
+
+func TestClusterDefaults(t *testing.T) {
+	c, err := Start(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if got := c.ActiveServers(); got != 1 {
+		t.Fatalf("default pool=%d", got)
+	}
+	if v := c.PlanVersion(); v != 1 {
+		t.Fatalf("plan version=%d", v)
+	}
+	if h := c.InstanceHours(); h != 0 {
+		t.Fatalf("instance hours=%f", h)
+	}
+}
+
+func TestClusterConsistentHashingModeSpawns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long")
+	}
+	clk := clock.NewScaled(epoch, 10)
+	c, err := Start(Options{
+		InitialServers: 1,
+		MaxServers:     3,
+		Balancer:       BalancerConsistentHashing,
+		Clock:          clk,
+		MaxOutgoingBps: 4000,
+		TWait:          3 * time.Second,
+		BootDelay:      2 * time.Second,
+		ReportEvery:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	subs := make([]*dynamoth.Client, 4)
+	for i := range subs {
+		subs[i], err = c.NewClient(dynamoth.Config{NodeID: uint32(300 + i), Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer subs[i].Close()
+		if _, err := subs[i].Subscribe(fmt.Sprintf("room-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub, err := c.NewClient(dynamoth.Config{NodeID: 399, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		payload := make([]byte, 120)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = pub.Publish(fmt.Sprintf("room-%d", i%4), payload)
+			i++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for c.ActiveServers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("CH baseline never spawned: servers=%d", c.ActiveServers())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,122 @@
+// Command dynamoth-cli is a command-line Dynamoth client for poking at a
+// deployment: publish messages, subscribe to channels, or run a quick
+// round-trip latency probe.
+//
+// Usage:
+//
+//	dynamoth-cli -server pub1=localhost:6379 sub room.lobby
+//	dynamoth-cli -server pub1=localhost:6379 pub room.lobby "hello world"
+//	dynamoth-cli -server pub1=localhost:6379 ping room.lobby
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynamoth-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	servers := map[string]string{}
+	flag.Func("server", "bootstrap server as id=host:port (repeatable)", func(v string) error {
+		id, addr, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("expected id=host:port, got %q", v)
+		}
+		servers[id] = addr
+		return nil
+	})
+	count := flag.Int("n", 10, "ping: number of probes")
+	flag.Parse()
+
+	if len(servers) == 0 {
+		return fmt.Errorf("at least one -server required")
+	}
+	args := flag.Args()
+	if len(args) < 2 {
+		return fmt.Errorf("usage: dynamoth-cli -server id=addr {sub|pub|ping} <channel> [payload]")
+	}
+	cmd, channel := args[0], args[1]
+
+	client, err := dynamoth.Connect(dynamoth.Config{Addrs: servers})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch cmd {
+	case "sub":
+		msgs, err := client.Subscribe(channel)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("subscribed to %q; ctrl-c to exit\n", channel)
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		for {
+			select {
+			case m, ok := <-msgs:
+				if !ok {
+					return nil
+				}
+				fmt.Printf("[%s] %s\n", m.Channel, m.Payload)
+			case <-sigc:
+				return nil
+			}
+		}
+	case "pub":
+		if len(args) < 3 {
+			return fmt.Errorf("pub needs a payload")
+		}
+		payload := strings.Join(args[2:], " ")
+		if err := client.Publish(channel, []byte(payload)); err != nil {
+			return err
+		}
+		fmt.Printf("published %d bytes on %q\n", len(payload), channel)
+		// Give the (asynchronous) publish path a moment to flush.
+		time.Sleep(100 * time.Millisecond)
+		return nil
+	case "ping":
+		msgs, err := client.Subscribe(channel)
+		if err != nil {
+			return err
+		}
+		time.Sleep(200 * time.Millisecond) // allow the subscription to land
+		var total time.Duration
+		got := 0
+		for i := 0; i < *count; i++ {
+			start := time.Now()
+			if err := client.Publish(channel, []byte(fmt.Sprintf("ping-%d", i))); err != nil {
+				return err
+			}
+			select {
+			case <-msgs:
+				rtt := time.Since(start)
+				total += rtt
+				got++
+				fmt.Printf("probe %d: %v\n", i, rtt.Round(time.Microsecond))
+			case <-time.After(2 * time.Second):
+				fmt.Printf("probe %d: timeout\n", i)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if got > 0 {
+			fmt.Printf("mean RTT over %d probes: %v\n", got, (total / time.Duration(got)).Round(time.Microsecond))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want sub, pub or ping)", cmd)
+	}
+}

@@ -1,0 +1,166 @@
+// Command dynamoth-lb runs the Dynamoth load balancer against a set of
+// dynamoth-node daemons: it subscribes to every node's LLA report channel,
+// runs the two-step rebalancer (Algorithm 1 + Algorithm 2 + low-load
+// release) and publishes new plans on every node's plan channel.
+//
+// Usage:
+//
+//	dynamoth-lb -node pub1=host1:6379 -node pub2=host2:6379
+//
+// The node set is fixed for a daemon instance (the elastic spawn/despawn of
+// the paper needs a cloud provider; the in-process cluster package and the
+// experiments exercise that path). The LB still migrates and replicates
+// channels across the given pool, so a static deployment gets the full
+// hierarchical balancing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/balancer"
+	"github.com/dynamoth/dynamoth/internal/lla"
+	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynamoth-lb:", err)
+		os.Exit(1)
+	}
+}
+
+type nodeList map[string]string
+
+func (n nodeList) String() string {
+	parts := make([]string, 0, len(n))
+	for id, addr := range n {
+		parts = append(parts, id+"="+addr)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (n nodeList) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok || id == "" || addr == "" {
+		return fmt.Errorf("expected id=host:port, got %q", v)
+	}
+	n[id] = addr
+	return nil
+}
+
+func run() error {
+	nodes := nodeList{}
+	var (
+		twait  = flag.Duration("twait", 10*time.Second, "minimum time between plan generations")
+		maxBps = flag.Float64("max-bps", 1.25e6, "assumed server capacity for unreported nodes")
+	)
+	flag.Var(nodes, "node", "pub/sub node as id=host:port (repeatable)")
+	flag.Parse()
+	if len(nodes) == 0 {
+		return fmt.Errorf("at least one -node required")
+	}
+
+	ids := make([]string, 0, len(nodes))
+	addrs := make(map[plan.ServerID]string, len(nodes))
+	for id, addr := range nodes {
+		ids = append(ids, id)
+		addrs[id] = addr
+	}
+	initial := plan.New(ids...)
+	initial.Version = 1
+
+	dialer := transport.NewTCPDialer(addrs)
+	reports := make(chan *lla.Report, 256)
+
+	// One subscription per node for its report channel; plan publications
+	// reuse the same connections.
+	conns := make(map[plan.ServerID]transport.Conn, len(ids))
+	for _, id := range ids {
+		conn, err := dialer.Dial(id, reportHandler{reports: reports})
+		if err != nil {
+			return fmt.Errorf("connecting to node %s: %w", id, err)
+		}
+		defer conn.Close()
+		if err := conn.Subscribe(plan.ReportChannel); err != nil {
+			return fmt.Errorf("subscribing reports on %s: %w", id, err)
+		}
+		conns[id] = conn
+	}
+
+	cfg := balancer.DefaultConfig()
+	cfg.TWait = *twait
+	cfg.MaxServers = len(ids)
+	cfg.MinServers = len(ids) // fixed pool: never release servers
+	pinned := func(s string) bool { return s == ids[0] }
+	planner := balancer.NewPlanner(cfg, plan.IsControlChannel, pinned, *maxBps)
+
+	gen := message.NewGenerator(0xB1B)
+	publishPlan := func(p *plan.Plan) {
+		data, err := p.Marshal()
+		if err != nil {
+			return
+		}
+		env := &message.Envelope{
+			Type:    message.TypePlan,
+			ID:      gen.Next(),
+			Channel: plan.PlanChannel,
+			Payload: data,
+		}
+		payload := env.Marshal()
+		for id, conn := range conns {
+			if err := conn.Publish(plan.PlanChannel, payload); err != nil {
+				fmt.Fprintf(os.Stderr, "publishing plan v%d to %s: %v\n", p.Version, id, err)
+			}
+		}
+		fmt.Printf("published plan v%d (%d explicit channels)\n", p.Version, len(p.Channels))
+	}
+
+	orch := balancer.NewOrchestrator(balancer.OrchestratorOptions{
+		Planner:       planner,
+		Config:        cfg,
+		Initial:       initial,
+		Reports:       reports,
+		PublishPlan:   publishPlan,
+		DefaultMaxBps: *maxBps,
+	})
+	go orch.Run()
+	defer orch.Stop()
+
+	fmt.Printf("dynamoth-lb balancing %d nodes: %s\n", len(ids), nodes.String())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	return nil
+}
+
+// reportHandler feeds LLA reports into the orchestrator.
+type reportHandler struct {
+	reports chan<- *lla.Report
+}
+
+func (h reportHandler) OnMessage(_ string, payload []byte) {
+	env, err := message.Unmarshal(payload)
+	if err != nil || env.Type != message.TypeLoadReport {
+		return
+	}
+	r, err := lla.UnmarshalReport(env.Payload)
+	if err != nil {
+		return
+	}
+	select {
+	case h.reports <- r:
+	default:
+	}
+}
+
+func (h reportHandler) OnDisconnect(err error) {
+	fmt.Fprintf(os.Stderr, "node connection lost: %v\n", err)
+}

@@ -1,0 +1,111 @@
+// Command dynamoth-node runs one Dynamoth pub/sub server node: a Redis-like
+// broker served over RESP/TCP, with the collocated local load analyzer and
+// dispatcher (paper Figure 1). Nodes are independent; the dispatcher reaches
+// peer nodes through their TCP addresses for reconfiguration forwarding.
+//
+// Usage:
+//
+//	dynamoth-node -id pub1 -listen :6379 \
+//	    -peer pub2=host2:6379 -peer pub3=host3:6379 \
+//	    -servers pub1,pub2,pub3
+//
+// -servers lists the bootstrap plan's server set (must match on every node
+// and on the load balancer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/server"
+	"github.com/dynamoth/dynamoth/internal/transport"
+)
+
+type peerList map[string]string
+
+func (p peerList) String() string {
+	parts := make([]string, 0, len(p))
+	for id, addr := range p {
+		parts = append(parts, id+"="+addr)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p peerList) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok || id == "" || addr == "" {
+		return fmt.Errorf("expected id=host:port, got %q", v)
+	}
+	p[id] = addr
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynamoth-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	peers := peerList{}
+	var (
+		id      = flag.String("id", "pub1", "this node's server ID in plans")
+		listen  = flag.String("listen", ":6379", "RESP listen address")
+		servers = flag.String("servers", "pub1", "comma-separated bootstrap server IDs (plan 0)")
+		nodeNum = flag.Uint("node", 0xD001, "unique numeric node ID for control envelopes")
+		maxBps  = flag.Float64("max-bps", 1.25e6, "theoretical max outgoing bandwidth T_i (bytes/s)")
+	)
+	flag.Var(peers, "peer", "peer node as id=host:port (repeatable)")
+	flag.Parse()
+
+	bootstrap := strings.Split(*servers, ",")
+	initial := plan.New(bootstrap...)
+	initial.Version = 1
+
+	dialer := transport.NewTCPDialer(nil)
+	for pid, addr := range peers {
+		dialer.AddServer(pid, addr)
+	}
+	fwd := transport.NewPooledForwarder(dialer)
+	defer fwd.Close()
+
+	n, err := server.New(server.Options{
+		ID:             *id,
+		NodeNum:        uint32(*nodeNum),
+		Initial:        initial,
+		Forwarder:      fwd,
+		MaxOutgoingBps: *maxBps,
+		PublishReports: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	fmt.Printf("dynamoth-node %s serving RESP on %s (peers: %s)\n", *id, ln.Addr(), peers.String())
+
+	errc := make(chan error, 1)
+	go func() { errc <- n.ServeTCP(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sigc:
+		fmt.Printf("received %v, shutting down\n", s)
+		ln.Close()
+		return nil
+	}
+}

@@ -1,0 +1,33 @@
+// Package dynamoth is a scalable, elastic, channel-based publish/subscribe
+// middleware for latency-constrained applications, reproducing the system
+// described in "Dynamoth: A Scalable Pub/Sub Middleware for
+// Latency-Constrained Applications in the Cloud" (Gascon-Samson, Garcia,
+// Kemme, Kienzle — ICDCS 2015).
+//
+// Dynamoth layers a hierarchical load balancer over a pool of independent,
+// Redis-like pub/sub servers. Channels are spread across servers by a
+// versioned lookup table (the plan); hot channels can be replicated over
+// several servers (all-subscribers or all-publishers replication); servers
+// are added and removed elastically as the measured load changes. Clients
+// keep only a small, lazily updated partial plan and talk directly to the
+// pub/sub server responsible for each channel, so every publication takes
+// exactly two hops (publisher → server → subscribers).
+//
+// This package is the client library. A minimal session looks like:
+//
+//	c, err := dynamoth.Connect(dynamoth.Config{
+//		Addrs: map[string]string{"pub1": "127.0.0.1:6379"},
+//	})
+//	if err != nil { ... }
+//	defer c.Close()
+//
+//	msgs, _ := c.Subscribe("room.42")
+//	_ = c.Publish("room.42", []byte("hello"))
+//	m := <-msgs // m.Payload == "hello"
+//
+// The cluster package runs a complete in-process Dynamoth deployment
+// (brokers, load analyzers, dispatchers, load balancer) for tests, examples
+// and single-machine use; cluster.Cluster.NewClient returns a Client wired
+// to it. The cmd/ directory holds the distributed daemons (dynamoth-node,
+// dynamoth-lb) that serve the same protocol over TCP.
+package dynamoth

@@ -1,0 +1,87 @@
+package dynamoth_test
+
+import (
+	"fmt"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/cluster"
+)
+
+// Example runs a complete embedded deployment: two pub/sub server nodes
+// (each with its local load analyzer and dispatcher) plus the load balancer,
+// then publishes and receives one message.
+func Example() {
+	c, err := cluster.Start(cluster.Options{InitialServers: 2})
+	if err != nil {
+		fmt.Println("start:", err)
+		return
+	}
+	defer c.Stop()
+
+	sub, err := c.NewClient(dynamoth.Config{})
+	if err != nil {
+		fmt.Println("client:", err)
+		return
+	}
+	defer sub.Close()
+	pub, err := c.NewClient(dynamoth.Config{})
+	if err != nil {
+		fmt.Println("client:", err)
+		return
+	}
+	defer pub.Close()
+
+	msgs, err := sub.Subscribe("room.lobby")
+	if err != nil {
+		fmt.Println("subscribe:", err)
+		return
+	}
+	if err := pub.Publish("room.lobby", []byte("hello")); err != nil {
+		fmt.Println("publish:", err)
+		return
+	}
+	select {
+	case m := <-msgs:
+		fmt.Printf("%s: %s\n", m.Channel, m.Payload)
+	case <-time.After(5 * time.Second):
+		fmt.Println("timeout")
+	}
+	// Output: room.lobby: hello
+}
+
+// ExampleClient_Subscribe shows the channel-based delivery stream and that a
+// publisher subscribed to its own channel receives its own publications (the
+// paper's response-time probe relies on this).
+func ExampleClient_Subscribe() {
+	c, err := cluster.Start(cluster.Options{InitialServers: 1})
+	if err != nil {
+		fmt.Println("start:", err)
+		return
+	}
+	defer c.Stop()
+
+	client, err := c.NewClient(dynamoth.Config{NodeID: 7})
+	if err != nil {
+		fmt.Println("client:", err)
+		return
+	}
+	defer client.Close()
+
+	msgs, err := client.Subscribe("tile-3-4")
+	if err != nil {
+		fmt.Println("subscribe:", err)
+		return
+	}
+	if err := client.Publish("tile-3-4", []byte("pos=12,9")); err != nil {
+		fmt.Println("publish:", err)
+		return
+	}
+	select {
+	case m := <-msgs:
+		fmt.Printf("from node %d: %s\n", m.Publisher, m.Payload)
+	case <-time.After(5 * time.Second):
+		fmt.Println("timeout")
+	}
+	// Output: from node 7: pos=12,9
+}

@@ -1,0 +1,86 @@
+// Chat: a multi-room chat system over the Dynamoth public API — the classic
+// channel-based pub/sub application. Four users join three rooms; each room
+// is one Dynamoth channel spread over the server pool by the plan.
+//
+//	go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/cluster"
+)
+
+type user struct {
+	name   string
+	client *dynamoth.Client
+	rooms  []string
+}
+
+func main() {
+	c, err := cluster.Start(cluster.Options{InitialServers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	users := []*user{
+		{name: "ada", rooms: []string{"room.go", "room.distsys"}},
+		{name: "bob", rooms: []string{"room.go"}},
+		{name: "cyd", rooms: []string{"room.distsys", "room.random"}},
+		{name: "dot", rooms: []string{"room.go", "room.random"}},
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes console output
+	for _, u := range users {
+		client, err := c.NewClient(dynamoth.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		u.client = client
+		for _, room := range u.rooms {
+			msgs, err := client.Subscribe(room)
+			if err != nil {
+				log.Fatal(err)
+			}
+			wg.Add(1)
+			go func(name, room string, msgs <-chan dynamoth.Message) {
+				defer wg.Done()
+				for m := range msgs {
+					mu.Lock()
+					fmt.Printf("%-4s saw %-13s | %s\n", name, m.Channel, m.Payload)
+					mu.Unlock()
+				}
+			}(u.name, room, msgs)
+		}
+	}
+
+	say := func(u *user, room, text string) {
+		if err := u.client.Publish(room, []byte(u.name+": "+text)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	say(users[0], "room.go", "channels or mutexes?")
+	say(users[1], "room.go", "channels, obviously")
+	say(users[2], "room.distsys", "anyone benchmarked the rebalancer?")
+	say(users[0], "room.distsys", "60% more clients than consistent hashing")
+	say(users[3], "room.random", "lunch?")
+
+	time.Sleep(500 * time.Millisecond) // let deliveries land
+
+	for _, u := range users {
+		for _, room := range u.rooms {
+			if err := u.client.Unsubscribe(room); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	wg.Wait()
+	fmt.Println("chat complete.")
+}

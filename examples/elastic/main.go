@@ -1,0 +1,109 @@
+// Elastic: watch the Dynamoth load balancer add and release servers as a
+// load wave passes through — the behavior of the paper's Experiment 3, live.
+// An accelerated clock compresses minutes of cluster time into seconds.
+//
+//	go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/cluster"
+	"github.com/dynamoth/dynamoth/internal/clock"
+)
+
+func main() {
+	// 10× accelerated virtual time; tiny per-server capacity so a handful
+	// of clients is enough to overload one server.
+	clk := clock.NewScaled(time.Now(), 10)
+	c, err := cluster.Start(cluster.Options{
+		InitialServers: 1,
+		MaxServers:     4,
+		Clock:          clk,
+		MaxOutgoingBps: 5_000,
+		TWait:          3 * time.Second,
+		BootDelay:      2 * time.Second,
+		ReportEvery:    2 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	const channels = 6
+	var clients []*dynamoth.Client
+	for i := 0; i < channels; i++ {
+		cl, err := c.NewClient(dynamoth.Config{NodeID: uint32(100 + i), Clock: clk})
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients = append(clients, cl)
+		for j := 0; j < 2; j++ {
+			if _, err := cl.Subscribe(fmt.Sprintf("room-%d", (i+j)%channels)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	pub, err := c.NewClient(dynamoth.Config{NodeID: 99, Clock: clk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clients = append(clients, pub)
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	fmt.Println("phase 1: load wave — publishing hard for ~6s real (1min virtual)")
+	stop := make(chan struct{})
+	go func() {
+		payload := make([]byte, 120)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = pub.Publish(fmt.Sprintf("room-%d", i%channels), payload)
+			i++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	last := 0
+	for time.Now().Before(deadline) {
+		if n := c.ActiveServers(); n != last {
+			fmt.Printf("  servers: %d → %d (rebalances so far: %d)\n", last, n, c.Rebalances())
+			last = n
+		}
+		if last >= 2 {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	close(stop)
+	if last < 2 {
+		log.Fatal("balancer never scaled up")
+	}
+
+	fmt.Println("phase 2: load gone — waiting for the balancer to release servers")
+	deadline = time.Now().Add(40 * time.Second)
+	for time.Now().Before(deadline) {
+		if n := c.ActiveServers(); n != last {
+			fmt.Printf("  servers: %d → %d\n", last, n)
+			last = n
+		}
+		if last == 1 {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Printf("final: %d server(s), %d rebalances, %.4f instance-hours of elastic capacity used\n",
+		c.ActiveServers(), c.Rebalances(), c.InstanceHours())
+}

@@ -1,0 +1,114 @@
+// Game: a miniature RGame (the paper's evaluation workload, §V-A) running
+// against an embedded Dynamoth cluster over the public API. AI players walk
+// a tiled world, subscribe to the tile they are in and publish position
+// updates on it; everyone in a tile sees everyone else. Live stats show the
+// publish→notify round trip the paper measures.
+//
+//	go run ./examples/game
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/cluster"
+	"github.com/dynamoth/dynamoth/internal/workload"
+)
+
+const (
+	players  = 24
+	duration = 6 * time.Second
+	rate     = 3 // state updates per second, as in the paper
+)
+
+func main() {
+	c, err := cluster.Start(cluster.Options{InitialServers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	world := workload.Config{TilesX: 4, TilesY: 4, Speed: 120}.FillDefaults()
+
+	var (
+		mu       sync.Mutex
+		rttSum   time.Duration
+		rttCount int
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < players; i++ {
+		client, err := c.NewClient(dynamoth.Config{NodeID: uint32(1000 + i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		avatar := workload.NewPlayer(uint32(1000+i), world, rng)
+
+		wg.Add(1)
+		go func(client *dynamoth.Client, avatar *workload.Player, rng *rand.Rand) {
+			defer wg.Done()
+			msgs, err := client.Subscribe(avatar.Tile())
+			if err != nil {
+				log.Println("subscribe:", err)
+				return
+			}
+			// Reader: time our own updates coming back (publish→notify).
+			go func() {
+				for m := range msgs {
+					if m.Publisher == client.NodeID() && len(m.Payload) >= 8 {
+						sent := time.Unix(0, int64(binary.LittleEndian.Uint64(m.Payload)))
+						mu.Lock()
+						rttSum += time.Since(sent)
+						rttCount++
+						mu.Unlock()
+					}
+				}
+			}()
+
+			ticker := time.NewTicker(time.Second / rate)
+			defer ticker.Stop()
+			start := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+				}
+				if changed, oldTile := avatar.Advance(time.Since(start), time.Second/rate, rng); changed {
+					if newMsgs, err := client.Subscribe(avatar.Tile()); err == nil {
+						msgs = newMsgs
+					}
+					_ = client.Unsubscribe(oldTile)
+				}
+				payload := make([]byte, 32)
+				binary.LittleEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
+				copy(payload[8:], avatar.Update(nil)[:24])
+				_ = client.Publish(avatar.Tile(), payload)
+			}
+		}(client, avatar, rng)
+	}
+
+	fmt.Printf("%d players walking a %dx%d tile world on %d servers...\n",
+		players, world.TilesX, world.TilesY, c.ActiveServers())
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if rttCount == 0 {
+		log.Fatal("no round trips measured")
+	}
+	fmt.Printf("measured %d publish→notify round trips, mean %v\n",
+		rttCount, (rttSum / time.Duration(rttCount)).Round(time.Microsecond))
+	fmt.Printf("plan version %d after %d rebalances\n", c.PlanVersion(), c.Rebalances())
+}

@@ -1,0 +1,55 @@
+// Quickstart: boot an embedded Dynamoth cluster, subscribe, publish, done.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/cluster"
+)
+
+func main() {
+	// A complete deployment in one process: two pub/sub server nodes (each
+	// with a local load analyzer and dispatcher) plus the load balancer.
+	c, err := cluster.Start(cluster.Options{InitialServers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	sub, err := c.NewClient(dynamoth.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := c.NewClient(dynamoth.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pub.Close()
+
+	msgs, err := sub.Subscribe("greetings")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 1; i <= 3; i++ {
+		if err := pub.Publish("greetings", []byte(fmt.Sprintf("hello #%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		select {
+		case m := <-msgs:
+			fmt.Printf("received on %q: %s\n", m.Channel, m.Payload)
+		case <-time.After(2 * time.Second):
+			log.Fatal("timed out waiting for delivery")
+		}
+	}
+	fmt.Println("quickstart complete — messages routed by the plan, 2 hops each.")
+}

@@ -1,0 +1,3 @@
+module github.com/dynamoth/dynamoth
+
+go 1.22

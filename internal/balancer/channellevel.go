@@ -1,0 +1,184 @@
+package balancer
+
+import (
+	"math"
+	"sort"
+
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// TrueChannelLoad aggregates a channel's load across servers, correcting for
+// the double counting replication introduces: under all-subscribers every
+// replica sees every subscriber (so the per-server sum overcounts
+// subscribers), and under all-publishers every replica receives every
+// publication (so the sum overcounts publications).
+func TrueChannelLoad(loads []ServerLoad, channel string, e plan.Entry) ChannelLoad {
+	total := TotalChannelLoad(loads, channel)
+	replicas := float64(len(e.Servers))
+	if replicas < 1 {
+		replicas = 1
+	}
+	switch e.Strategy {
+	case plan.StrategyAllSubscribers:
+		total.Subscribers /= replicas
+	case plan.StrategyAllPublishers:
+		total.Publications /= replicas
+		total.BytesIn /= replicas
+		total.Publishers /= replicas
+	}
+	return total
+}
+
+// replicationDecision is Algorithm 1's verdict for one channel.
+type replicationDecision struct {
+	Strategy plan.Strategy
+	Replicas int // desired replica count (1 for StrategySingle)
+}
+
+// decideReplication runs Algorithm 1 on one channel's true load.
+//
+// Beyond the paper's listing it also covers the corner case described in the
+// surrounding text: when both publications and subscribers are very large,
+// all-subscribers wins because all-publishers would multiply every
+// publication across replicas.
+func decideReplication(cfg Config, cl ChannelLoad) replicationDecision {
+	pubs := cl.Publications // per second
+	subs := cl.Subscribers
+
+	pRatio := pubs
+	if subs > 0 {
+		pRatio = pubs / subs
+	}
+	sRatio := 0.0
+	if pubs > 0 {
+		sRatio = subs / pubs
+	}
+
+	allSubs := pRatio > cfg.AllSubsThreshold && pubs > cfg.PublicationThreshold
+	allPubs := sRatio > cfg.AllPubsThreshold && subs > cfg.SubscriberThreshold
+
+	switch {
+	case allSubs && allPubs:
+		// Corner case (§III-B1): both enormous — prefer all-subscribers,
+		// since all-publishers would send every publication N times.
+		allPubs = false
+	case allSubs || allPubs:
+	default:
+		return replicationDecision{Strategy: plan.StrategySingle, Replicas: 1}
+	}
+
+	if allSubs {
+		n := int(math.Ceil(pRatio / cfg.AllSubsThreshold))
+		return replicationDecision{
+			Strategy: plan.StrategyAllSubscribers,
+			Replicas: clampReplicas(cfg, n),
+		}
+	}
+	n := int(math.Ceil(sRatio / cfg.AllPubsThreshold))
+	return replicationDecision{
+		Strategy: plan.StrategyAllPublishers,
+		Replicas: clampReplicas(cfg, n),
+	}
+}
+
+func clampReplicas(cfg Config, n int) int {
+	if n < 2 {
+		n = 2 // a replicated channel needs at least two servers
+	}
+	if cfg.MaxReplicas > 0 && n > cfg.MaxReplicas {
+		n = cfg.MaxReplicas
+	}
+	return n
+}
+
+// applyChannelLevel performs the channel-level rebalancing step (§III-B1) on
+// p in place, using est to pick replica servers (least-loaded first when
+// growing, busiest dropped first when shrinking). It returns the channels it
+// changed.
+func applyChannelLevel(cfg Config, p *plan.Plan, loads []ServerLoad, est *estimator, skip func(string) bool) []string {
+	// Collect every channel observed anywhere.
+	channelSet := make(map[string]struct{})
+	for _, s := range loads {
+		for ch := range s.Channels {
+			if skip != nil && skip(ch) {
+				continue
+			}
+			channelSet[ch] = struct{}{}
+		}
+	}
+	channels := make([]string, 0, len(channelSet))
+	for ch := range channelSet {
+		channels = append(channels, ch)
+	}
+	sort.Strings(channels)
+
+	var changed []string
+	for _, ch := range channels {
+		entry, _ := p.Lookup(ch)
+		cl := TrueChannelLoad(loads, ch, entry)
+		dec := decideReplication(cfg, cl)
+
+		if dec.Strategy == plan.StrategySingle {
+			if entry.Strategy == plan.StrategySingle {
+				continue // nothing to do (replication stays off)
+			}
+			// Cancel replication: collapse onto the least-loaded current
+			// replica.
+			member := est.leastLoadedOf(entry.Servers)
+			newEntry := plan.Entry{Strategy: plan.StrategySingle, Servers: []plan.ServerID{member}}
+			est.moveChannel(ch, entry.Servers, newEntry.Servers, cl.BytesOut)
+			p.Set(ch, newEntry)
+			changed = append(changed, ch)
+			continue
+		}
+
+		n := dec.Replicas
+		if n > len(p.Servers) {
+			n = len(p.Servers)
+		}
+		if n < 2 {
+			continue // not enough servers to replicate at all
+		}
+		members := append([]plan.ServerID(nil), entry.Servers...)
+		if entry.Strategy != dec.Strategy {
+			// Scheme change: rebuild membership from scratch, keeping the
+			// current servers only as a starting point.
+			if len(members) > n {
+				members = members[:n]
+			}
+		}
+		switch {
+		case len(members) < n:
+			// Grow: add the least-loaded non-member servers (§III-B1:
+			// "selects the least-loaded servers first").
+			members = append(members, est.leastLoadedExcluding(members, n-len(members))...)
+		case len(members) > n:
+			// Shrink: free the busiest servers first.
+			members = est.dropBusiest(members, len(members)-n)
+		}
+		newEntry := plan.Entry{Strategy: dec.Strategy, Servers: members}
+		if entriesEquivalent(entry, newEntry) {
+			continue
+		}
+		est.moveChannel(ch, entry.Servers, members, cl.BytesOut)
+		p.Set(ch, newEntry)
+		changed = append(changed, ch)
+	}
+	return changed
+}
+
+func entriesEquivalent(a, b plan.Entry) bool {
+	if a.Strategy != b.Strategy || len(a.Servers) != len(b.Servers) {
+		return false
+	}
+	as := append([]plan.ServerID(nil), a.Servers...)
+	bs := append([]plan.ServerID(nil), b.Servers...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

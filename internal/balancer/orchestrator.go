@@ -1,0 +1,268 @@
+package balancer
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/lla"
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// PlanGenerator is the planning strategy: the Dynamoth Planner or the
+// consistent-hashing baseline CHPlanner.
+type PlanGenerator interface {
+	GeneratePlan(current *plan.Plan, loads []ServerLoad) Decision
+}
+
+var (
+	_ PlanGenerator = (*Planner)(nil)
+	_ PlanGenerator = (*CHPlanner)(nil)
+)
+
+// CloudProvider is what the orchestrator needs from the cloud: booting a new
+// pub/sub node (blocking until ready) and releasing one.
+type CloudProvider interface {
+	Spawn(ctx context.Context) (plan.ServerID, error)
+	Release(id plan.ServerID) error
+}
+
+// OrchestratorOptions wires a live load-balancer loop.
+type OrchestratorOptions struct {
+	// Planner decides plans (Dynamoth or CH baseline).
+	Planner PlanGenerator
+	// Config supplies T_wait and window parameters.
+	Config Config
+	// Initial is the bootstrap plan ("plan 0").
+	Initial *plan.Plan
+	// Reports delivers LLA aggregate updates.
+	Reports <-chan *lla.Report
+	// PublishPlan distributes a new plan to all dispatchers (and clients,
+	// lazily). Called from the orchestrator goroutine.
+	PublishPlan func(*plan.Plan)
+	// Cloud provisions and releases servers. May be nil (fixed pool).
+	Cloud CloudProvider
+	// OnServerReady is called after a spawned server booted and joined the
+	// plan — the cluster uses it to start the node's broker/LLA/dispatcher
+	// before traffic arrives. May be nil.
+	OnServerReady func(plan.ServerID)
+	// ReleaseGrace delays the despawn of a released server so in-flight
+	// forwarding can finish (default = 2×DrainTimeout analog, 20 s).
+	ReleaseGrace time.Duration
+	// Clock provides time (default real).
+	Clock clock.Clock
+	// DefaultMaxBps is assumed for servers that have not reported yet.
+	DefaultMaxBps float64
+}
+
+// Orchestrator runs the live load-balancer loop: it folds LLA reports into
+// the metric state, invokes the planner at most once per T_wait, publishes
+// resulting plans, and drives the cloud provider for spawns and releases.
+type Orchestrator struct {
+	opts  OrchestratorOptions
+	state *State
+
+	mu           sync.Mutex
+	current      *plan.Plan
+	lastPlanTime time.Time
+	spawning     bool
+	rebalances   int
+
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewOrchestrator creates a live balancer loop. Call Run (usually in a
+// goroutine) and Stop.
+func NewOrchestrator(opts OrchestratorOptions) *Orchestrator {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	if opts.ReleaseGrace <= 0 {
+		opts.ReleaseGrace = 20 * time.Second
+	}
+	if opts.DefaultMaxBps <= 0 {
+		opts.DefaultMaxBps = 1.25e6
+	}
+	return &Orchestrator{
+		opts:  opts,
+		state: NewState(opts.Config.Window),
+		// Publishing plan 0 is unnecessary: every component boots with it.
+		current: opts.Initial,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Plan returns the current plan.
+func (o *Orchestrator) Plan() *plan.Plan {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.current
+}
+
+// Rebalances returns how many plan changes were published (the paper's
+// diamond marks).
+func (o *Orchestrator) Rebalances() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rebalances
+}
+
+// Run processes reports and ticks until Stop. It blocks; start it in a
+// goroutine.
+func (o *Orchestrator) Run() {
+	defer close(o.done)
+	ticker := o.opts.Clock.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case r, ok := <-o.opts.Reports:
+			if !ok {
+				return
+			}
+			if r != nil {
+				o.state.AddReport(r)
+			}
+		case <-ticker.C():
+			o.maybeRebalance()
+		case <-o.stop:
+			return
+		}
+	}
+}
+
+// Stop terminates Run and waits for in-flight spawn/release goroutines.
+func (o *Orchestrator) Stop() {
+	select {
+	case <-o.stop:
+	default:
+		close(o.stop)
+	}
+	<-o.done
+	o.wg.Wait()
+}
+
+func (o *Orchestrator) maybeRebalance() {
+	now := o.opts.Clock.Now()
+	o.mu.Lock()
+	if !o.lastPlanTime.IsZero() && now.Sub(o.lastPlanTime) < o.opts.Config.TWait {
+		o.mu.Unlock()
+		return
+	}
+	current := o.current
+	o.mu.Unlock()
+
+	loads := o.loadsFor(current)
+	decision := o.opts.Planner.GeneratePlan(current, loads)
+	if !decision.Changed() {
+		return
+	}
+
+	o.mu.Lock()
+	o.lastPlanTime = now
+	o.rebalances++
+	if decision.Plan != nil {
+		o.current = decision.Plan
+	}
+	alreadySpawning := o.spawning
+	if decision.Spawn > 0 && !alreadySpawning {
+		o.spawning = true
+	}
+	o.mu.Unlock()
+
+	if decision.Plan != nil && o.opts.PublishPlan != nil {
+		o.opts.PublishPlan(decision.Plan)
+	}
+	if decision.Spawn > 0 && !alreadySpawning && o.opts.Cloud != nil {
+		o.wg.Add(1)
+		go o.spawnOne()
+	}
+	if decision.Release != "" {
+		o.state.Forget(decision.Release)
+		if o.opts.Cloud != nil {
+			o.wg.Add(1)
+			go o.releaseAfterGrace(decision.Release)
+		}
+	}
+}
+
+// loadsFor snapshots the metric state, synthesizing idle entries for plan
+// servers that have not reported yet (fresh boots).
+func (o *Orchestrator) loadsFor(current *plan.Plan) []ServerLoad {
+	loads := o.state.Snapshot()
+	have := make(map[string]struct{}, len(loads))
+	for _, l := range loads {
+		have[l.Server] = struct{}{}
+	}
+	for _, s := range current.Servers {
+		if _, ok := have[s]; !ok {
+			loads = append(loads, ServerLoad{
+				Server:   s,
+				MaxBps:   o.opts.DefaultMaxBps,
+				Channels: map[string]ChannelLoad{},
+			})
+		}
+	}
+	// Drop reports from servers no longer in the plan.
+	kept := loads[:0]
+	for _, l := range loads {
+		if current.HasServer(l.Server) {
+			kept = append(kept, l)
+		}
+	}
+	return kept
+}
+
+func (o *Orchestrator) spawnOne() {
+	defer o.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-o.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	id, err := o.opts.Cloud.Spawn(ctx)
+
+	o.mu.Lock()
+	o.spawning = false
+	if err != nil {
+		o.mu.Unlock()
+		return
+	}
+	next := o.current.Clone()
+	next.Version = o.current.Version + 1
+	// New servers join the fallback ring: clients hash unmapped channels
+	// over the active server set (§II-C), learning the membership lazily
+	// from switch/redirect notifications.
+	next.AddRingServer(id)
+	o.current = next
+	o.rebalances++
+	o.lastPlanTime = o.opts.Clock.Now()
+	o.mu.Unlock()
+
+	if o.opts.OnServerReady != nil {
+		o.opts.OnServerReady(id)
+	}
+	if o.opts.PublishPlan != nil {
+		o.opts.PublishPlan(next)
+	}
+}
+
+func (o *Orchestrator) releaseAfterGrace(id plan.ServerID) {
+	defer o.wg.Done()
+	timer := o.opts.Clock.NewTimer(o.opts.ReleaseGrace)
+	select {
+	case <-timer.C():
+	case <-o.stop:
+		timer.Stop()
+		// Shutting down: release immediately.
+	}
+	_ = o.opts.Cloud.Release(id) // unknown instance on shutdown is fine
+}

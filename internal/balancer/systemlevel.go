@@ -1,0 +1,186 @@
+package balancer
+
+import (
+	"sort"
+
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// highLoadRebalance implements Algorithm 2 (§III-B3): while some server's
+// estimated load ratio is above LR_high, take the most loaded server and
+// migrate its busiest channels to the least loaded server until the source
+// drops below LR_safe. If the least loaded server cannot absorb a channel
+// without itself going above LR_maxAccept, the system is out of capacity and
+// the function reports how many extra servers it wants rented.
+//
+// Channels with replication enabled are left to the channel-level pass; only
+// single-server channels migrate here (a replicated channel's load is
+// already spread, and moving one replica is the estimator's moveChannel
+// job in applyChannelLevel).
+func highLoadRebalance(cfg Config, p *plan.Plan, est *estimator, skip func(string) bool) (migrations int, spawnWanted bool) {
+	isMovable := func(ch string) bool {
+		if skip != nil && skip(ch) {
+			return false
+		}
+		e, _ := p.Lookup(ch)
+		return e.Strategy == plan.StrategySingle && len(e.Servers) == 1
+	}
+
+	// Bound the total work: no more migrations than channels exist.
+	maxMigrations := 0
+	for _, s := range est.servers {
+		maxMigrations += len(est.perChan[s])
+	}
+
+	for iter := 0; iter < len(est.servers)+1; iter++ {
+		hMax, lrMax := est.maxRatio()
+		if hMax == "" || lrMax < cfg.LRHigh {
+			return migrations, spawnWanted
+		}
+		for est.ratio(hMax) >= cfg.LRSafe && migrations < maxMigrations {
+			hMin, _ := est.minRatio(hMax)
+			if hMin == "" {
+				return migrations, true // single server and overloaded
+			}
+			ch, out, ok := est.busiestChannelOn(hMax, func(c string) bool { return !isMovable(c) })
+			if !ok {
+				// Nothing movable on the hottest server (all replicated or
+				// control); more capacity is the only way out.
+				spawnWanted = spawnWanted || est.ratio(hMax) >= cfg.LRHigh
+				break
+			}
+			// Would the receiver overload? (Algorithm 2's "recalculated as
+			// well" safeguard.)
+			if max := est.maxBps[hMin]; max > 0 && (est.estBps[hMin]+out)/max > cfg.LRMaxAccept {
+				spawnWanted = true
+				break
+			}
+			// The LLA metrics are authoritative about where the channel's
+			// traffic flows, so assign it outright rather than relying on
+			// the plan's (possibly fallback) idea of its previous home.
+			p.Set(ch, plan.Entry{Strategy: plan.StrategySingle, Servers: []plan.ServerID{hMin}})
+			est.migrate(ch, hMax, hMin)
+			migrations++
+		}
+		// If the hottest server is still above LR_high and we already
+		// decided to ask for capacity, stop churning.
+		if spawnWanted {
+			return migrations, true
+		}
+	}
+	return migrations, spawnWanted
+}
+
+// lowLoadRebalance implements the server-release pass (§III-B4): when the
+// global average load ratio is below LR_lowAvg, drain the least loaded
+// releasable server by migrating its channels to the others (as long as
+// nobody exceeds LR_maxAccept) and, if fully drained, mark it for release.
+//
+// isControl marks node-local control channels (they need no migration and
+// vanish with the node); movable reports whether a real channel may be
+// migrated right now (false during its post-migration cooldown — a victim
+// hosting such a channel cannot be drained this round). pinned servers
+// (e.g. the control-plane home) are never drained.
+func lowLoadRebalance(cfg Config, p *plan.Plan, est *estimator, isControl func(string) bool, movable func(string) bool, pinned func(string) bool) (released string, migrations int) {
+	if len(est.servers) <= cfg.MinServers {
+		return "", 0
+	}
+	if est.avgRatio() >= cfg.LRLowAvg {
+		return "", 0
+	}
+
+	// Pick the least-loaded non-pinned victim.
+	victim := ""
+	victimR := -1.0
+	for _, s := range est.servers {
+		if pinned != nil && pinned(s) {
+			continue
+		}
+		if r := est.ratio(s); victimR < 0 || r < victimR {
+			victim, victimR = s, r
+		}
+	}
+	if victim == "" {
+		return "", 0
+	}
+
+	// Channels currently attributed to the victim. Both single channels
+	// (migrate) and replica memberships (replace member) must leave.
+	channels := make([]string, 0, len(est.perChan[victim]))
+	for ch := range est.perChan[victim] {
+		channels = append(channels, ch)
+	}
+	// Also channels mapped to the victim in the plan without measured
+	// traffic (idle channels still need a new home before release).
+	for ch, e := range p.Channels {
+		if isControl != nil && isControl(ch) {
+			continue
+		}
+		for _, s := range e.Servers {
+			if s == victim {
+				channels = appendUnique(channels, ch)
+			}
+		}
+	}
+	sort.Strings(channels) // deterministic drain order
+
+	for _, ch := range channels {
+		if isControl != nil && isControl(ch) {
+			// Control channels are node-local (every broker carries its
+			// own report/plan traffic); they need no migration and vanish
+			// with the node.
+			continue
+		}
+		if movable != nil && !movable(ch) {
+			// The channel cannot move this round (cooldown): the victim
+			// cannot be drained yet; try again on a later plan.
+			return "", migrations
+		}
+		out := est.channelOut(victim, ch)
+		e, _ := p.Lookup(ch)
+		// Candidate targets: anything but the victim and existing members.
+		exclude := append([]string{victim}, e.Servers...)
+		targets := est.leastLoadedExcluding(exclude, 1)
+		if len(targets) == 0 {
+			return "", migrations
+		}
+		target := targets[0]
+		if max := est.maxBps[target]; max > 0 && (est.estBps[target]+out)/max > cfg.LRMaxAccept {
+			// Draining further would overload others; abandon the release
+			// but keep the migrations done so far (they still help).
+			return "", migrations
+		}
+		if e.Strategy == plan.StrategySingle {
+			p.Set(ch, plan.Entry{Strategy: plan.StrategySingle, Servers: []plan.ServerID{target}})
+		} else if err := p.Migrate(ch, victim, target); err != nil {
+			// Replica membership disagreed (stale attribution): the
+			// channel no longer lives here.
+			delete(est.perChan[victim], ch)
+			continue
+		}
+		est.migrate(ch, victim, target)
+		migrations++
+	}
+
+	// Fully drained (ignoring node-local control traffic)? Release it.
+	remaining := 0
+	for ch := range est.perChan[victim] {
+		if isControl == nil || !isControl(ch) {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		p.RemoveServer(victim)
+		return victim, migrations
+	}
+	return "", migrations
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
+}

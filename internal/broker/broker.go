@@ -1,0 +1,576 @@
+// Package broker implements the standard channel-based pub/sub server that
+// Dynamoth deploys on every node — the role Redis played in the paper
+// (§II-A). It is deliberately "dumb": brokers are independent, never talk to
+// each other, and know nothing about plans, replication, or rebalancing.
+// All Dynamoth intelligence lives in the layers above (client library,
+// dispatcher, LLA, load balancer), exactly as the paper requires so that any
+// broker with the standard pub/sub interface could be substituted.
+//
+// Semantics mirror Redis pub/sub:
+//
+//   - PUBLISH is fire-and-forget fan-out to current subscribers; no
+//     persistence, no acknowledgement beyond the receiver count.
+//   - Each session has a bounded output buffer; a subscriber that cannot
+//     keep up is disconnected (client-output-buffer-limit behavior), which
+//     is the failure mode behind the paper's Fig. 4b.
+//   - An observer hook sees every publication and (un)subscription — the
+//     mechanism the LLA uses to gather per-channel metrics without
+//     modifying the broker (§III-A).
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink receives deliveries for one session. Implementations must be fast;
+// Deliver is called from the session's dedicated writer goroutine.
+type Sink interface {
+	// Deliver hands the session one publication.
+	Deliver(channel string, payload []byte)
+	// Closed tells the sink its session is gone (overflow, Close, or
+	// broker shutdown); no more Deliver calls will follow.
+	Closed(reason error)
+}
+
+// PatternSink is optionally implemented by sinks that want pattern
+// subscription deliveries attributed to the matching pattern (the Redis
+// "pmessage" frame). Sinks without it receive pattern matches through
+// Deliver like ordinary messages.
+type PatternSink interface {
+	// DeliverPattern hands the session a publication that matched one of
+	// its pattern subscriptions.
+	DeliverPattern(pattern, channel string, payload []byte)
+}
+
+// Observer sees broker events. Used by the local load analyzer. Callbacks
+// run synchronously on the publishing/subscribing goroutine and must be
+// cheap and non-blocking.
+type Observer interface {
+	// OnPublish fires for every publication with its receiver count and
+	// payload size in bytes.
+	OnPublish(channel string, payload []byte, receivers int)
+	// OnSubscribe fires when a session subscribes to a channel;
+	// subscribers is the channel's subscriber count afterwards.
+	OnSubscribe(channel, session string, subscribers int)
+	// OnUnsubscribe fires when a session leaves a channel (including on
+	// disconnect).
+	OnUnsubscribe(channel, session string, subscribers int)
+}
+
+// Session close reasons.
+var (
+	ErrSlowConsumer  = errors.New("broker: output buffer overflow")
+	ErrBrokerClosed  = errors.New("broker: broker shut down")
+	ErrSessionClosed = errors.New("broker: session closed")
+)
+
+// DefaultOutputBuffer is the per-session output queue limit (messages),
+// calibrated per DESIGN.md §4 so one connection saturates where the paper's
+// Redis did.
+const DefaultOutputBuffer = 2000
+
+// Options configures a Broker.
+type Options struct {
+	// Name identifies the broker in logs and stats (e.g. "pub1").
+	Name string
+	// OutputBuffer is the per-session outbound queue limit in messages;
+	// non-positive selects DefaultOutputBuffer.
+	OutputBuffer int
+}
+
+// Broker is a single independent pub/sub server.
+type Broker struct {
+	name      string
+	outBuffer int
+
+	mu        sync.RWMutex
+	channels  map[string]map[*Session]struct{}
+	patterns  map[string]map[*Session]struct{}
+	sessions  map[*Session]struct{}
+	observers []Observer
+	closed    bool
+
+	published atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// New creates a broker.
+func New(opts Options) *Broker {
+	if opts.OutputBuffer <= 0 {
+		opts.OutputBuffer = DefaultOutputBuffer
+	}
+	if opts.Name == "" {
+		opts.Name = "broker"
+	}
+	return &Broker{
+		name:      opts.Name,
+		outBuffer: opts.OutputBuffer,
+		channels:  make(map[string]map[*Session]struct{}),
+		patterns:  make(map[string]map[*Session]struct{}),
+		sessions:  make(map[*Session]struct{}),
+	}
+}
+
+// Name returns the broker's name.
+func (b *Broker) Name() string { return b.name }
+
+// AddObserver registers an observer (the LLA and the dispatcher each use
+// one). Observers cannot be removed; they live as long as the broker.
+func (b *Broker) AddObserver(o Observer) {
+	if o == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observers = append(b.observers, o)
+}
+
+// Connect opens an in-process session delivering into sink. name labels the
+// session for the observer.
+func (b *Broker) Connect(name string, sink Sink) (*Session, error) {
+	if sink == nil {
+		return nil, errors.New("broker: nil sink")
+	}
+	s := &Session{
+		broker: b,
+		name:   name,
+		sink:   sink,
+		out:    make(chan delivery, b.outBuffer),
+		done:   make(chan struct{}),
+		subs:   make(map[string]struct{}),
+		psubs:  make(map[string]struct{}),
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrBrokerClosed
+	}
+	b.sessions[s] = struct{}{}
+	b.mu.Unlock()
+	go s.writer()
+	return s, nil
+}
+
+// Publish fans payload out to every subscriber of channel and returns the
+// number of sessions it was queued for (the Redis PUBLISH reply). Sessions
+// whose output buffer is full are disconnected, not blocked on.
+func (b *Broker) Publish(channel string, payload []byte) int {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0
+	}
+	subs := b.channels[channel]
+	receivers := make([]delivery, 0, len(subs))
+	targets := make([]*Session, 0, len(subs))
+	for s := range subs {
+		receivers = append(receivers, delivery{channel: channel, payload: payload})
+		targets = append(targets, s)
+	}
+	for pattern, set := range b.patterns {
+		if !globMatch(pattern, channel) {
+			continue
+		}
+		for s := range set {
+			receivers = append(receivers, delivery{channel: channel, payload: payload, pattern: pattern})
+			targets = append(targets, s)
+		}
+	}
+	observers := b.observers
+	b.mu.RUnlock()
+
+	delivered := 0
+	var overflowed []*Session
+	for i, s := range targets {
+		select {
+		case s.out <- receivers[i]:
+			delivered++
+		case <-s.done:
+			// Session is gone; skip.
+		default:
+			// Output buffer full: slow consumer, disconnect it.
+			overflowed = append(overflowed, s)
+		}
+	}
+	for _, s := range overflowed {
+		b.dropped.Add(1)
+		s.close(ErrSlowConsumer)
+	}
+
+	b.published.Add(1)
+	b.delivered.Add(uint64(delivered))
+	for _, o := range observers {
+		o.OnPublish(channel, payload, delivered)
+	}
+	return delivered
+}
+
+// Subscribers returns the current subscriber count of a channel.
+func (b *Broker) Subscribers(channel string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.channels[channel])
+}
+
+// Channels returns the names of channels with at least one subscriber.
+func (b *Broker) Channels() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.channels))
+	for ch := range b.channels {
+		out = append(out, ch)
+	}
+	return out
+}
+
+// Stats reports broker counters.
+type Stats struct {
+	Sessions  int
+	Channels  int
+	Published uint64 // publications accepted
+	Delivered uint64 // per-subscriber deliveries queued
+	Dropped   uint64 // sessions killed for slow consumption
+}
+
+// Stats returns a snapshot of broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.RLock()
+	sessions := len(b.sessions)
+	channels := len(b.channels)
+	b.mu.RUnlock()
+	return Stats{
+		Sessions:  sessions,
+		Channels:  channels,
+		Published: b.published.Load(),
+		Delivered: b.delivered.Load(),
+		Dropped:   b.dropped.Load(),
+	}
+}
+
+// Close shuts the broker down, closing every session.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	sessions := make([]*Session, 0, len(b.sessions))
+	for s := range b.sessions {
+		sessions = append(sessions, s)
+	}
+	b.mu.Unlock()
+	for _, s := range sessions {
+		s.close(ErrBrokerClosed)
+	}
+}
+
+// removeSession detaches a session from all state. Called exactly once per
+// session from Session.close.
+func (b *Broker) removeSession(s *Session, subs, psubs []string) {
+	b.mu.Lock()
+	delete(b.sessions, s)
+	for _, p := range psubs {
+		if set := b.patterns[p]; set != nil {
+			delete(set, s)
+			if len(set) == 0 {
+				delete(b.patterns, p)
+			}
+		}
+	}
+	type unsub struct {
+		channel string
+		count   int
+	}
+	events := make([]unsub, 0, len(subs))
+	for _, ch := range subs {
+		set := b.channels[ch]
+		if set == nil {
+			continue
+		}
+		delete(set, s)
+		if len(set) == 0 {
+			delete(b.channels, ch)
+		}
+		events = append(events, unsub{ch, len(set)})
+	}
+	observers := b.observers
+	b.mu.Unlock()
+	for _, o := range observers {
+		for _, e := range events {
+			o.OnUnsubscribe(e.channel, s.name, e.count)
+		}
+	}
+}
+
+// delivery is one queued outbound message. pattern is non-empty for
+// pattern-subscription matches.
+type delivery struct {
+	channel string
+	payload []byte
+	pattern string
+}
+
+// Session is one client connection to a broker.
+type Session struct {
+	broker *Broker
+	name   string
+	sink   Sink
+	out    chan delivery
+
+	mu    sync.Mutex
+	subs  map[string]struct{}
+	psubs map[string]struct{}
+
+	closeOnce sync.Once
+	done      chan struct{}
+	reason    error // set before done is closed; read only by the writer
+}
+
+// Name returns the session label.
+func (s *Session) Name() string { return s.name }
+
+// Broker returns the broker this session is connected to.
+func (s *Session) Broker() *Broker { return s.broker }
+
+// Subscribe adds the session to the given channels and returns the session's
+// total subscription count (the Redis reply convention).
+func (s *Session) Subscribe(channels ...string) (int, error) {
+	select {
+	case <-s.done:
+		return 0, ErrSessionClosed
+	default:
+	}
+	b := s.broker
+	for _, ch := range channels {
+		s.mu.Lock()
+		_, already := s.subs[ch]
+		if !already {
+			s.subs[ch] = struct{}{}
+		}
+		s.mu.Unlock()
+		if already {
+			continue
+		}
+		b.mu.Lock()
+		set := b.channels[ch]
+		if set == nil {
+			set = make(map[*Session]struct{})
+			b.channels[ch] = set
+		}
+		set[s] = struct{}{}
+		count := len(set)
+		observers := b.observers
+		b.mu.Unlock()
+		for _, o := range observers {
+			o.OnSubscribe(ch, s.name, count)
+		}
+	}
+	return s.subscriptionCount(), nil
+}
+
+// Unsubscribe removes the session from the given channels (all current
+// subscriptions if none given) and returns the remaining subscription count.
+func (s *Session) Unsubscribe(channels ...string) (int, error) {
+	select {
+	case <-s.done:
+		return 0, ErrSessionClosed
+	default:
+	}
+	if len(channels) == 0 {
+		s.mu.Lock()
+		channels = make([]string, 0, len(s.subs))
+		for ch := range s.subs {
+			channels = append(channels, ch)
+		}
+		s.mu.Unlock()
+	}
+	b := s.broker
+	for _, ch := range channels {
+		s.mu.Lock()
+		_, had := s.subs[ch]
+		delete(s.subs, ch)
+		s.mu.Unlock()
+		if !had {
+			continue
+		}
+		b.mu.Lock()
+		set := b.channels[ch]
+		var count int
+		if set != nil {
+			delete(set, s)
+			count = len(set)
+			if count == 0 {
+				delete(b.channels, ch)
+			}
+		}
+		observers := b.observers
+		b.mu.Unlock()
+		for _, o := range observers {
+			o.OnUnsubscribe(ch, s.name, count)
+		}
+	}
+	return s.subscriptionCount(), nil
+}
+
+// PSubscribe adds pattern subscriptions (Redis PSUBSCRIBE). It returns the
+// session's total subscription count (channels + patterns), Redis-style.
+func (s *Session) PSubscribe(patterns ...string) (int, error) {
+	select {
+	case <-s.done:
+		return 0, ErrSessionClosed
+	default:
+	}
+	b := s.broker
+	for _, p := range patterns {
+		s.mu.Lock()
+		_, already := s.psubs[p]
+		if !already {
+			s.psubs[p] = struct{}{}
+		}
+		s.mu.Unlock()
+		if already {
+			continue
+		}
+		b.mu.Lock()
+		set := b.patterns[p]
+		if set == nil {
+			set = make(map[*Session]struct{})
+			b.patterns[p] = set
+		}
+		set[s] = struct{}{}
+		b.mu.Unlock()
+	}
+	return s.subscriptionCount(), nil
+}
+
+// PUnsubscribe removes pattern subscriptions (all current patterns if none
+// given) and returns the remaining total subscription count.
+func (s *Session) PUnsubscribe(patterns ...string) (int, error) {
+	select {
+	case <-s.done:
+		return 0, ErrSessionClosed
+	default:
+	}
+	if len(patterns) == 0 {
+		s.mu.Lock()
+		patterns = make([]string, 0, len(s.psubs))
+		for p := range s.psubs {
+			patterns = append(patterns, p)
+		}
+		s.mu.Unlock()
+	}
+	b := s.broker
+	for _, p := range patterns {
+		s.mu.Lock()
+		_, had := s.psubs[p]
+		delete(s.psubs, p)
+		s.mu.Unlock()
+		if !had {
+			continue
+		}
+		b.mu.Lock()
+		if set := b.patterns[p]; set != nil {
+			delete(set, s)
+			if len(set) == 0 {
+				delete(b.patterns, p)
+			}
+		}
+		b.mu.Unlock()
+	}
+	return s.subscriptionCount(), nil
+}
+
+// PatternSubscriptions returns the session's pattern subscriptions.
+func (s *Session) PatternSubscriptions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.psubs))
+	for p := range s.psubs {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (s *Session) subscriptionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs) + len(s.psubs)
+}
+
+// Subscriptions returns the channels this session is subscribed to.
+func (s *Session) Subscriptions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.subs))
+	for ch := range s.subs {
+		out = append(out, ch)
+	}
+	return out
+}
+
+// Close terminates the session gracefully.
+func (s *Session) Close() { s.close(ErrSessionClosed) }
+
+func (s *Session) close(reason error) {
+	first := false
+	s.closeOnce.Do(func() {
+		first = true
+		s.reason = reason
+		close(s.done)
+		s.mu.Lock()
+		subs := make([]string, 0, len(s.subs))
+		for ch := range s.subs {
+			subs = append(subs, ch)
+		}
+		s.subs = make(map[string]struct{})
+		psubs := make([]string, 0, len(s.psubs))
+		for p := range s.psubs {
+			psubs = append(psubs, p)
+		}
+		s.psubs = make(map[string]struct{})
+		s.mu.Unlock()
+		s.broker.removeSession(s, subs, psubs)
+	})
+	if first {
+		// Notify the sink from the closing goroutine: the writer may be
+		// blocked inside Deliver (that is exactly the slow-consumer case)
+		// and Closed implementations unblock it (e.g. by closing the TCP
+		// connection). Runs outside the Once so a sink that re-enters
+		// Close (clients tearing down their side) cannot deadlock.
+		// Sinks must make Closed non-blocking.
+		s.sink.Closed(reason)
+	}
+}
+
+// writer drains the output queue into the sink — the per-connection sender.
+// Like a Redis disconnect, close drops anything still queued.
+func (s *Session) writer() {
+	for {
+		select {
+		case d := <-s.out:
+			s.dispatch(d)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *Session) dispatch(d delivery) {
+	if d.pattern != "" {
+		if ps, ok := s.sink.(PatternSink); ok {
+			ps.DeliverPattern(d.pattern, d.channel, d.payload)
+			return
+		}
+	}
+	s.sink.Deliver(d.channel, d.payload)
+}
+
+// String describes the session.
+func (s *Session) String() string {
+	return fmt.Sprintf("session{%s on %s}", s.name, s.broker.name)
+}

@@ -1,0 +1,426 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chanSink collects deliveries on a channel for assertions.
+type chanSink struct {
+	msgs   chan [2]string
+	closed chan error
+}
+
+func newChanSink(buf int) *chanSink {
+	return &chanSink{msgs: make(chan [2]string, buf), closed: make(chan error, 1)}
+}
+
+func (s *chanSink) Deliver(channel string, payload []byte) {
+	s.msgs <- [2]string{channel, string(payload)}
+}
+
+func (s *chanSink) Closed(reason error) { s.closed <- reason }
+
+func (s *chanSink) next(t *testing.T) [2]string {
+	t.Helper()
+	select {
+	case m := <-s.msgs:
+		return m
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+		return [2]string{}
+	}
+}
+
+func (s *chanSink) expectNone(t *testing.T, d time.Duration) {
+	t.Helper()
+	select {
+	case m := <-s.msgs:
+		t.Fatalf("unexpected delivery %v", m)
+	case <-time.After(d):
+	}
+}
+
+// blockedSink never consumes, to trigger overflow.
+type blockedSink struct {
+	release chan struct{}
+	closed  chan error
+}
+
+func newBlockedSink() *blockedSink {
+	return &blockedSink{release: make(chan struct{}), closed: make(chan error, 1)}
+}
+
+func (s *blockedSink) Deliver(string, []byte) { <-s.release }
+func (s *blockedSink) Closed(reason error)    { s.closed <- reason }
+
+func TestPublishSubscribeBasics(t *testing.T) {
+	b := New(Options{Name: "pub1"})
+	defer b.Close()
+
+	sink := newChanSink(16)
+	s, err := b.Connect("c1", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Subscribe("alpha"); err != nil || n != 1 {
+		t.Fatalf("Subscribe=%d,%v", n, err)
+	}
+	if got := b.Publish("alpha", []byte("m1")); got != 1 {
+		t.Fatalf("Publish receivers=%d", got)
+	}
+	if m := sink.next(t); m[0] != "alpha" || m[1] != "m1" {
+		t.Fatalf("delivery=%v", m)
+	}
+	// Unsubscribed channels deliver nothing.
+	if got := b.Publish("beta", []byte("m2")); got != 0 {
+		t.Fatalf("Publish to empty channel receivers=%d", got)
+	}
+	sink.expectNone(t, 50*time.Millisecond)
+}
+
+func TestFanOutIsolationBetweenChannels(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	sinks := make([]*chanSink, 3)
+	for i := range sinks {
+		sinks[i] = newChanSink(16)
+		s, err := b.Connect(fmt.Sprintf("c%d", i), sinks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Subscribe(fmt.Sprintf("ch%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Publish("ch1", []byte("only-1")); got != 1 {
+		t.Fatalf("receivers=%d", got)
+	}
+	if m := sinks[1].next(t); m[1] != "only-1" {
+		t.Fatalf("delivery=%v", m)
+	}
+	sinks[0].expectNone(t, 30*time.Millisecond)
+	sinks[2].expectNone(t, 30*time.Millisecond)
+}
+
+func TestAllSubscribersReceiveEachPublication(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	const n = 20
+	sinks := make([]*chanSink, n)
+	for i := range sinks {
+		sinks[i] = newChanSink(64)
+		s, err := b.Connect(fmt.Sprintf("c%d", i), sinks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Subscribe("shared"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const msgs = 10
+	for i := 0; i < msgs; i++ {
+		if got := b.Publish("shared", []byte(fmt.Sprintf("m%d", i))); got != n {
+			t.Fatalf("publication %d reached %d of %d", i, got, n)
+		}
+	}
+	for i, sink := range sinks {
+		for j := 0; j < msgs; j++ {
+			m := sink.next(t)
+			if want := fmt.Sprintf("m%d", j); m[1] != want {
+				t.Fatalf("subscriber %d message %d = %q want %q (order broken)", i, j, m[1], want)
+			}
+		}
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	sink := newChanSink(16)
+	s, _ := b.Connect("c", sink)
+	s.Subscribe("x", "y")
+	if n, err := s.Unsubscribe("x"); err != nil || n != 1 {
+		t.Fatalf("Unsubscribe=%d,%v", n, err)
+	}
+	b.Publish("x", []byte("gone"))
+	b.Publish("y", []byte("still"))
+	if m := sink.next(t); m[0] != "y" {
+		t.Fatalf("delivery=%v", m)
+	}
+	// Unsubscribe with no args drops everything.
+	if n, _ := s.Unsubscribe(); n != 0 {
+		t.Fatalf("Unsubscribe()=%d", n)
+	}
+	if got := b.Subscribers("y"); got != 0 {
+		t.Fatalf("Subscribers(y)=%d", got)
+	}
+}
+
+func TestDuplicateSubscribeIdempotent(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	sink := newChanSink(16)
+	s, _ := b.Connect("c", sink)
+	s.Subscribe("ch")
+	if n, _ := s.Subscribe("ch"); n != 1 {
+		t.Fatalf("double subscribe count=%d", n)
+	}
+	if got := b.Subscribers("ch"); got != 1 {
+		t.Fatalf("Subscribers=%d", got)
+	}
+	b.Publish("ch", []byte("once"))
+	sink.next(t)
+	sink.expectNone(t, 30*time.Millisecond)
+}
+
+func TestSlowConsumerDisconnected(t *testing.T) {
+	b := New(Options{OutputBuffer: 8})
+	defer b.Close()
+	blocked := newBlockedSink()
+	defer close(blocked.release)
+	s, _ := b.Connect("slow", blocked)
+	s.Subscribe("hot")
+
+	healthy := newChanSink(1024)
+	hs, _ := b.Connect("fast", healthy)
+	hs.Subscribe("hot")
+
+	// Overwhelm the blocked consumer: its buffer (8) plus at most one
+	// message in its writer's hands fill up, and the next publish kills it.
+	// Pace the publishes so the healthy consumer's writer keeps draining.
+	for i := 0; i < 20; i++ {
+		b.Publish("hot", []byte("x"))
+		time.Sleep(200 * time.Microsecond)
+	}
+	select {
+	case reason := <-blocked.closed:
+		if !errors.Is(reason, ErrSlowConsumer) {
+			t.Fatalf("close reason=%v", reason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("slow consumer never disconnected")
+	}
+	// The healthy subscriber is unaffected and the channel still works.
+	if got := b.Publish("hot", []byte("after")); got != 1 {
+		t.Fatalf("receivers after disconnect=%d", got)
+	}
+	if st := b.Stats(); st.Dropped == 0 {
+		t.Fatal("Dropped counter not incremented")
+	}
+}
+
+func TestSessionCloseCleansUp(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	sink := newChanSink(4)
+	s, _ := b.Connect("c", sink)
+	s.Subscribe("a", "b")
+	s.Close()
+	select {
+	case reason := <-sink.closed:
+		if !errors.Is(reason, ErrSessionClosed) {
+			t.Fatalf("reason=%v", reason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Closed never called")
+	}
+	if got := b.Subscribers("a") + b.Subscribers("b"); got != 0 {
+		t.Fatalf("stale subscriptions after close: %d", got)
+	}
+	if _, err := s.Subscribe("a"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Subscribe after close err=%v", err)
+	}
+	if _, err := s.Unsubscribe("a"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Unsubscribe after close err=%v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestBrokerCloseClosesSessions(t *testing.T) {
+	b := New(Options{})
+	sink := newChanSink(4)
+	if _, err := b.Connect("c", sink); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	select {
+	case reason := <-sink.closed:
+		if !errors.Is(reason, ErrBrokerClosed) {
+			t.Fatalf("reason=%v", reason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("session not closed on broker shutdown")
+	}
+	if _, err := b.Connect("late", newChanSink(1)); !errors.Is(err, ErrBrokerClosed) {
+		t.Fatalf("Connect after close err=%v", err)
+	}
+	if got := b.Publish("x", nil); got != 0 {
+		t.Fatalf("Publish after close=%d", got)
+	}
+	b.Close() // idempotent
+}
+
+func TestObserverSeesEverything(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	obs := &recordingObserver{}
+	b.AddObserver(obs)
+
+	sink := newChanSink(16)
+	s, _ := b.Connect("c1", sink)
+	s.Subscribe("ch")
+	b.Publish("ch", []byte("payload"))
+	sink.next(t)
+	s.Unsubscribe("ch")
+
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.subs) != 1 || obs.subs[0] != "ch/c1/1" {
+		t.Fatalf("subs=%v", obs.subs)
+	}
+	if len(obs.pubs) != 1 || obs.pubs[0] != "ch/7/1" {
+		t.Fatalf("pubs=%v", obs.pubs)
+	}
+	if len(obs.unsubs) != 1 || obs.unsubs[0] != "ch/c1/0" {
+		t.Fatalf("unsubs=%v", obs.unsubs)
+	}
+}
+
+func TestObserverSeesDisconnectUnsubscribes(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	obs := &recordingObserver{}
+	b.AddObserver(obs)
+	sink := newChanSink(4)
+	s, _ := b.Connect("c1", sink)
+	s.Subscribe("a", "b")
+	s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		obs.mu.Lock()
+		n := len(obs.unsubs)
+		obs.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("observer saw %d unsubscribes, want 2", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type recordingObserver struct {
+	mu     sync.Mutex
+	pubs   []string
+	subs   []string
+	unsubs []string
+}
+
+func (o *recordingObserver) OnPublish(ch string, payload []byte, receivers int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pubs = append(o.pubs, fmt.Sprintf("%s/%d/%d", ch, len(payload), receivers))
+}
+
+func (o *recordingObserver) OnSubscribe(ch, session string, n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.subs = append(o.subs, fmt.Sprintf("%s/%s/%d", ch, session, n))
+}
+
+func (o *recordingObserver) OnUnsubscribe(ch, session string, n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.unsubs = append(o.unsubs, fmt.Sprintf("%s/%s/%d", ch, session, n))
+}
+
+func TestChannelsListing(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	s1, _ := b.Connect("c1", newChanSink(4))
+	s1.Subscribe("a", "b")
+	got := b.Channels()
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Channels=%v", got)
+	}
+	s1.Unsubscribe("a", "b")
+	if got := b.Channels(); len(got) != 0 {
+		t.Fatalf("Channels after unsubscribe=%v", got)
+	}
+}
+
+func TestConnectNilSink(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	if _, err := b.Connect("c", nil); err == nil {
+		t.Fatal("Connect(nil) succeeded")
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New(Options{OutputBuffer: 10000})
+	defer b.Close()
+	const subscribers = 10
+	const msgs = 200
+
+	var received sync.WaitGroup
+	received.Add(subscribers * msgs)
+	for i := 0; i < subscribers; i++ {
+		sink := &countingSink{wg: &received}
+		s, err := b.Connect(fmt.Sprintf("c%d", i), sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Subscribe("load"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var pubs sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pubs.Add(1)
+		go func(p int) {
+			defer pubs.Done()
+			for i := 0; i < msgs/4; i++ {
+				b.Publish("load", []byte("x"))
+			}
+		}(p)
+	}
+	pubs.Wait()
+	done := make(chan struct{})
+	go func() {
+		received.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("not all messages delivered")
+	}
+	if st := b.Stats(); st.Published != msgs || st.Delivered != subscribers*msgs {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+type countingSink struct{ wg *sync.WaitGroup }
+
+func (s *countingSink) Deliver(string, []byte) { s.wg.Done() }
+func (s *countingSink) Closed(error)           {}
+
+func TestSessionString(t *testing.T) {
+	b := New(Options{Name: "pubX"})
+	defer b.Close()
+	s, _ := b.Connect("me", newChanSink(1))
+	if got := s.String(); got != "session{me on pubX}" {
+		t.Fatalf("String=%q", got)
+	}
+	if s.Name() != "me" || b.Name() != "pubX" {
+		t.Fatal("names wrong")
+	}
+}

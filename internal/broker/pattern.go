@@ -1,0 +1,104 @@
+package broker
+
+// globMatch implements Redis-style glob matching (the PSUBSCRIBE pattern
+// language): '*' matches any sequence, '?' any single byte, '[...]' a
+// character class (with leading '^' negation and 'a-z' ranges), and '\\'
+// escapes the next byte. Matching is byte-wise, like Redis stringmatchlen.
+func globMatch(pattern, s string) bool {
+	return globMatchAt(pattern, s)
+}
+
+func globMatchAt(p, s string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '*':
+			// Collapse consecutive stars.
+			for len(p) > 1 && p[1] == '*' {
+				p = p[1:]
+			}
+			if len(p) == 1 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if globMatchAt(p[1:], s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '?':
+			if len(s) == 0 {
+				return false
+			}
+			s = s[1:]
+			p = p[1:]
+		case '[':
+			if len(s) == 0 {
+				return false
+			}
+			rest, ok := matchClass(p, s[0])
+			if !ok {
+				return false
+			}
+			p = rest
+			s = s[1:]
+		case '\\':
+			if len(p) >= 2 {
+				p = p[1:]
+			}
+			fallthrough
+		default:
+			if len(s) == 0 || p[0] != s[0] {
+				return false
+			}
+			s = s[1:]
+			p = p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+// matchClass matches one byte against the class starting at p[0]=='[' and
+// returns the pattern remainder after the closing ']'. Like Redis, an
+// unterminated class treats the rest of the pattern as literal class
+// members.
+func matchClass(p string, b byte) (rest string, matched bool) {
+	i := 1
+	negate := false
+	if i < len(p) && p[i] == '^' {
+		negate = true
+		i++
+	}
+	found := false
+	for i < len(p) && p[i] != ']' {
+		if p[i] == '\\' && i+1 < len(p) {
+			i++
+			if p[i] == b {
+				found = true
+			}
+			i++
+			continue
+		}
+		if i+2 < len(p) && p[i+1] == '-' && p[i+2] != ']' {
+			lo, hi := p[i], p[i+2]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo <= b && b <= hi {
+				found = true
+			}
+			i += 3
+			continue
+		}
+		if p[i] == b {
+			found = true
+		}
+		i++
+	}
+	if i < len(p) {
+		i++ // consume ']'
+	}
+	if negate {
+		found = !found
+	}
+	return p[i:], found
+}

@@ -1,0 +1,253 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"github.com/dynamoth/dynamoth/internal/resp"
+)
+
+// Serve accepts connections on ln and serves the Redis pub/sub protocol
+// against b until the listener is closed or the broker shuts down. It
+// returns the listener's accept error (net.ErrClosed on clean shutdown).
+//
+// Supported commands: SUBSCRIBE, UNSUBSCRIBE, PSUBSCRIBE, PUNSUBSCRIBE,
+// PUBLISH, PING, ECHO, INFO, QUIT. Push messages use the standard
+// ["message", channel, payload] and ["pmessage", pattern, channel, payload]
+// frames, subscription confirmations ["subscribe"/"unsubscribe"/
+// "psubscribe"/"punsubscribe", name, count].
+func Serve(ln net.Listener, b *Broker) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("broker: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveConn(conn, b)
+		}()
+	}
+}
+
+// respSink bridges broker deliveries onto a RESP connection.
+type respSink struct {
+	mu   sync.Mutex
+	w    *resp.Writer
+	conn net.Conn
+}
+
+func (s *respSink) writeMessage(channel string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.WriteArrayHeader(3)        //nolint:errcheck // sticky error surfaces at Flush
+	s.w.WriteBulkString("message") //nolint:errcheck
+	s.w.WriteBulkString(channel)   //nolint:errcheck
+	if err := s.w.WriteBulk(payload); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+func (s *respSink) writeAck(kind, channel string, count int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.WriteArrayHeader(3)        //nolint:errcheck
+	s.w.WriteBulkString(kind)      //nolint:errcheck
+	s.w.WriteBulkString(channel)   //nolint:errcheck
+	s.w.WriteInteger(int64(count)) //nolint:errcheck
+	return s.w.Flush()
+}
+
+func (s *respSink) writeSimple(v string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.WriteSimpleString(v) //nolint:errcheck
+	return s.w.Flush()
+}
+
+func (s *respSink) writeErr(msg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.WriteError(msg) //nolint:errcheck
+	return s.w.Flush()
+}
+
+func (s *respSink) writeInt(n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.WriteInteger(n) //nolint:errcheck
+	return s.w.Flush()
+}
+
+func (s *respSink) writeBulk(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.WriteBulk(b) //nolint:errcheck
+	return s.w.Flush()
+}
+
+// Deliver implements Sink.
+func (s *respSink) Deliver(channel string, payload []byte) {
+	if err := s.writeMessage(channel, payload); err != nil {
+		s.conn.Close() //nolint:errcheck // teardown; reader notices
+	}
+}
+
+// DeliverPattern implements PatternSink with the Redis pmessage frame.
+func (s *respSink) DeliverPattern(pattern, channel string, payload []byte) {
+	s.mu.Lock()
+	s.w.WriteArrayHeader(4)         //nolint:errcheck // sticky error at Flush
+	s.w.WriteBulkString("pmessage") //nolint:errcheck
+	s.w.WriteBulkString(pattern)    //nolint:errcheck
+	s.w.WriteBulkString(channel)    //nolint:errcheck
+	s.w.WriteBulk(payload)          //nolint:errcheck
+	err := s.w.Flush()
+	s.mu.Unlock()
+	if err != nil {
+		s.conn.Close() //nolint:errcheck // teardown; reader notices
+	}
+}
+
+// Closed implements Sink.
+func (s *respSink) Closed(error) {
+	s.conn.Close() //nolint:errcheck // teardown
+}
+
+func serveConn(conn net.Conn, b *Broker) {
+	defer conn.Close() //nolint:errcheck // teardown
+	sink := &respSink{w: resp.NewWriter(conn), conn: conn}
+	session, err := b.Connect(conn.RemoteAddr().String(), sink)
+	if err != nil {
+		sink.writeErr("ERR broker unavailable") //nolint:errcheck
+		return
+	}
+	defer session.Close()
+
+	r := resp.NewReader(conn)
+	for {
+		args, err := r.ReadCommand()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				sink.writeErr("ERR protocol error") //nolint:errcheck
+			}
+			return
+		}
+		if done := dispatch(b, session, sink, args); done {
+			return
+		}
+	}
+}
+
+// dispatch executes one command; it reports whether the connection should
+// close.
+func dispatch(b *Broker, session *Session, sink *respSink, args [][]byte) bool {
+	cmd := strings.ToUpper(string(args[0]))
+	switch cmd {
+	case "SUBSCRIBE":
+		if len(args) < 2 {
+			sink.writeErr("ERR wrong number of arguments for 'subscribe'") //nolint:errcheck
+			return false
+		}
+		for _, ch := range args[1:] {
+			count, err := session.Subscribe(string(ch))
+			if err != nil {
+				return true
+			}
+			if err := sink.writeAck("subscribe", string(ch), count); err != nil {
+				return true
+			}
+		}
+	case "UNSUBSCRIBE":
+		channels := make([]string, 0, len(args)-1)
+		for _, ch := range args[1:] {
+			channels = append(channels, string(ch))
+		}
+		if len(channels) == 0 {
+			channels = session.Subscriptions()
+		}
+		for _, ch := range channels {
+			count, err := session.Unsubscribe(ch)
+			if err != nil {
+				return true
+			}
+			if err := sink.writeAck("unsubscribe", ch, count); err != nil {
+				return true
+			}
+		}
+	case "PSUBSCRIBE":
+		if len(args) < 2 {
+			sink.writeErr("ERR wrong number of arguments for 'psubscribe'") //nolint:errcheck
+			return false
+		}
+		for _, pat := range args[1:] {
+			count, err := session.PSubscribe(string(pat))
+			if err != nil {
+				return true
+			}
+			if err := sink.writeAck("psubscribe", string(pat), count); err != nil {
+				return true
+			}
+		}
+	case "PUNSUBSCRIBE":
+		patterns := make([]string, 0, len(args)-1)
+		for _, pat := range args[1:] {
+			patterns = append(patterns, string(pat))
+		}
+		if len(patterns) == 0 {
+			patterns = session.PatternSubscriptions()
+		}
+		for _, pat := range patterns {
+			count, err := session.PUnsubscribe(pat)
+			if err != nil {
+				return true
+			}
+			if err := sink.writeAck("punsubscribe", pat, count); err != nil {
+				return true
+			}
+		}
+	case "PUBLISH":
+		if len(args) != 3 {
+			sink.writeErr("ERR wrong number of arguments for 'publish'") //nolint:errcheck
+			return false
+		}
+		// Copy the payload: it aliases the reader's buffer, while broker
+		// delivery is asynchronous.
+		payload := append([]byte(nil), args[2]...)
+		n := b.Publish(string(args[1]), payload)
+		if err := sink.writeInt(int64(n)); err != nil {
+			return true
+		}
+	case "PING":
+		if err := sink.writeSimple("PONG"); err != nil {
+			return true
+		}
+	case "ECHO":
+		if len(args) != 2 {
+			sink.writeErr("ERR wrong number of arguments for 'echo'") //nolint:errcheck
+			return false
+		}
+		if err := sink.writeBulk(args[1]); err != nil {
+			return true
+		}
+	case "INFO":
+		st := b.Stats()
+		info := fmt.Sprintf("# Server\r\nname:%s\r\n# Stats\r\nsessions:%d\r\nchannels:%d\r\npublished:%d\r\ndelivered:%d\r\ndropped:%d\r\n",
+			b.Name(), st.Sessions, st.Channels, st.Published, st.Delivered, st.Dropped)
+		if err := sink.writeBulk([]byte(info)); err != nil {
+			return true
+		}
+	case "QUIT":
+		sink.writeSimple("OK") //nolint:errcheck
+		return true
+	default:
+		sink.writeErr("ERR unknown command '" + string(args[0]) + "'") //nolint:errcheck
+	}
+	return false
+}

@@ -1,0 +1,263 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(start) <= 0 {
+		t.Fatal("Since returned non-positive after Sleep")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("After(1ms) did not fire within 1s")
+	}
+}
+
+func TestScaledClockRate(t *testing.T) {
+	c := NewScaled(epoch, 100) // 100x fast
+	start := c.Now()
+	time.Sleep(20 * time.Millisecond)
+	elapsed := c.Since(start)
+	if elapsed < time.Second || elapsed > 10*time.Second {
+		t.Fatalf("100x clock advanced %v virtual over ~20ms real", elapsed)
+	}
+}
+
+func TestScaledSleepAndTimer(t *testing.T) {
+	c := NewScaled(epoch, 1000)
+	realStart := time.Now()
+	c.Sleep(time.Second) // = 1ms real
+	if real := time.Since(realStart); real > 500*time.Millisecond {
+		t.Fatalf("scaled Sleep(1s) took %v real", real)
+	}
+	timer := c.NewTimer(time.Second)
+	select {
+	case <-timer.C():
+	case <-time.After(time.Second):
+		t.Fatal("scaled timer did not fire")
+	}
+	timer.Reset(time.Second)
+	select {
+	case <-timer.C():
+	case <-time.After(time.Second):
+		t.Fatal("reset scaled timer did not fire")
+	}
+}
+
+func TestScaledTickerTicks(t *testing.T) {
+	c := NewScaled(epoch, 1000)
+	tk := c.NewTicker(100 * time.Millisecond) // 0.1ms real
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-tk.C():
+		case <-time.After(time.Second):
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+}
+
+func TestScaledPanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewScaled(0) did not panic")
+		}
+	}()
+	NewScaled(epoch, 0)
+}
+
+func TestManualNowAndAdvance(t *testing.T) {
+	c := NewManual(epoch)
+	if !c.Now().Equal(epoch) {
+		t.Fatalf("Now=%v want %v", c.Now(), epoch)
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Since(epoch); got != 90*time.Second {
+		t.Fatalf("Since=%v want 90s", got)
+	}
+}
+
+func TestManualTimerFiresAtDeadline(t *testing.T) {
+	c := NewManual(epoch)
+	timer := c.NewTimer(10 * time.Second)
+	c.Advance(9 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case ts := <-timer.C():
+		if !ts.Equal(epoch.Add(10 * time.Second)) {
+			t.Fatalf("fired with timestamp %v", ts)
+		}
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestManualTimerStop(t *testing.T) {
+	c := NewManual(epoch)
+	timer := c.NewTimer(time.Second)
+	if !timer.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+}
+
+func TestManualTimerReset(t *testing.T) {
+	c := NewManual(epoch)
+	timer := c.NewTimer(time.Second)
+	timer.Reset(5 * time.Second)
+	c.Advance(2 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("reset timer fired at original deadline")
+	default:
+	}
+	c.Advance(3 * time.Second)
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("reset timer did not fire at new deadline")
+	}
+}
+
+func TestManualTickerPeriodicAndStop(t *testing.T) {
+	c := NewManual(epoch)
+	tk := c.NewTicker(time.Second)
+	fired := 0
+	for i := 0; i < 3; i++ {
+		c.Advance(time.Second)
+		select {
+		case <-tk.C():
+			fired++
+		default:
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("ticker fired %d times over 3s, want 3", fired)
+	}
+	tk.Stop()
+	c.Advance(5 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestManualTickerDropsWhenNotDrained(t *testing.T) {
+	c := NewManual(epoch)
+	tk := c.NewTicker(time.Second)
+	defer tk.Stop()
+	c.Advance(10 * time.Second) // 10 ticks, buffer of 1
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("undrained ticker buffered %d ticks, want 1", n)
+	}
+}
+
+func TestManualOrderingOfTimers(t *testing.T) {
+	c := NewManual(epoch)
+	t3 := c.NewTimer(3 * time.Second)
+	t1 := c.NewTimer(1 * time.Second)
+	t2 := c.NewTimer(2 * time.Second)
+
+	// Advancing one second at a time must make exactly one timer ready per
+	// step, in deadline order regardless of creation order.
+	var order []int
+	for step := 0; step < 3; step++ {
+		c.Advance(time.Second)
+		ready := 0
+		select {
+		case <-t1.C():
+			order = append(order, 1)
+			ready++
+		default:
+		}
+		select {
+		case <-t2.C():
+			order = append(order, 2)
+			ready++
+		default:
+		}
+		select {
+		case <-t3.C():
+			order = append(order, 3)
+			ready++
+		default:
+		}
+		if ready != 1 {
+			t.Fatalf("step %d: %d timers ready, want 1", step, ready)
+		}
+	}
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("timers fired out of order: %v", order)
+	}
+}
+
+func TestManualSleepUnblocksOnAdvance(t *testing.T) {
+	c := NewManual(epoch)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(time.Minute)
+		close(done)
+	}()
+	// Give the sleeper a moment to register.
+	time.Sleep(5 * time.Millisecond)
+	c.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not unblock on Advance")
+	}
+}
+
+func TestManualSetPastPanics(t *testing.T) {
+	c := NewManual(epoch)
+	c.Advance(time.Hour)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set into the past did not panic")
+		}
+	}()
+	c.Set(epoch)
+}
+
+func TestManualZeroDurationTimerFiresOnNextAdvance(t *testing.T) {
+	c := NewManual(epoch)
+	timer := c.NewTimer(0)
+	c.Advance(0)
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("zero-duration timer did not fire on Advance(0)")
+	}
+}

@@ -1,0 +1,149 @@
+// Package cloud simulates the IaaS provider the paper deploys pub/sub
+// servers on: instances take time to boot, accrue cost while running, and
+// can be released. The load balancer's elasticity decisions (§III-B2) are
+// exercised — and their cost consequences measured — against this provider.
+package cloud
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/clock"
+)
+
+// Errors returned by the simulator.
+var (
+	ErrUnknownInstance = errors.New("cloud: unknown instance")
+	ErrAtCapacity      = errors.New("cloud: provider at capacity")
+)
+
+// Config configures a Simulator.
+type Config struct {
+	// BootDelay is how long an instance takes from request to ready
+	// (default 10 s — EC2-ish at the scale of the paper's experiments).
+	BootDelay time.Duration
+	// MaxInstances caps concurrently running instances (0 = unlimited).
+	MaxInstances int
+	// CostPerHour is the price of one instance-hour (for cost reports).
+	CostPerHour float64
+	// Clock provides time (default real).
+	Clock clock.Clock
+	// NamePrefix prefixes generated instance IDs (default "pub").
+	NamePrefix string
+}
+
+func (c *Config) fillDefaults() {
+	if c.BootDelay <= 0 {
+		c.BootDelay = 10 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.CostPerHour <= 0 {
+		c.CostPerHour = 0.10
+	}
+	if c.NamePrefix == "" {
+		c.NamePrefix = "pub"
+	}
+}
+
+type instance struct {
+	started time.Time
+	stopped time.Time // zero while running
+}
+
+// Simulator is an in-process cloud provider. It is safe for concurrent use.
+type Simulator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	instances map[string]*instance
+	nextID    int
+	running   int
+}
+
+// NewSimulator creates a provider.
+func NewSimulator(cfg Config) *Simulator {
+	cfg.fillDefaults()
+	return &Simulator{cfg: cfg, instances: make(map[string]*instance)}
+}
+
+// Spawn requests a new instance and blocks until it is booted (BootDelay on
+// the provider's clock) or ctx is cancelled. It returns the instance ID.
+func (s *Simulator) Spawn(ctx context.Context) (string, error) {
+	s.mu.Lock()
+	if s.cfg.MaxInstances > 0 && s.running >= s.cfg.MaxInstances {
+		s.mu.Unlock()
+		return "", ErrAtCapacity
+	}
+	s.nextID++
+	id := fmt.Sprintf("%s%d", s.cfg.NamePrefix, s.nextID)
+	s.running++
+	s.mu.Unlock()
+
+	// Boot.
+	timer := s.cfg.Clock.NewTimer(s.cfg.BootDelay)
+	select {
+	case <-timer.C():
+	case <-ctx.Done():
+		timer.Stop()
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		return "", ctx.Err()
+	}
+
+	s.mu.Lock()
+	s.instances[id] = &instance{started: s.cfg.Clock.Now()}
+	s.mu.Unlock()
+	return id, nil
+}
+
+// Release terminates an instance. Releasing an unknown or already-released
+// instance returns ErrUnknownInstance.
+func (s *Simulator) Release(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[id]
+	if !ok || !inst.stopped.IsZero() {
+		return ErrUnknownInstance
+	}
+	inst.stopped = s.cfg.Clock.Now()
+	s.running--
+	return nil
+}
+
+// Running returns the number of booted, unreleased instances.
+func (s *Simulator) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, inst := range s.instances {
+		if inst.stopped.IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// InstanceHours returns the cumulative instance-hours consumed so far.
+func (s *Simulator) InstanceHours() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock.Now()
+	total := 0.0
+	for _, inst := range s.instances {
+		end := inst.stopped
+		if end.IsZero() {
+			end = now
+		}
+		total += end.Sub(inst.started).Hours()
+	}
+	return total
+}
+
+// Cost returns the cumulative cost in currency units.
+func (s *Simulator) Cost() float64 { return s.InstanceHours() * s.cfg.CostPerHour }

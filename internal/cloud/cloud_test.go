@@ -1,0 +1,129 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/clock"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSpawnReleaseLifecycle(t *testing.T) {
+	sim := NewSimulator(Config{BootDelay: time.Millisecond, NamePrefix: "srv"})
+	id, err := sim.Spawn(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "srv1" {
+		t.Fatalf("id=%q", id)
+	}
+	if got := sim.Running(); got != 1 {
+		t.Fatalf("Running=%d", got)
+	}
+	if err := sim.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Running(); got != 0 {
+		t.Fatalf("Running after release=%d", got)
+	}
+	if err := sim.Release(id); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("double release err=%v", err)
+	}
+	if err := sim.Release("nope"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("unknown release err=%v", err)
+	}
+}
+
+func TestSpawnBootDelayOnClock(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	sim := NewSimulator(Config{BootDelay: 10 * time.Second, Clock: clk})
+	done := make(chan string, 1)
+	go func() {
+		id, err := sim.Spawn(context.Background())
+		if err != nil {
+			done <- "err:" + err.Error()
+			return
+		}
+		done <- id
+	}()
+	select {
+	case v := <-done:
+		t.Fatalf("spawn completed before boot delay: %v", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	clk.Advance(11 * time.Second)
+	select {
+	case v := <-done:
+		if v != "pub1" {
+			t.Fatalf("spawn result %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("spawn never completed after boot delay")
+	}
+}
+
+func TestSpawnCancelled(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	sim := NewSimulator(Config{BootDelay: time.Hour, Clock: clk})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sim.Spawn(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled spawn never returned")
+	}
+	if sim.Running() != 0 {
+		t.Fatal("cancelled spawn left an instance running")
+	}
+}
+
+func TestMaxInstances(t *testing.T) {
+	sim := NewSimulator(Config{BootDelay: time.Millisecond, MaxInstances: 1})
+	if _, err := sim.Spawn(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Spawn(context.Background()); !errors.Is(err, ErrAtCapacity) {
+		t.Fatalf("over-capacity spawn err=%v", err)
+	}
+}
+
+func TestInstanceHoursAndCost(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	sim := NewSimulator(Config{BootDelay: time.Second, Clock: clk, CostPerHour: 2})
+	done := make(chan string, 1)
+	go func() {
+		id, _ := sim.Spawn(context.Background())
+		done <- id
+	}()
+	time.Sleep(10 * time.Millisecond)
+	clk.Advance(time.Second)
+	id := <-done
+
+	clk.Advance(30 * time.Minute)
+	if got := sim.InstanceHours(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("InstanceHours=%f want 0.5", got)
+	}
+	if err := sim.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Hour) // stopped instances accrue nothing further
+	if got := sim.InstanceHours(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("InstanceHours after release=%f want 0.5", got)
+	}
+	if got := sim.Cost(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Cost=%f want 1.0", got)
+	}
+}

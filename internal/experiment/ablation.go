@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/balancer"
+	"github.com/dynamoth/dynamoth/internal/metrics"
+	"github.com/dynamoth/dynamoth/internal/sim"
+	"github.com/dynamoth/dynamoth/internal/workload"
+)
+
+// Ablations for the design choices DESIGN.md calls out. They are not paper
+// figures; they isolate the contribution of individual mechanisms.
+
+// AutoReplicationResult reports the Algorithm-1 ablation.
+type AutoReplicationResult struct {
+	// ReplicationEnabled reports whether the balancer enabled a
+	// replication scheme for the hot channel on its own.
+	ReplicationEnabled bool
+	// Replicas is the replica count the balancer chose.
+	Replicas int
+	// DeliveryBefore and DeliveryAfter are delivery fractions measured in
+	// equal windows before the balancer could react and at the end.
+	DeliveryBefore, DeliveryAfter float64
+	// RTBeforeMs and RTAfterMs are the matching mean response times.
+	RTBeforeMs, RTAfterMs float64
+	// Rebalances counts plan changes.
+	Rebalances int
+}
+
+// RunAutoReplication exercises Algorithm 1 end to end: the Fig. 4b workload
+// (hundreds of publishers flooding one channel toward a single subscriber)
+// is offered to a full Dynamoth deployment with NO manual plan. The load
+// balancer must detect the publication-heavy channel from LLA metrics
+// (P_ratio over AllSubsThreshold, publications over the floor) and enable
+// all-subscribers replication itself, restoring delivery.
+func RunAutoReplication(publishers int, seed int64) *AutoReplicationResult {
+	bcfg := balancer.DefaultConfig()
+	bcfg.TWait = 5 * time.Second
+	bcfg.MaxServers = 3
+	bcfg.MinServers = 3 // the paper's Experiment 1 pins a 3-server pool
+	s := sim.New(sim.Config{
+		Seed:           seed,
+		Mode:           sim.ModeDynamoth,
+		InitialServers: []string{"pub1", "pub2", "pub3"},
+		Balancer:       bcfg,
+	})
+	const channel = "firehose"
+
+	var rt rtAccum
+	subC := s.AddClient(999)
+	subC.DeliverAll = true
+	subC.OnData = rt.observe(s)
+	subC.Subscribe(channel)
+
+	period := time.Duration(float64(time.Second) / 10)
+	for i := 0; i < publishers; i++ {
+		pub := s.AddClient(uint32(1000 + i))
+		p := pub
+		offset := time.Duration(s.Rand().Float64() * float64(period))
+		s.Engine().After(offset, func() {
+			s.Engine().Every(period, func() { p.PublishTimed(channel, 200) })
+			p.PublishTimed(channel, 200)
+		})
+	}
+	s.RunFor(2 * time.Second)
+
+	res := &AutoReplicationResult{}
+	// Window 1: before the balancer has had time to act.
+	rt.reset()
+	window := 8 * time.Second
+	s.RunFor(window)
+	expected := float64(publishers) * 10 * window.Seconds()
+	res.DeliveryBefore = rt.fraction(expected)
+	res.RTBeforeMs = rt.meanMs()
+
+	// Give the balancer time to detect and replicate, then measure again.
+	s.RunFor(40 * time.Second)
+	rt.reset()
+	s.RunFor(window)
+	res.DeliveryAfter = rt.fraction(expected)
+	res.RTAfterMs = rt.meanMs()
+
+	entry, explicit := s.CurrentPlan().Lookup(channel)
+	if explicit && len(entry.Servers) > 1 {
+		res.ReplicationEnabled = true
+		res.Replicas = len(entry.Servers)
+	}
+	res.Rebalances = len(s.Rebalances())
+	return res
+}
+
+// TWaitAblationRow is one row of the T_wait sweep.
+type TWaitAblationRow struct {
+	TWait      time.Duration
+	Rebalances int
+	MeanRTms   float64
+	MaxHealthy int
+}
+
+// RunTWaitAblation sweeps the plan-generation spacing T_wait on the
+// Experiment-2 workload. Too small churns plans faster than metrics settle;
+// too large reacts sluggishly to the ramp.
+func RunTWaitAblation(twaits []time.Duration, seed int64) []TWaitAblationRow {
+	rows := make([]TWaitAblationRow, 0, len(twaits))
+	for _, tw := range twaits {
+		res := RunGame(GameOptions{
+			Mode:     sim.ModeDynamoth,
+			Schedule: workload.ScalabilitySchedule(480, 400*time.Second),
+			Tail:     80 * time.Second,
+			Seed:     seed,
+			TWait:    tw,
+		})
+		rows = append(rows, TWaitAblationRow{
+			TWait:      tw,
+			Rebalances: res.Rebalances,
+			MeanRTms:   res.MeanRTms,
+			MaxHealthy: res.MaxHealthyPlayers,
+		})
+	}
+	return rows
+}
+
+// TWaitSeries renders the sweep as a printable series.
+func TWaitSeries(rows []TWaitAblationRow) *metrics.Series {
+	s := metrics.NewSeries("twait_s", "rebalances", "rt_ms", "healthy_players")
+	for _, r := range rows {
+		x := r.TWait.Seconds()
+		s.Record(x, "rebalances", float64(r.Rebalances))
+		s.Record(x, "rt_ms", r.MeanRTms)
+		s.Record(x, "healthy_players", float64(r.MaxHealthy))
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/sim"
+	"github.com/dynamoth/dynamoth/internal/workload"
+)
+
+// These tests assert the paper's qualitative claims at reduced scale; the
+// full-scale reproduction lives in TestFullScaleFig5 and cmd/experiments.
+
+func TestFig4aShape(t *testing.T) {
+	res := RunFig4a(MicroOptions{Steps: []int{100, 400, 800}, Measure: 10 * time.Second})
+	t.Logf("fig4a:\n%s", res.Series.Table())
+
+	// Claim 1 (§V-C1): without replication response time grows with the
+	// subscriber count and collapses well before 800.
+	rt100, _ := res.Series.Get(100, "noRepl_ms")
+	rt400, _ := res.Series.Get(400, "noRepl_ms")
+	rt800, _ := res.Series.Get(800, "noRepl_ms")
+	if !(rt100 < rt400 && rt400 < rt800) {
+		t.Fatalf("no-replication response time not increasing: %f %f %f", rt100, rt400, rt800)
+	}
+	if rt800 < 500 {
+		t.Fatalf("no-replication did not collapse at 800 subscribers: %.1fms", rt800)
+	}
+	// Claim 2: 3-server all-publishers replication stays low through 800.
+	rtRepl800, _ := res.Series.Get(800, "repl_ms")
+	if rtRepl800 > 150 {
+		t.Fatalf("replicated configuration unhealthy at 800 subscribers: %.1fms", rtRepl800)
+	}
+	if res.MaxHealthyRepl != 800 {
+		t.Fatalf("replicated healthy up to %d, want 800", res.MaxHealthyRepl)
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	res := RunFig4b(MicroOptions{Steps: []int{100, 200, 400, 600}, Measure: 10 * time.Second})
+	t.Logf("fig4b:\n%s", res.Series.Table())
+
+	// Claim (§V-C2): a single server supports up to ~200 publishers, then
+	// delivery fails; 3-server all-subscribers replication reaches ~600.
+	if res.MaxHealthyNoRepl != 200 {
+		t.Fatalf("no-replication healthy up to %d publishers, want 200", res.MaxHealthyNoRepl)
+	}
+	// Beyond ~200 publishers the single subscriber connection overflows;
+	// the connection is killed and the client reconnects, so delivery is
+	// measurably broken (the paper reports outright failure; our client
+	// rides the kill/reconnect cycle and loses a visible fraction).
+	d400, _ := res.Series.Get(400, "noRepl_delivery")
+	if d400 >= 0.99 {
+		t.Fatalf("no-replication delivery at 400 publishers: %.2f, want failing", d400)
+	}
+	dRepl600, _ := res.Series.Get(600, "repl_delivery")
+	if dRepl600 < 0.99 {
+		t.Fatalf("replicated delivery at 600 publishers: %.2f, want ~1", dRepl600)
+	}
+}
+
+func TestFig5ShapeSmall(t *testing.T) {
+	dyn := RunScalability(sim.ModeDynamoth, 400, 300*time.Second, 1)
+	t.Logf("dynamoth: healthy=%d peak=%d rebal=%d meanRT=%.1f",
+		dyn.MaxHealthyPlayers, dyn.PeakServers, dyn.Rebalances, dyn.MeanRTms)
+
+	// At this scale the pool must grow and hold the paper's ~75ms steady
+	// state while healthy.
+	if dyn.PeakServers < 2 {
+		t.Fatalf("Dynamoth never scaled: peak=%d", dyn.PeakServers)
+	}
+	if dyn.MeanRTms < 50 || dyn.MeanRTms > 120 {
+		t.Fatalf("steady response time %.1fms, want ~75ms", dyn.MeanRTms)
+	}
+	if dyn.MaxHealthyPlayers < 300 {
+		t.Fatalf("Dynamoth healthy only to %d of 400 players", dyn.MaxHealthyPlayers)
+	}
+	if dyn.Rebalances == 0 {
+		t.Fatal("no rebalances recorded")
+	}
+}
+
+func TestFig7ShapeSmall(t *testing.T) {
+	res := RunElasticity(400, 100, 300, 150*time.Second, 1)
+	t.Logf("elasticity: peak=%d final=%d rebal=%d meanRT=%.1f",
+		res.PeakServers, res.FinalServers, res.Rebalances, res.MeanRTms)
+
+	// Claims (§V-E): servers are added on the rise and released after the
+	// drop; steady latency stays low.
+	if res.PeakServers < 2 {
+		t.Fatalf("no scale-up: peak=%d", res.PeakServers)
+	}
+	if res.FinalServers >= res.PeakServers {
+		t.Fatalf("no release after load drop: final=%d peak=%d", res.FinalServers, res.PeakServers)
+	}
+	if res.MeanRTms < 50 || res.MeanRTms > 120 {
+		t.Fatalf("steady response time %.1fms, want ~75ms", res.MeanRTms)
+	}
+}
+
+func TestGameDeterminism(t *testing.T) {
+	run := func() (int, int, float64) {
+		r := RunGame(GameOptions{
+			Mode:     sim.ModeDynamoth,
+			Schedule: workload.Schedule{Initial: 150, Phases: []workload.Phase{{Length: 60 * time.Second, Target: 200}}},
+			Seed:     7,
+		})
+		return r.MaxHealthyPlayers, r.Rebalances, r.MeanRTms
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatalf("same seed diverged: (%d,%d,%f) vs (%d,%d,%f)", a1, b1, c1, a2, b2, c2)
+	}
+}
+
+func TestAlgorithmOneEnablesReplicationAutomatically(t *testing.T) {
+	// The Fig. 4b firehose offered to a full Dynamoth deployment with no
+	// manual plan: the balancer must enable all-subscribers replication by
+	// itself (Algorithm 1) and restore healthy delivery.
+	res := RunAutoReplication(400, 1)
+	t.Logf("auto-replication: %+v", res)
+	if !res.ReplicationEnabled {
+		t.Fatal("balancer never enabled replication for the hot channel")
+	}
+	if res.Replicas < 2 {
+		t.Fatalf("replicas=%d, want >=2", res.Replicas)
+	}
+	if res.DeliveryAfter < 0.99 {
+		t.Fatalf("delivery after replication %.2f, want ~1 (before: %.2f)",
+			res.DeliveryAfter, res.DeliveryBefore)
+	}
+	if res.DeliveryAfter <= res.DeliveryBefore && res.DeliveryBefore < 0.99 {
+		t.Fatalf("replication did not improve delivery: %.2f -> %.2f",
+			res.DeliveryBefore, res.DeliveryAfter)
+	}
+}
+
+func TestTWaitAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is seconds-long")
+	}
+	rows := RunTWaitAblation([]time.Duration{5 * time.Second, 10 * time.Second, 30 * time.Second}, 1)
+	t.Logf("twait ablation:\n%s", TWaitSeries(rows).Table())
+	// Longer T_wait means fewer plan changes at the endpoints (the middle
+	// settings can reorder slightly: each plan's content differs, so the
+	// count is not strictly monotone).
+	if rows[0].Rebalances < rows[len(rows)-1].Rebalances {
+		t.Fatalf("more rebalances at T_wait=%v than at %v: %+v",
+			rows[len(rows)-1].TWait, rows[0].TWait, rows)
+	}
+	// All settings must keep the workload healthy at this scale.
+	for _, r := range rows {
+		if r.MeanRTms < 50 || r.MeanRTms > 130 {
+			t.Fatalf("T_wait=%v unhealthy: rt=%.1fms", r.TWait, r.MeanRTms)
+		}
+	}
+}
+
+func TestLocalPlanStaysSmall(t *testing.T) {
+	// §II-C: lazy propagation keeps client plans small — each client only
+	// holds entries for channels it actually used recently.
+	// Enough load that the balancer migrates channels (before the first
+	// reconfiguration clients hold no entries at all — that is the lazy
+	// scheme working).
+	res := RunScalability(sim.ModeDynamoth, 400, 300*time.Second, 3)
+	if res.Rebalances == 0 {
+		t.Fatal("workload never triggered a rebalance")
+	}
+	if res.AvgLocalPlanSize <= 0 {
+		t.Fatal("no local-plan entries measured despite rebalances")
+	}
+	// 64 tiles exist; a player interacts with a handful at a time.
+	if res.AvgLocalPlanSize > 16 {
+		t.Fatalf("mean local plan holds %.1f entries — lazy propagation is leaking state", res.AvgLocalPlanSize)
+	}
+}
+
+func TestElasticityCheaperThanFixedPool(t *testing.T) {
+	res := RunElasticity(400, 100, 300, 150*time.Second, 1)
+	xs := res.Series.Xs()
+	duration := xs[len(xs)-1]
+	fixedPool := 8 * duration // 8 servers for the whole run, in server-seconds
+	if res.InstanceSeconds <= 0 {
+		t.Fatal("no instance time accounted")
+	}
+	if res.InstanceSeconds >= fixedPool {
+		t.Fatalf("elastic run cost %.0f server-seconds, fixed pool %.0f — elasticity saved nothing",
+			res.InstanceSeconds, fixedPool)
+	}
+}

@@ -1,0 +1,388 @@
+// Package lla implements the Local Load Analyzer (paper §III-A): the agent
+// collocated with every pub/sub server that gathers per-channel load metrics
+// for every time unit and periodically ships an aggregate report to the load
+// balancer.
+//
+// The LLA observes its broker through the broker's observer hook (the
+// "subscribe to every channel" trick of the paper, without modifying the
+// pub/sub server) and therefore sees every publication, subscription and
+// unsubscription. For each time unit t (1 s) and channel it records the
+// number of distinct publishers, publications, subscribers, messages sent
+// (per-subscriber deliveries) and bytes in/out — exactly the metric set
+// listed in the paper.
+//
+// The aggregation core (Accumulator) is pure state so the discrete-event
+// simulator reuses it unchanged; Analyzer adds the live clock/ticker
+// plumbing and report emission.
+package lla
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/broker"
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/message"
+)
+
+// ChannelStats is one channel's load during one time unit.
+type ChannelStats struct {
+	Channel      string `json:"channel"`
+	Publishers   int    `json:"publishers"`   // distinct publishers seen in the unit
+	Publications int    `json:"publications"` // messages published on the channel
+	Subscribers  int    `json:"subscribers"`  // subscriber count at unit end
+	MessagesSent int    `json:"messagesSent"` // per-subscriber deliveries
+	BytesIn      int64  `json:"bytesIn"`      // publication bytes received
+	BytesOut     int64  `json:"bytesOut"`     // delivery bytes sent
+}
+
+// UnitStats is the complete per-channel breakdown of one time unit.
+type UnitStats struct {
+	// Unit is the index of the time unit since the analyzer started.
+	Unit int64 `json:"unit"`
+	// Channels holds stats for every channel active during the unit,
+	// sorted by channel name for determinism.
+	Channels []ChannelStats `json:"channels"`
+}
+
+// Report is the aggregate update message an LLA sends to the load balancer:
+// all metrics for all time units since the previous report, plus the node's
+// bandwidth envelope (§III-A, last paragraph).
+type Report struct {
+	Server string      `json:"server"`
+	Seq    uint64      `json:"seq"`
+	Units  []UnitStats `json:"units"`
+	// MaxOutgoingBps is the theoretical maximum outgoing bandwidth T_i of
+	// the node (bytes/second).
+	MaxOutgoingBps float64 `json:"maxOutgoingBps"`
+	// MeasuredOutgoingBps is the measured outgoing bandwidth on the
+	// network interface, averaged over the report window (M_i).
+	MeasuredOutgoingBps float64 `json:"measuredOutgoingBps"`
+	// CPUUtilization estimates the node's CPU busy fraction over the
+	// window (0..1+). The paper's future work (§VII) proposes integrating
+	// CPU into the balancing decision for vCPU-constrained environments;
+	// the LLA models it as per-delivery processing cost against the
+	// node's delivery-rate capacity.
+	CPUUtilization float64 `json:"cpuUtilization,omitempty"`
+}
+
+// Marshal encodes the report for the control plane.
+func (r *Report) Marshal() ([]byte, error) { return json.Marshal(r) }
+
+// UnmarshalReport decodes a control-plane report.
+func UnmarshalReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("lla: decode report: %w", err)
+	}
+	return &r, nil
+}
+
+// channelAccum accumulates one channel's stats inside the current unit.
+type channelAccum struct {
+	publishers   map[uint32]struct{}
+	publications int
+	messagesSent int
+	bytesIn      int64
+	bytesOut     int64
+}
+
+// Accumulator gathers per-channel metrics for the current time unit and
+// seals units on demand. It is safe for concurrent use (the broker invokes
+// observer callbacks from many goroutines).
+type Accumulator struct {
+	mu          sync.Mutex
+	current     map[string]*channelAccum
+	subscribers map[string]int // live subscriber counts (persist across units)
+	unit        int64
+}
+
+// NewAccumulator creates an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		current:     make(map[string]*channelAccum),
+		subscribers: make(map[string]int),
+	}
+}
+
+func (a *Accumulator) channel(ch string) *channelAccum {
+	c := a.current[ch]
+	if c == nil {
+		c = &channelAccum{publishers: make(map[uint32]struct{})}
+		a.current[ch] = c
+	}
+	return c
+}
+
+// OnPublish records one publication. publisher is the originating node ID
+// extracted from the envelope (0 if unknown), size the payload bytes,
+// receivers the fan-out count.
+func (a *Accumulator) OnPublish(ch string, publisher uint32, size, receivers int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.channel(ch)
+	if publisher != 0 {
+		c.publishers[publisher] = struct{}{}
+	}
+	c.publications++
+	c.messagesSent += receivers
+	c.bytesIn += int64(size)
+	c.bytesOut += int64(size) * int64(receivers)
+}
+
+// OnSubscribe records a subscription; count is the channel's subscriber
+// count after the operation (as reported by the broker).
+func (a *Accumulator) OnSubscribe(ch string, count int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.subscribers[ch] = count
+	a.channel(ch) // make the channel visible even before traffic flows
+}
+
+// OnUnsubscribe records an unsubscription.
+func (a *Accumulator) OnUnsubscribe(ch string, count int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if count <= 0 {
+		delete(a.subscribers, ch)
+		return
+	}
+	a.subscribers[ch] = count
+}
+
+// Seal closes the current time unit and returns its stats. Channels with no
+// activity and no subscribers are omitted.
+func (a *Accumulator) Seal() UnitStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	u := UnitStats{Unit: a.unit}
+	a.unit++
+	names := make([]string, 0, len(a.current)+len(a.subscribers))
+	seen := make(map[string]struct{}, len(a.current)+len(a.subscribers))
+	for ch := range a.current {
+		names = append(names, ch)
+		seen[ch] = struct{}{}
+	}
+	for ch := range a.subscribers {
+		if _, dup := seen[ch]; !dup {
+			names = append(names, ch)
+		}
+	}
+	sort.Strings(names)
+	for _, ch := range names {
+		c := a.current[ch]
+		subs := a.subscribers[ch]
+		if c == nil {
+			if subs == 0 {
+				continue
+			}
+			u.Channels = append(u.Channels, ChannelStats{Channel: ch, Subscribers: subs})
+			continue
+		}
+		u.Channels = append(u.Channels, ChannelStats{
+			Channel:      ch,
+			Publishers:   len(c.publishers),
+			Publications: c.publications,
+			Subscribers:  subs,
+			MessagesSent: c.messagesSent,
+			BytesIn:      c.bytesIn,
+			BytesOut:     c.bytesOut,
+		})
+	}
+	a.current = make(map[string]*channelAccum)
+	return u
+}
+
+// Subscribers returns the live subscriber count for a channel.
+func (a *Accumulator) Subscribers(ch string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.subscribers[ch]
+}
+
+// Config configures an Analyzer.
+type Config struct {
+	// Server is the pub/sub server (node) this LLA monitors.
+	Server string
+	// MaxOutgoingBps is the node's theoretical max outgoing bandwidth T_i.
+	MaxOutgoingBps float64
+	// MaxDeliveriesPerSec is the node's CPU capacity expressed as
+	// deliveries/second; 0 disables CPU reporting (the paper's §III-A
+	// observation is that bandwidth saturates first, so this is an
+	// opt-in extension).
+	MaxDeliveriesPerSec float64
+	// Unit is the metric time unit (default 1 s, as in the paper).
+	Unit time.Duration
+	// ReportEvery is the aggregate-update interval (default 3 units).
+	ReportEvery time.Duration
+	// Clock provides time (default: real clock).
+	Clock clock.Clock
+}
+
+func (c *Config) fillDefaults() {
+	if c.Unit <= 0 {
+		c.Unit = time.Second
+	}
+	if c.ReportEvery <= 0 {
+		c.ReportEvery = 3 * c.Unit
+	}
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.MaxOutgoingBps <= 0 {
+		c.MaxOutgoingBps = 1.25e6 // DESIGN.md §4 calibration
+	}
+}
+
+// Analyzer is the live LLA: a broker observer plus a ticking loop that seals
+// time units and emits Reports.
+type Analyzer struct {
+	cfg   Config
+	accum *Accumulator
+
+	mu         sync.Mutex
+	pending    []UnitStats
+	seq        uint64
+	bytesOut   int64 // bytes sent during current report window
+	deliveries int64 // per-subscriber deliveries during current window
+
+	unitTicker   clock.Ticker
+	reportTicker clock.Ticker
+
+	reports chan *Report
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+var _ broker.Observer = (*Analyzer)(nil)
+
+// NewAnalyzer creates an LLA for a node. Attach it with
+// broker.AddObserver(analyzer), then Start it. The unit and report tickers
+// are armed here, synchronously, so virtual-clock tests can advance time
+// immediately after Start without racing ticker registration.
+func NewAnalyzer(cfg Config) *Analyzer {
+	cfg.fillDefaults()
+	return &Analyzer{
+		cfg:          cfg,
+		accum:        NewAccumulator(),
+		unitTicker:   cfg.Clock.NewTicker(cfg.Unit),
+		reportTicker: cfg.Clock.NewTicker(cfg.ReportEvery),
+		reports:      make(chan *Report, 16),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+}
+
+// Reports returns the channel on which aggregate updates are delivered.
+func (an *Analyzer) Reports() <-chan *Report { return an.reports }
+
+// OnPublish implements broker.Observer. The publisher identity is recovered
+// from the Dynamoth envelope when the payload is one.
+func (an *Analyzer) OnPublish(ch string, payload []byte, receivers int) {
+	var publisher uint32
+	if env, err := message.Unmarshal(payload); err == nil {
+		publisher = env.ID.Node
+	}
+	an.accum.OnPublish(ch, publisher, len(payload), receivers)
+	an.mu.Lock()
+	an.bytesOut += int64(len(payload)) * int64(receivers)
+	an.deliveries += int64(receivers)
+	an.mu.Unlock()
+}
+
+// OnSubscribe implements broker.Observer.
+func (an *Analyzer) OnSubscribe(ch, _ string, subscribers int) {
+	an.accum.OnSubscribe(ch, subscribers)
+}
+
+// OnUnsubscribe implements broker.Observer.
+func (an *Analyzer) OnUnsubscribe(ch, _ string, subscribers int) {
+	an.accum.OnUnsubscribe(ch, subscribers)
+}
+
+// Start launches the unit/report loop. Call Stop to terminate it.
+func (an *Analyzer) Start() {
+	an.mu.Lock()
+	already := an.started
+	an.started = true
+	an.mu.Unlock()
+	if already {
+		return
+	}
+	go an.run()
+}
+
+// Stop terminates the loop and closes the report channel.
+func (an *Analyzer) Stop() {
+	select {
+	case <-an.stop:
+		// already stopped
+	default:
+		close(an.stop)
+	}
+	an.mu.Lock()
+	started := an.started
+	an.mu.Unlock()
+	if started {
+		<-an.done
+	} else {
+		an.unitTicker.Stop()
+		an.reportTicker.Stop()
+	}
+}
+
+func (an *Analyzer) run() {
+	defer close(an.done)
+	defer close(an.reports)
+	defer an.unitTicker.Stop()
+	defer an.reportTicker.Stop()
+	for {
+		select {
+		case <-an.unitTicker.C():
+			u := an.accum.Seal()
+			an.mu.Lock()
+			an.pending = append(an.pending, u)
+			an.mu.Unlock()
+		case <-an.reportTicker.C():
+			r := an.buildReport()
+			select {
+			case an.reports <- r:
+			default:
+				// Receiver lagging: drop rather than block the loop; the
+				// next report supersedes this one anyway.
+			}
+		case <-an.stop:
+			return
+		}
+	}
+}
+
+// buildReport drains pending units into a Report.
+func (an *Analyzer) buildReport() *Report {
+	an.mu.Lock()
+	units := an.pending
+	an.pending = nil
+	bytes := an.bytesOut
+	an.bytesOut = 0
+	deliveries := an.deliveries
+	an.deliveries = 0
+	an.seq++
+	seq := an.seq
+	an.mu.Unlock()
+	window := an.cfg.ReportEvery.Seconds()
+	r := &Report{
+		Server:              an.cfg.Server,
+		Seq:                 seq,
+		Units:               units,
+		MaxOutgoingBps:      an.cfg.MaxOutgoingBps,
+		MeasuredOutgoingBps: float64(bytes) / window,
+	}
+	if an.cfg.MaxDeliveriesPerSec > 0 {
+		r.CPUUtilization = float64(deliveries) / window / an.cfg.MaxDeliveriesPerSec
+	}
+	return r
+}

@@ -1,0 +1,243 @@
+package lla
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/broker"
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/message"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAccumulatorSingleUnit(t *testing.T) {
+	a := NewAccumulator()
+	a.OnSubscribe("tile", 1)
+	a.OnSubscribe("tile", 2)
+	a.OnPublish("tile", 7, 100, 2)
+	a.OnPublish("tile", 7, 100, 2)
+	a.OnPublish("tile", 9, 50, 2)
+
+	u := a.Seal()
+	if u.Unit != 0 {
+		t.Fatalf("unit index=%d", u.Unit)
+	}
+	if len(u.Channels) != 1 {
+		t.Fatalf("channels=%d", len(u.Channels))
+	}
+	c := u.Channels[0]
+	if c.Channel != "tile" {
+		t.Fatalf("channel=%q", c.Channel)
+	}
+	if c.Publishers != 2 {
+		t.Fatalf("publishers=%d, want 2 distinct", c.Publishers)
+	}
+	if c.Publications != 3 {
+		t.Fatalf("publications=%d", c.Publications)
+	}
+	if c.Subscribers != 2 {
+		t.Fatalf("subscribers=%d", c.Subscribers)
+	}
+	if c.MessagesSent != 6 {
+		t.Fatalf("messagesSent=%d", c.MessagesSent)
+	}
+	if c.BytesIn != 250 {
+		t.Fatalf("bytesIn=%d", c.BytesIn)
+	}
+	if c.BytesOut != 500 {
+		t.Fatalf("bytesOut=%d", c.BytesOut)
+	}
+}
+
+func TestAccumulatorUnitsResetButSubscribersPersist(t *testing.T) {
+	a := NewAccumulator()
+	a.OnSubscribe("c", 5)
+	a.OnPublish("c", 1, 10, 5)
+	a.Seal()
+
+	u := a.Seal() // second unit: no traffic, but 5 subscribers remain
+	if u.Unit != 1 {
+		t.Fatalf("unit=%d", u.Unit)
+	}
+	if len(u.Channels) != 1 {
+		t.Fatalf("channels=%+v", u.Channels)
+	}
+	c := u.Channels[0]
+	if c.Publications != 0 || c.Publishers != 0 || c.BytesOut != 0 {
+		t.Fatalf("traffic not reset: %+v", c)
+	}
+	if c.Subscribers != 5 {
+		t.Fatalf("subscribers lost across units: %d", c.Subscribers)
+	}
+}
+
+func TestAccumulatorUnsubscribeToZeroDropsChannel(t *testing.T) {
+	a := NewAccumulator()
+	a.OnSubscribe("c", 1)
+	a.OnUnsubscribe("c", 0)
+	a.Seal() // flush the unit in which activity happened
+	u := a.Seal()
+	if len(u.Channels) != 0 {
+		t.Fatalf("dead channel still reported: %+v", u.Channels)
+	}
+	if a.Subscribers("c") != 0 {
+		t.Fatal("subscriber count not cleared")
+	}
+}
+
+func TestAccumulatorUnknownPublisherNotCounted(t *testing.T) {
+	a := NewAccumulator()
+	a.OnPublish("c", 0, 10, 1)
+	u := a.Seal()
+	if u.Channels[0].Publishers != 0 {
+		t.Fatalf("unknown publisher counted: %+v", u.Channels[0])
+	}
+	if u.Channels[0].Publications != 1 {
+		t.Fatal("publication missing")
+	}
+}
+
+func TestAccumulatorChannelsSorted(t *testing.T) {
+	a := NewAccumulator()
+	for _, ch := range []string{"zeta", "alpha", "mid"} {
+		a.OnPublish(ch, 1, 1, 0)
+	}
+	u := a.Seal()
+	if len(u.Channels) != 3 ||
+		u.Channels[0].Channel != "alpha" ||
+		u.Channels[1].Channel != "mid" ||
+		u.Channels[2].Channel != "zeta" {
+		t.Fatalf("channels not sorted: %+v", u.Channels)
+	}
+}
+
+func TestReportMarshalRoundTrip(t *testing.T) {
+	r := &Report{
+		Server: "pub1",
+		Seq:    3,
+		Units: []UnitStats{{
+			Unit: 9,
+			Channels: []ChannelStats{{
+				Channel: "c", Publishers: 1, Publications: 2,
+				Subscribers: 3, MessagesSent: 6, BytesIn: 200, BytesOut: 600,
+			}},
+		}},
+		MaxOutgoingBps:      1.25e6,
+		MeasuredOutgoingBps: 4.2e5,
+	}
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Server != "pub1" || got.Seq != 3 || len(got.Units) != 1 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Units[0].Channels[0].BytesOut != 600 {
+		t.Fatalf("channel stats lost: %+v", got.Units[0].Channels[0])
+	}
+	if _, err := UnmarshalReport([]byte("{")); err == nil {
+		t.Fatal("bad JSON decoded")
+	}
+}
+
+func TestAnalyzerEndToEndWithManualClock(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	an := NewAnalyzer(Config{
+		Server:         "pub1",
+		MaxOutgoingBps: 1000,
+		Unit:           time.Second,
+		ReportEvery:    3 * time.Second,
+		Clock:          clk,
+	})
+	an.Start()
+	defer an.Stop()
+
+	// Simulate broker events: an envelope-wrapped publication so the
+	// publisher identity is recovered.
+	env := &message.Envelope{Type: message.TypeData, ID: message.ID{Node: 42, Seq: 1}, Channel: "c", Payload: []byte("xy")}
+	payload := env.Marshal()
+	an.OnSubscribe("c", "client-1", 1)
+	an.OnPublish("c", payload, 1)
+
+	// Tick three units; the report fires on the third.
+	for i := 0; i < 3; i++ {
+		clk.Advance(time.Second)
+		time.Sleep(5 * time.Millisecond) // let the loop observe the tick
+	}
+
+	select {
+	case r := <-an.Reports():
+		if r.Server != "pub1" || r.Seq != 1 {
+			t.Fatalf("report header %+v", r)
+		}
+		if r.MaxOutgoingBps != 1000 {
+			t.Fatalf("maxBps=%f", r.MaxOutgoingBps)
+		}
+		wantMeasured := float64(len(payload)) / 3.0
+		if diff := r.MeasuredOutgoingBps - wantMeasured; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("measuredBps=%f want %f", r.MeasuredOutgoingBps, wantMeasured)
+		}
+		if len(r.Units) == 0 {
+			t.Fatal("report carries no units")
+		}
+		c := r.Units[0].Channels[0]
+		if c.Publishers != 1 || c.Publications != 1 || c.Subscribers != 1 {
+			t.Fatalf("unit stats %+v", c)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no report emitted")
+	}
+}
+
+func TestAnalyzerIsBrokerObserver(t *testing.T) {
+	// Wire a real broker to the analyzer and verify counts flow through.
+	clk := clock.NewManual(epoch)
+	an := NewAnalyzer(Config{Server: "pub1", Clock: clk})
+	b := broker.New(broker.Options{})
+	defer b.Close()
+	b.AddObserver(an)
+
+	sink := make(sinkChan, 8)
+	s, err := b.Connect("c1", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe("game"); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("game", []byte("hello"))
+	<-sink
+
+	u := an.accum.Seal()
+	if len(u.Channels) != 1 || u.Channels[0].Publications != 1 || u.Channels[0].Subscribers != 1 {
+		t.Fatalf("unit from live broker: %+v", u.Channels)
+	}
+}
+
+type sinkChan chan struct{}
+
+func (s sinkChan) Deliver(string, []byte) { s <- struct{}{} }
+func (s sinkChan) Closed(error)           {}
+
+func TestAnalyzerStopIdempotent(t *testing.T) {
+	an := NewAnalyzer(Config{Server: "x"})
+	an.Start()
+	an.Stop()
+	an.Stop()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	if c.Unit != time.Second || c.ReportEvery != 3*time.Second {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.Clock == nil || c.MaxOutgoingBps <= 0 {
+		t.Fatal("defaults missing")
+	}
+}

@@ -1,0 +1,153 @@
+// Package localplan implements the client-specific partial plan P(C) of the
+// paper (§II-C, §IV-A5): a small map of channel→servers entries learned
+// lazily from switch and wrong-server notifications, with per-entry timers
+// that return forgotten channels to consistent hashing.
+//
+// Both the live client library and the discrete-event simulator use this
+// exact state machine, so client routing behaves identically in both modes.
+package localplan
+
+import (
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// DefaultTimeout is the per-entry timer of §IV-A5.
+const DefaultTimeout = 30 * time.Second
+
+type entry struct {
+	e        plan.Entry
+	version  uint64
+	lastUsed time.Time
+}
+
+// Store is a client's local plan. It is not safe for concurrent use; the
+// owner serializes access (the live client under its mutex, the simulator on
+// its single thread).
+type Store struct {
+	base        *plan.Plan
+	entries     map[string]*entry
+	timeout     time.Duration
+	ringVersion uint64
+}
+
+// New creates a local plan over the bootstrap server set (the consistent-
+// hash fallback ring).
+func New(bootstrap []plan.ServerID, timeout time.Duration) *Store {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Store{
+		base:    plan.New(bootstrap...),
+		entries: make(map[string]*entry),
+		timeout: timeout,
+	}
+}
+
+// Base returns the fallback plan (for Home lookups).
+func (s *Store) Base() *plan.Plan { return s.base }
+
+// UpdateRing replaces the fallback ring membership if version is newer than
+// any ring update seen so far (clients learn the active server set from
+// switch/redirect notifications). It reports whether the ring changed.
+func (s *Store) UpdateRing(servers []plan.ServerID, version uint64) bool {
+	if version <= s.ringVersion || len(servers) == 0 {
+		return false
+	}
+	s.ringVersion = version
+	if sameMembers(s.base.RingServers, servers) {
+		return false
+	}
+	s.base = plan.New(servers...)
+	return true
+}
+
+func sameMembers(a, b []plan.ServerID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[plan.ServerID]struct{}, len(a))
+	for _, x := range a {
+		in[x] = struct{}{}
+	}
+	for _, x := range b {
+		if _, ok := in[x]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup resolves a channel: the learned entry if present (touching its
+// timer), otherwise the consistent-hash fallback. version is the plan
+// version the entry was learned at (0 for fallback).
+func (s *Store) Lookup(channel string, now time.Time) (plan.Entry, uint64) {
+	if le, ok := s.entries[channel]; ok {
+		le.lastUsed = now
+		return le.e, le.version
+	}
+	e, _ := s.base.Lookup(channel)
+	return e, 0
+}
+
+// Peek is Lookup without touching the timer.
+func (s *Store) Peek(channel string) (plan.Entry, uint64, bool) {
+	if le, ok := s.entries[channel]; ok {
+		return le.e, le.version, true
+	}
+	e, _ := s.base.Lookup(channel)
+	return e, 0, false
+}
+
+// Update installs a mapping learned from a switch or wrong-server
+// notification. Stale versions (older than the stored entry) are ignored.
+// It reports whether the store changed.
+func (s *Store) Update(channel string, e plan.Entry, version uint64, now time.Time) bool {
+	if !e.Strategy.Valid() || len(e.Servers) == 0 || channel == "" {
+		return false
+	}
+	if le, ok := s.entries[channel]; ok && version < le.version {
+		return false
+	}
+	s.entries[channel] = &entry{
+		e:        plan.Entry{Strategy: e.Strategy, Servers: append([]plan.ServerID(nil), e.Servers...)},
+		version:  version,
+		lastUsed: now,
+	}
+	return true
+}
+
+// Touch resets a channel's entry timer (called when the client sends or
+// receives a publication on it).
+func (s *Store) Touch(channel string, now time.Time) {
+	if le, ok := s.entries[channel]; ok {
+		le.lastUsed = now
+	}
+}
+
+// Forget drops a channel's entry immediately.
+func (s *Store) Forget(channel string) { delete(s.entries, channel) }
+
+// Sweep removes entries idle past the timeout, except for channels where
+// keep returns true (the client is subscribed — §IV-A5 keeps those).
+// It returns the number of entries dropped.
+func (s *Store) Sweep(now time.Time, keep func(channel string) bool) int {
+	dropped := 0
+	for ch, le := range s.entries {
+		if keep != nil && keep(ch) {
+			continue
+		}
+		if now.Sub(le.lastUsed) > s.timeout {
+			delete(s.entries, ch)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Len returns the number of learned entries (the paper's "local plan size").
+func (s *Store) Len() int { return len(s.entries) }
+
+// Timeout returns the entry timeout.
+func (s *Store) Timeout() time.Duration { return s.timeout }

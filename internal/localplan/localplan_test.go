@@ -1,0 +1,176 @@
+package localplan
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func mkEntry(strategy plan.Strategy, servers ...string) plan.Entry {
+	return plan.Entry{Strategy: strategy, Servers: servers}
+}
+
+func TestLookupFallback(t *testing.T) {
+	s := New([]string{"s1", "s2"}, 0)
+	e, v := s.Lookup("ch", epoch)
+	if v != 0 || len(e.Servers) != 1 {
+		t.Fatalf("fallback=%+v v=%d", e, v)
+	}
+	if e.Servers[0] != s.Base().Home("ch") {
+		t.Fatal("fallback disagrees with ring")
+	}
+	if s.Len() != 0 {
+		t.Fatal("fallback lookup created an entry")
+	}
+}
+
+func TestUpdateAndVersioning(t *testing.T) {
+	s := New([]string{"s1", "s2"}, 0)
+	if !s.Update("ch", mkEntry(plan.StrategySingle, "s2"), 5, epoch) {
+		t.Fatal("update rejected")
+	}
+	e, v := s.Lookup("ch", epoch)
+	if v != 5 || e.Servers[0] != "s2" {
+		t.Fatalf("entry=%+v v=%d", e, v)
+	}
+	// Older version ignored.
+	if s.Update("ch", mkEntry(plan.StrategySingle, "s1"), 4, epoch) {
+		t.Fatal("stale update applied")
+	}
+	// Same version re-applied (idempotent refresh).
+	if !s.Update("ch", mkEntry(plan.StrategySingle, "s1"), 5, epoch) {
+		t.Fatal("same-version refresh rejected")
+	}
+	// Newer version wins.
+	if !s.Update("ch", mkEntry(plan.StrategyAllPublishers, "s1", "s2"), 6, epoch) {
+		t.Fatal("newer update rejected")
+	}
+	e, v = s.Lookup("ch", epoch)
+	if v != 6 || e.Strategy != plan.StrategyAllPublishers {
+		t.Fatalf("entry=%+v v=%d", e, v)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	s := New([]string{"s1"}, 0)
+	if s.Update("", mkEntry(plan.StrategySingle, "s1"), 1, epoch) {
+		t.Fatal("empty channel accepted")
+	}
+	if s.Update("ch", plan.Entry{Strategy: plan.StrategySingle}, 1, epoch) {
+		t.Fatal("empty server set accepted")
+	}
+	if s.Update("ch", plan.Entry{Strategy: 0, Servers: []string{"s1"}}, 1, epoch) {
+		t.Fatal("invalid strategy accepted")
+	}
+}
+
+func TestUpdateCopiesServers(t *testing.T) {
+	s := New([]string{"s1"}, 0)
+	servers := []string{"s1"}
+	s.Update("ch", plan.Entry{Strategy: plan.StrategySingle, Servers: servers}, 1, epoch)
+	servers[0] = "mutated"
+	if e, _ := s.Lookup("ch", epoch); e.Servers[0] != "s1" {
+		t.Fatal("store aliases caller slice")
+	}
+}
+
+func TestSweepExpiry(t *testing.T) {
+	s := New([]string{"s1", "s2"}, 10*time.Second)
+	s.Update("old", mkEntry(plan.StrategySingle, "s2"), 1, epoch)
+	s.Update("fresh", mkEntry(plan.StrategySingle, "s2"), 1, epoch.Add(8*time.Second))
+	s.Update("kept", mkEntry(plan.StrategySingle, "s2"), 1, epoch)
+
+	dropped := s.Sweep(epoch.Add(11*time.Second), func(ch string) bool { return ch == "kept" })
+	if dropped != 1 {
+		t.Fatalf("dropped=%d, want 1", dropped)
+	}
+	if _, _, ok := s.Peek("old"); ok {
+		t.Fatal("expired entry survived")
+	}
+	if _, _, ok := s.Peek("fresh"); !ok {
+		t.Fatal("fresh entry swept")
+	}
+	if _, _, ok := s.Peek("kept"); !ok {
+		t.Fatal("subscribed entry swept")
+	}
+}
+
+func TestTouchAndLookupResetTimer(t *testing.T) {
+	s := New([]string{"s1"}, 10*time.Second)
+	s.Update("a", mkEntry(plan.StrategySingle, "s1"), 1, epoch)
+	s.Update("b", mkEntry(plan.StrategySingle, "s1"), 1, epoch)
+	// Touch "a" (receive), Lookup "b" (send) at t=9s: both timers reset.
+	s.Touch("a", epoch.Add(9*time.Second))
+	s.Lookup("b", epoch.Add(9*time.Second))
+	if dropped := s.Sweep(epoch.Add(15*time.Second), nil); dropped != 0 {
+		t.Fatalf("dropped=%d after timer resets", dropped)
+	}
+	if dropped := s.Sweep(epoch.Add(25*time.Second), nil); dropped != 2 {
+		t.Fatalf("dropped=%d, want 2", dropped)
+	}
+}
+
+func TestForget(t *testing.T) {
+	s := New([]string{"s1"}, 0)
+	s.Update("a", mkEntry(plan.StrategySingle, "s1"), 1, epoch)
+	s.Forget("a")
+	if s.Len() != 0 {
+		t.Fatal("Forget failed")
+	}
+}
+
+func TestDefaultTimeout(t *testing.T) {
+	s := New([]string{"s1"}, 0)
+	if s.Timeout() != DefaultTimeout {
+		t.Fatalf("timeout=%v", s.Timeout())
+	}
+}
+
+func TestUpdateRing(t *testing.T) {
+	s := New([]string{"s1"}, 0)
+	if s.Base().Home("ch") != "s1" {
+		t.Fatal("single-member ring broken")
+	}
+	// Newer version with more members: applied.
+	if !s.UpdateRing([]string{"s1", "s2"}, 3) {
+		t.Fatal("ring update rejected")
+	}
+	foundS2 := false
+	for i := 0; i < 200 && !foundS2; i++ {
+		foundS2 = s.Base().Home("probe-"+string(rune('a'+i%26))+string(rune('0'+i/26))) == "s2"
+	}
+	if !foundS2 {
+		t.Fatal("updated ring never maps to the new member")
+	}
+	// Same or older version: ignored.
+	if s.UpdateRing([]string{"s1"}, 3) {
+		t.Fatal("same-version ring update applied")
+	}
+	if s.UpdateRing([]string{"s1"}, 2) {
+		t.Fatal("older ring update applied")
+	}
+	// Same membership at a newer version: version advances, no rebuild.
+	if s.UpdateRing([]string{"s2", "s1"}, 4) {
+		t.Fatal("identical membership reported as change")
+	}
+	// But the version was consumed: a later conflicting v4 is stale.
+	if s.UpdateRing([]string{"s9"}, 4) {
+		t.Fatal("stale version applied after version consumption")
+	}
+	// Empty membership never applies.
+	if s.UpdateRing(nil, 99) {
+		t.Fatal("empty ring update applied")
+	}
+}
+
+func TestUpdateRingKeepsEntries(t *testing.T) {
+	s := New([]string{"s1"}, 0)
+	s.Update("ch", mkEntry(plan.StrategySingle, "s1"), 2, epoch)
+	s.UpdateRing([]string{"s1", "s2"}, 5)
+	if e, v := s.Lookup("ch", epoch); v != 2 || e.Servers[0] != "s1" {
+		t.Fatalf("entry lost on ring update: %+v v=%d", e, v)
+	}
+}

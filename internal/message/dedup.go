@@ -1,0 +1,66 @@
+package message
+
+import "sync"
+
+// Deduper filters duplicate message IDs. During a reconfiguration a client
+// may briefly be subscribed to a channel on both the old and the new pub/sub
+// server and receive the same publication twice (§IV-A3 of the paper);
+// the client library passes every inbound data message through a Deduper so
+// the application sees it exactly once.
+//
+// Seen IDs are kept in a fixed-capacity FIFO window: once capacity is
+// exceeded, the oldest IDs are forgotten. The double-delivery window during
+// reconfiguration is short (seconds), so a window of a few thousand messages
+// is ample; a forgotten ID could only cause a duplicate if the same message
+// were redelivered after thousands of intervening messages, which the
+// protocol never does.
+type Deduper struct {
+	mu   sync.Mutex
+	seen map[ID]struct{}
+	fifo []ID
+	next int // ring index of the oldest entry
+}
+
+// DefaultDedupWindow is the number of recent message IDs remembered when no
+// explicit capacity is given.
+const DefaultDedupWindow = 4096
+
+// NewDeduper creates a Deduper remembering the last capacity IDs.
+// A non-positive capacity selects DefaultDedupWindow.
+func NewDeduper(capacity int) *Deduper {
+	if capacity <= 0 {
+		capacity = DefaultDedupWindow
+	}
+	return &Deduper{
+		seen: make(map[ID]struct{}, capacity),
+		fifo: make([]ID, capacity),
+	}
+}
+
+// Observe records the ID and reports whether it was seen before.
+// Zero IDs (messages without an ID) are never considered duplicates.
+func (d *Deduper) Observe(id ID) (duplicate bool) {
+	if id.IsZero() {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.seen[id]; ok {
+		return true
+	}
+	// Evict the slot we are about to overwrite.
+	if old := d.fifo[d.next]; !old.IsZero() {
+		delete(d.seen, old)
+	}
+	d.fifo[d.next] = id
+	d.next = (d.next + 1) % len(d.fifo)
+	d.seen[id] = struct{}{}
+	return false
+}
+
+// Len returns the number of IDs currently remembered.
+func (d *Deduper) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.seen)
+}

@@ -1,0 +1,104 @@
+package message
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDeduperBasic(t *testing.T) {
+	d := NewDeduper(8)
+	a := ID{Node: 1, Seq: 1}
+	b := ID{Node: 1, Seq: 2}
+	if d.Observe(a) {
+		t.Fatal("first observation reported duplicate")
+	}
+	if !d.Observe(a) {
+		t.Fatal("second observation not reported duplicate")
+	}
+	if d.Observe(b) {
+		t.Fatal("distinct ID reported duplicate")
+	}
+	if got := d.Len(); got != 2 {
+		t.Fatalf("Len=%d, want 2", got)
+	}
+}
+
+func TestDeduperZeroIDNeverDuplicate(t *testing.T) {
+	d := NewDeduper(4)
+	for i := 0; i < 10; i++ {
+		if d.Observe(ID{}) {
+			t.Fatal("zero ID reported duplicate")
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatal("zero IDs must not be remembered")
+	}
+}
+
+func TestDeduperEviction(t *testing.T) {
+	const capacity = 16
+	d := NewDeduper(capacity)
+	for seq := uint64(1); seq <= capacity+4; seq++ {
+		d.Observe(ID{Node: 1, Seq: seq})
+	}
+	// The first 4 IDs fell out of the window; re-observing them is "new".
+	for seq := uint64(1); seq <= 4; seq++ {
+		if d.Observe(ID{Node: 1, Seq: seq}) {
+			t.Fatalf("evicted ID seq=%d still reported duplicate", seq)
+		}
+	}
+	// Recent IDs are still remembered. Observing seq 1..4 above evicted the
+	// then-oldest entries 5..8, so check only the newest 4.
+	for seq := uint64(capacity + 1); seq <= capacity+4; seq++ {
+		if !d.Observe(ID{Node: 1, Seq: seq}) {
+			t.Fatalf("recent ID seq=%d forgotten", seq)
+		}
+	}
+	if got := d.Len(); got > capacity {
+		t.Fatalf("Len=%d exceeds capacity %d", got, capacity)
+	}
+}
+
+func TestDeduperDefaultCapacity(t *testing.T) {
+	d := NewDeduper(0)
+	for seq := uint64(1); seq <= DefaultDedupWindow; seq++ {
+		if d.Observe(ID{Node: 2, Seq: seq}) {
+			t.Fatalf("fresh ID seq=%d reported duplicate", seq)
+		}
+	}
+	if got := d.Len(); got != DefaultDedupWindow {
+		t.Fatalf("Len=%d, want %d", got, DefaultDedupWindow)
+	}
+}
+
+func TestDeduperConcurrent(t *testing.T) {
+	d := NewDeduper(1 << 16)
+	const workers = 8
+	const per = 2000
+	dups := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			// All workers observe the same ID stream; each ID must be
+			// reported new exactly once across all workers.
+			for seq := uint64(1); seq <= per; seq++ {
+				if d.Observe(ID{Node: 3, Seq: seq}) {
+					n++
+				}
+			}
+			dups <- n
+		}()
+	}
+	wg.Wait()
+	close(dups)
+	total := 0
+	for n := range dups {
+		total += n
+	}
+	if want := per * (workers - 1); total != want {
+		t.Fatalf("duplicate count=%d, want %d", total, want)
+	}
+}

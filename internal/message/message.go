@@ -1,0 +1,283 @@
+// Package message defines the wire-level envelope that all Dynamoth traffic —
+// application publications as well as control messages (switch notifications,
+// wrong-server redirects, plans, load reports) — is wrapped in before being
+// handed to the underlying pub/sub substrate.
+//
+// The paper (§IV-3) requires globally unique message identifiers so that the
+// client library can deliver each publication exactly once even when a
+// reconfiguration causes it to arrive over two servers. IDs here are a
+// (node, sequence) pair which is unique without coordination.
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Type discriminates envelope kinds on the wire.
+type Type uint8
+
+// Envelope types. TypeData carries an application payload; all others are
+// Dynamoth control traffic (§IV of the paper).
+const (
+	// TypeData is an application publication.
+	TypeData Type = iota + 1
+	// TypeSwitch asks subscribers of a channel to move to new server(s);
+	// emitted by a dispatcher on the first post-plan publication (§IV-A2).
+	TypeSwitch
+	// TypeWrongServer tells a publisher it used an outdated server for a
+	// channel and names the correct one (§IV "Publishing on old server").
+	TypeWrongServer
+	// TypePlan carries a new global plan from the load balancer to the
+	// dispatchers (§IV-A1).
+	TypePlan
+	// TypeLoadReport carries aggregated LLA metrics to the load balancer
+	// (§III-A).
+	TypeLoadReport
+	// TypeDrained notifies the dispatcher of the new server that the old
+	// server has no subscribers left for a channel, so new→old forwarding
+	// can stop (§IV-A5).
+	TypeDrained
+	// TypeForwarded marks a publication relayed between dispatchers during
+	// reconfiguration so it is not re-forwarded (loop prevention).
+	TypeForwarded
+)
+
+// String returns a short human-readable name for the envelope type.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "data"
+	case TypeSwitch:
+		return "switch"
+	case TypeWrongServer:
+		return "wrong-server"
+	case TypePlan:
+		return "plan"
+	case TypeLoadReport:
+		return "load-report"
+	case TypeDrained:
+		return "drained"
+	case TypeForwarded:
+		return "forwarded"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// ID is a globally unique message identifier: the originating node's numeric
+// ID plus a per-node sequence number.
+type ID struct {
+	Node uint32
+	Seq  uint64
+}
+
+// IsZero reports whether the ID is the zero value (no ID assigned).
+func (id ID) IsZero() bool { return id.Node == 0 && id.Seq == 0 }
+
+// String formats the ID as "node:seq".
+func (id ID) String() string { return fmt.Sprintf("%d:%d", id.Node, id.Seq) }
+
+// Envelope is the unit of transmission. Exactly which fields are meaningful
+// depends on Type; unused fields are zero and cost one byte each on the wire.
+type Envelope struct {
+	Type    Type
+	ID      ID
+	Channel string // application channel the envelope concerns
+	Payload []byte // application payload or encoded control body
+
+	// Servers names pub/sub servers for TypeSwitch (the new server set) and
+	// TypeWrongServer (the correct server set).
+	Servers []string
+	// RingServers carries the plan's consistent-hash ring membership on
+	// switch/redirect notifications, so clients keep their fallback ring in
+	// step with the active server set (§II-C: clients hash over the
+	// current servers).
+	RingServers []string
+	// Strategy is the plan.Strategy for the channel, carried with switch and
+	// wrong-server messages so clients can honor replication (encoded as a
+	// raw byte here to avoid an import cycle).
+	Strategy uint8
+	// PlanVersion is the plan version this control message derives from.
+	PlanVersion uint64
+}
+
+const envelopeMagic = 0xD7
+
+// Encoding errors.
+var (
+	ErrTruncated  = errors.New("message: truncated envelope")
+	ErrBadMagic   = errors.New("message: bad envelope magic byte")
+	ErrFieldRange = errors.New("message: field exceeds sane bounds")
+)
+
+// maxFieldLen bounds string/slice fields to keep a corrupted length prefix
+// from allocating unbounded memory.
+const maxFieldLen = 1 << 24
+
+// Marshal encodes the envelope into a compact binary form.
+//
+// Layout: magic, type, planVersion(uvarint), node(uvarint), seq(uvarint),
+// channel(len-prefixed), strategy, servers(count + len-prefixed each),
+// payload (remainder).
+func (e *Envelope) Marshal() []byte {
+	n := 2 + // magic + type
+		binary.MaxVarintLen64*3 +
+		binary.MaxVarintLen32 + len(e.Channel) +
+		1 + // strategy
+		2*binary.MaxVarintLen32
+	for _, s := range e.Servers {
+		n += binary.MaxVarintLen32 + len(s)
+	}
+	for _, s := range e.RingServers {
+		n += binary.MaxVarintLen32 + len(s)
+	}
+	n += len(e.Payload)
+
+	buf := make([]byte, 0, n)
+	buf = append(buf, envelopeMagic, byte(e.Type))
+	buf = binary.AppendUvarint(buf, e.PlanVersion)
+	buf = binary.AppendUvarint(buf, uint64(e.ID.Node))
+	buf = binary.AppendUvarint(buf, e.ID.Seq)
+	buf = appendString(buf, e.Channel)
+	buf = append(buf, e.Strategy)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Servers)))
+	for _, s := range e.Servers {
+		buf = appendString(buf, s)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(e.RingServers)))
+	for _, s := range e.RingServers {
+		buf = appendString(buf, s)
+	}
+	buf = append(buf, e.Payload...)
+	return buf
+}
+
+// Unmarshal decodes an envelope previously produced by Marshal. The returned
+// envelope's Payload aliases data; callers that retain the payload past the
+// lifetime of data must copy it.
+func Unmarshal(data []byte) (*Envelope, error) {
+	if len(data) < 2 {
+		return nil, ErrTruncated
+	}
+	if data[0] != envelopeMagic {
+		return nil, ErrBadMagic
+	}
+	e := &Envelope{Type: Type(data[1])}
+	rest := data[2:]
+
+	var err error
+	var u uint64
+	if u, rest, err = readUvarint(rest); err != nil {
+		return nil, err
+	}
+	e.PlanVersion = u
+	if u, rest, err = readUvarint(rest); err != nil {
+		return nil, err
+	}
+	if u > math.MaxUint32 {
+		return nil, ErrFieldRange
+	}
+	e.ID.Node = uint32(u)
+	if u, rest, err = readUvarint(rest); err != nil {
+		return nil, err
+	}
+	e.ID.Seq = u
+	if e.Channel, rest, err = readString(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) < 1 {
+		return nil, ErrTruncated
+	}
+	e.Strategy = rest[0]
+	rest = rest[1:]
+	if u, rest, err = readUvarint(rest); err != nil {
+		return nil, err
+	}
+	if u > maxFieldLen {
+		return nil, ErrFieldRange
+	}
+	if u > 0 {
+		e.Servers = make([]string, u)
+		for i := range e.Servers {
+			if e.Servers[i], rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if u, rest, err = readUvarint(rest); err != nil {
+		return nil, err
+	}
+	if u > maxFieldLen {
+		return nil, ErrFieldRange
+	}
+	if u > 0 {
+		e.RingServers = make([]string, u)
+		for i := range e.RingServers {
+			if e.RingServers[i], rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(rest) > 0 {
+		e.Payload = rest
+	}
+	return e, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readUvarint(data []byte) (uint64, []byte, error) {
+	u, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return u, data[n:], nil
+}
+
+func readString(data []byte) (string, []byte, error) {
+	u, rest, err := readUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if u > maxFieldLen {
+		return "", nil, ErrFieldRange
+	}
+	if uint64(len(rest)) < u {
+		return "", nil, ErrTruncated
+	}
+	return string(rest[:u]), rest[u:], nil
+}
+
+// WireSize returns the exact encoded size of the envelope. It is used by the
+// simulator's bandwidth model so simulated byte counts equal live byte counts.
+func (e *Envelope) WireSize() int { return len(e.Marshal()) }
+
+// Generator allocates globally unique message IDs for one node. The zero
+// value is not usable; create one with NewGenerator.
+type Generator struct {
+	node uint32
+	seq  atomic.Uint64
+}
+
+// NewGenerator returns an ID generator for the given non-zero node ID.
+func NewGenerator(node uint32) *Generator {
+	if node == 0 {
+		panic("message: node ID must be non-zero")
+	}
+	return &Generator{node: node}
+}
+
+// Next returns a fresh unique ID. It is safe for concurrent use.
+func (g *Generator) Next() ID {
+	return ID{Node: g.node, Seq: g.seq.Add(1)}
+}
+
+// Node returns the node component embedded in IDs from this generator.
+func (g *Generator) Node() uint32 { return g.node }

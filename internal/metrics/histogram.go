@@ -1,0 +1,262 @@
+// Package metrics provides the measurement primitives used by the Dynamoth
+// load-monitoring pipeline and the experiment harness: latency histograms
+// with quantiles, running summaries, windowed rates, and printable time
+// series (the data behind every figure in the paper's evaluation).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram is a log-bucketed duration histogram, cheap enough to sit on the
+// publish hot path. Buckets grow geometrically from Min to Max; values
+// outside the range clamp to the edge buckets. The zero value is unusable;
+// create with NewHistogram.
+type Histogram struct {
+	mu      sync.Mutex
+	counts  []uint64
+	min     float64 // seconds
+	ratio   float64 // log bucket growth factor
+	logMin  float64
+	logStep float64
+	total   uint64
+	sum     float64 // seconds
+	maxSeen float64
+	minSeen float64
+}
+
+// NewHistogram creates a histogram covering [min, max] with the given number
+// of geometric buckets. Typical latency use: NewHistogram(time.Millisecond,
+// 10*time.Second, 200) gives ~4.7% bucket resolution.
+func NewHistogram(min, max time.Duration, buckets int) *Histogram {
+	if min <= 0 || max <= min || buckets < 2 {
+		panic("metrics: invalid histogram bounds")
+	}
+	lo := min.Seconds()
+	hi := max.Seconds()
+	h := &Histogram{
+		counts:  make([]uint64, buckets),
+		min:     lo,
+		logMin:  math.Log(lo),
+		logStep: (math.Log(hi) - math.Log(lo)) / float64(buckets),
+		minSeen: math.Inf(1),
+	}
+	h.ratio = math.Exp(h.logStep)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	if s < 0 {
+		s = 0
+	}
+	i := 0
+	if s > h.min {
+		i = int((math.Log(s) - h.logMin) / h.logStep)
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += s
+	if s > h.maxSeen {
+		h.maxSeen = s
+	}
+	if s < h.minSeen {
+		h.minSeen = s
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the mean observed duration, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total) * float64(time.Second))
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.maxSeen * float64(time.Second))
+}
+
+// Min returns the smallest observed duration.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.minSeen * float64(time.Second))
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1), using the
+// geometric midpoint of the bucket containing the rank.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 || q <= 0 || q > 1 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			lo := math.Exp(h.logMin + float64(i)*h.logStep)
+			mid := lo * math.Sqrt(h.ratio)
+			if i == 0 {
+				mid = lo // first bucket also holds values below min
+			}
+			return time.Duration(mid * float64(time.Second))
+		}
+	}
+	return time.Duration(h.maxSeen * float64(time.Second))
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.maxSeen = 0, 0, 0
+	h.minSeen = math.Inf(1)
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// String renders the snapshot on one line.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}
+
+// Summary accumulates count/mean/min/max of a float series. The zero value
+// is ready to use.
+type Summary struct {
+	mu    sync.Mutex
+	n     uint64
+	sum   float64
+	min   float64
+	max   float64
+	first bool
+}
+
+// Add records one value.
+func (s *Summary) Add(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.first {
+		s.min, s.max, s.first = v, v, true
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	s.sum += v
+}
+
+// Count returns the number of recorded values.
+func (s *Summary) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Mean returns the mean, or 0 with no values.
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest value, or 0 with none.
+func (s *Summary) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.min
+}
+
+// Max returns the largest value, or 0 with none.
+func (s *Summary) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Percentile computes the p-quantile (0..1) of a raw sample slice, sorting a
+// copy. Intended for offline experiment post-processing, not hot paths.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), samples...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 1 {
+		return cp[len(cp)-1]
+	}
+	idx := p * float64(len(cp)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := idx - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}

@@ -1,0 +1,283 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Second, 200)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count=%d", got)
+	}
+	mean := h.Mean()
+	if mean < 45*time.Millisecond || mean > 56*time.Millisecond {
+		t.Fatalf("Mean=%v, want ~50.5ms", mean)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("Max=%v", got)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Fatalf("Min=%v", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("P50=%v, want ~50ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90*time.Millisecond || p99 > 110*time.Millisecond {
+		t.Fatalf("P99=%v, want ~99ms", p99)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second, 50)
+	h.Observe(-5 * time.Millisecond) // below zero clamps to 0
+	h.Observe(time.Microsecond)      // below min
+	h.Observe(time.Minute)           // above max
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count=%d", got)
+	}
+	if got := h.Quantile(1.0); got > time.Minute {
+		t.Fatalf("Quantile(1.0)=%v exceeds max seen", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second, 10)
+	if h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram stats not all zero")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second, 10)
+	h.Observe(time.Millisecond * 10)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Second, 100)
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(1+i%500) * time.Millisecond)
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %f (%v) < quantile before it (%v)", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramInvalidBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid bounds")
+		}
+	}()
+	NewHistogram(time.Second, time.Millisecond, 10)
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i%100+1) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count=%d, want 8000", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second, 16)
+	h.Observe(5 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("snapshot count=%d", s.Count)
+	}
+	if str := s.String(); !strings.Contains(str, "n=1") {
+		t.Fatalf("snapshot string %q", str)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 {
+		t.Fatal("empty summary mean not 0")
+	}
+	for _, v := range []float64{3, -1, 7, 5} {
+		s.Add(v)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count=%d", s.Count())
+	}
+	if s.Mean() != 3.5 {
+		t.Fatalf("Mean=%f", s.Mean())
+	}
+	if s.Min() != -1 || s.Max() != 7 {
+		t.Fatalf("Min=%f Max=%f", s.Min(), s.Max())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {0.5, 30}, {1, 50}, {0.25, 20}, {0.75, 40}, {-1, 10}, {2, 50},
+	}
+	for _, tt := range tests {
+		if got := Percentile(samples, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Fatalf("Percentile(%f)=%f, want %f", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("Percentile(nil)=%f", got)
+	}
+	// Must not mutate input.
+	in := []float64{3, 1, 2}
+	Percentile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Percentile sorted its input in place")
+	}
+}
+
+func TestPercentileWithinRangeQuick(t *testing.T) {
+	f := func(vals []float64, p float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 1)
+		got := Percentile(clean, p)
+		lo, hi := clean[0], clean[0]
+		for _, v := range clean {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesRecordAndTable(t *testing.T) {
+	s := NewSeries("t", "players", "latency")
+	s.Record(0, "players", 120)
+	s.Record(0, "latency", 0.075)
+	s.Record(10, "players", 240)
+	s.Mark(10, "rebalance")
+
+	if v, ok := s.Get(0, "players"); !ok || v != 120 {
+		t.Fatalf("Get(0,players)=%f,%t", v, ok)
+	}
+	if _, ok := s.Get(10, "latency"); ok {
+		t.Fatal("missing cell reported present")
+	}
+	if _, ok := s.Get(0, "nope"); ok {
+		t.Fatal("unknown column reported present")
+	}
+
+	xs := s.Xs()
+	if len(xs) != 2 || xs[0] != 0 || xs[1] != 10 {
+		t.Fatalf("Xs=%v", xs)
+	}
+
+	table := s.Table()
+	for _, want := range []string{"players", "latency", "120", "240", "0.07", "rebalance", "-"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestSeriesColumn(t *testing.T) {
+	s := NewSeries("x", "y")
+	for i := 0; i < 5; i++ {
+		s.Record(float64(i), "y", float64(i*i))
+	}
+	xs, vals := s.Column("y")
+	if len(xs) != 5 || len(vals) != 5 {
+		t.Fatalf("Column lengths %d/%d", len(xs), len(vals))
+	}
+	for i := range xs {
+		if xs[i] != float64(i) || vals[i] != float64(i*i) {
+			t.Fatalf("Column[%d]=(%f,%f)", i, xs[i], vals[i])
+		}
+	}
+}
+
+func TestSeriesUnknownColumnPanics(t *testing.T) {
+	s := NewSeries("x", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Record on unknown column did not panic")
+		}
+	}()
+	s.Record(0, "b", 1)
+}
+
+func TestSeriesMarkOnlyRow(t *testing.T) {
+	s := NewSeries("x", "a")
+	s.Mark(42, "event")
+	xs := s.Xs()
+	if len(xs) != 1 || xs[0] != 42 {
+		t.Fatalf("Xs=%v", xs)
+	}
+	if marks := s.Marks(42); len(marks) != 1 || marks[0] != "event" {
+		t.Fatalf("Marks=%v", marks)
+	}
+	if !strings.Contains(s.Table(), "event") {
+		t.Fatal("table missing mark-only row")
+	}
+}
+
+func TestSeriesConcurrent(t *testing.T) {
+	s := NewSeries("x", "a", "b")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			col := "a"
+			if w%2 == 1 {
+				col = "b"
+			}
+			for i := 0; i < 500; i++ {
+				s.Record(float64(i), col, float64(w))
+				s.Mark(float64(i%10), "m")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(s.Xs()); got != 500 {
+		t.Fatalf("rows=%d, want 500", got)
+	}
+}

@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/clock"
+)
+
+// DelayQueue executes callbacks at scheduled (possibly virtual) times. The
+// live in-memory transport uses one per direction to inject WAN latency and
+// pipe delays without spawning a goroutine per message: a single worker
+// sleeps until the earliest deadline and runs due callbacks in order.
+type DelayQueue struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	items   delayHeap
+	seq     uint64
+	wake    chan struct{}
+	stopped bool
+	done    chan struct{}
+}
+
+// NewDelayQueue creates and starts a delay queue on the given clock.
+// Callers must Stop it when done.
+func NewDelayQueue(clk clock.Clock) *DelayQueue {
+	q := &DelayQueue{
+		clk:  clk,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go q.run()
+	return q
+}
+
+// Schedule runs fn at time at (immediately, in the worker goroutine, if at
+// is already past). Callbacks scheduled for the same instant run in
+// scheduling order. Schedule after Stop is a no-op.
+func (q *DelayQueue) Schedule(at time.Time, fn func()) {
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		return
+	}
+	heap.Push(&q.items, &delayItem{at: at, seq: q.seq, fn: fn})
+	q.seq++
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// ScheduleAfter runs fn after d on the queue's clock.
+func (q *DelayQueue) ScheduleAfter(d time.Duration, fn func()) {
+	q.Schedule(q.clk.Now().Add(d), fn)
+}
+
+// Len returns the number of pending callbacks.
+func (q *DelayQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Stop terminates the worker. Pending callbacks are discarded. Stop blocks
+// until the worker has exited and is idempotent.
+func (q *DelayQueue) Stop() {
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		<-q.done
+		return
+	}
+	q.stopped = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	<-q.done
+}
+
+func (q *DelayQueue) run() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		if q.stopped {
+			q.mu.Unlock()
+			return
+		}
+		now := q.clk.Now()
+		var due []func()
+		for len(q.items) > 0 && !q.items[0].at.After(now) {
+			due = append(due, heap.Pop(&q.items).(*delayItem).fn)
+		}
+		var next time.Time
+		if len(q.items) > 0 {
+			next = q.items[0].at
+		}
+		q.mu.Unlock()
+
+		for _, fn := range due {
+			fn()
+		}
+		if len(due) > 0 {
+			continue // re-check for newly due work before sleeping
+		}
+
+		if next.IsZero() {
+			// Idle: wait for a Schedule or Stop.
+			<-q.wake
+			continue
+		}
+		timer := q.clk.NewTimer(next.Sub(now))
+		select {
+		case <-timer.C():
+		case <-q.wake:
+			timer.Stop()
+		}
+	}
+}
+
+type delayItem struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type delayHeap []*delayItem
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)   { *h = append(*h, x.(*delayItem)) }
+func (h *delayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

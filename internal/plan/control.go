@@ -1,0 +1,47 @@
+package plan
+
+import "strings"
+
+// ControlPrefix marks Dynamoth's internal control channels. The paper routes
+// all inter-component communication (plans, load reports, drain
+// notifications, client redirects) over the pub/sub substrate itself; these
+// channels are pinned — the load balancer never migrates or replicates them.
+const ControlPrefix = "__dynamoth."
+
+// Control channel names.
+const (
+	// PlanChannel carries new global plans from the load balancer to the
+	// dispatchers. The LB publishes the plan on every server's broker so
+	// delivery does not depend on the plan being up to date.
+	PlanChannel = ControlPrefix + "plan"
+	// ReportChannel carries LLA aggregate updates to the load balancer.
+	ReportChannel = ControlPrefix + "reports"
+)
+
+// IsControlChannel reports whether ch is a Dynamoth control channel.
+func IsControlChannel(ch string) bool { return strings.HasPrefix(ch, ControlPrefix) }
+
+// DispatchChannel is the control channel on which a server's dispatcher
+// receives dispatcher-to-dispatcher notifications (e.g. "channel drained").
+func DispatchChannel(server ServerID) string { return ControlPrefix + "dispatch." + server }
+
+// InboxChannel is the per-client control channel for server-to-client
+// notifications (wrong-server redirects). Clients subscribe to their inbox
+// at its consistent-hash home server.
+func InboxChannel(node uint32) string {
+	return ControlPrefix + "inbox." + uitoa(node)
+}
+
+func uitoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

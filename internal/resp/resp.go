@@ -1,0 +1,359 @@
+// Package resp implements the Redis serialization protocol (RESP2).
+//
+// Dynamoth runs on top of unmodified, Redis-like pub/sub servers (paper
+// §II-A); this package provides the wire format those servers and the client
+// library speak over TCP: simple strings, errors, integers, bulk strings,
+// arrays (including null bulk strings and null arrays), plus the inline
+// command form. It is a from-scratch implementation against the public
+// protocol specification.
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Kind identifies a RESP value type.
+type Kind uint8
+
+// RESP value kinds.
+const (
+	KindSimpleString Kind = iota + 1
+	KindError
+	KindInteger
+	KindBulkString
+	KindArray
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindSimpleString:
+		return "simple-string"
+	case KindError:
+		return "error"
+	case KindInteger:
+		return "integer"
+	case KindBulkString:
+		return "bulk-string"
+	case KindArray:
+		return "array"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a decoded RESP value.
+type Value struct {
+	Kind  Kind
+	Str   []byte  // simple string, error, or bulk string contents
+	Int   int64   // integer contents
+	Array []Value // array elements
+	Null  bool    // null bulk string ($-1) or null array (*-1)
+}
+
+// Protocol errors.
+var (
+	ErrProtocol = errors.New("resp: protocol error")
+	ErrTooLarge = errors.New("resp: element exceeds size limit")
+)
+
+// MaxBulkLen bounds bulk string and array sizes to keep a corrupt or
+// malicious length prefix from exhausting memory (Redis uses 512 MB; pub/sub
+// payloads here are small, so we are stricter).
+const MaxBulkLen = 64 << 20
+
+// maxArrayLen bounds array element counts.
+const maxArrayLen = 1 << 20
+
+// ---------------------------------------------------------------------------
+// Reader
+
+// Reader decodes RESP values from a stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r in a RESP decoder.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 16<<10)}
+}
+
+// ReadValue reads one complete RESP value.
+func (r *Reader) ReadValue() (Value, error) {
+	t, err := r.br.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch t {
+	case '+':
+		line, err := r.readLine()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: KindSimpleString, Str: line}, nil
+	case '-':
+		line, err := r.readLine()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: KindError, Str: line}, nil
+	case ':':
+		n, err := r.readInt()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: KindInteger, Int: n}, nil
+	case '$':
+		return r.readBulk()
+	case '*':
+		return r.readArray()
+	default:
+		return Value{}, fmt.Errorf("%w: unexpected type byte %q", ErrProtocol, t)
+	}
+}
+
+// ReadCommand reads a client command: either an array of bulk strings or an
+// inline command (space-separated words on one line). It returns the
+// arguments with the command name first.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	t, err := r.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if t != '*' {
+		// Inline command.
+		if err := r.br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		line, err := r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		fields := bytes.Fields(line)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("%w: empty inline command", ErrProtocol)
+		}
+		return fields, nil
+	}
+	n, err := r.readInt()
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > maxArrayLen {
+		return nil, fmt.Errorf("%w: command array length %d", ErrProtocol, n)
+	}
+	args := make([][]byte, n)
+	for i := range args {
+		v, err := r.ReadValue()
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind != KindBulkString || v.Null {
+			return nil, fmt.Errorf("%w: command element %d is %s, want bulk string", ErrProtocol, i, v.Kind)
+		}
+		args[i] = v.Str
+	}
+	return args, nil
+}
+
+func (r *Reader) readBulk() (Value, error) {
+	n, err := r.readInt()
+	if err != nil {
+		return Value{}, err
+	}
+	if n == -1 {
+		return Value{Kind: KindBulkString, Null: true}, nil
+	}
+	if n < 0 || n > MaxBulkLen {
+		return Value{}, fmt.Errorf("%w: bulk length %d", ErrTooLarge, n)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return Value{}, unexpectedEOF(err)
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return Value{}, fmt.Errorf("%w: bulk string missing CRLF terminator", ErrProtocol)
+	}
+	return Value{Kind: KindBulkString, Str: buf[:n]}, nil
+}
+
+func (r *Reader) readArray() (Value, error) {
+	n, err := r.readInt()
+	if err != nil {
+		return Value{}, err
+	}
+	if n == -1 {
+		return Value{Kind: KindArray, Null: true}, nil
+	}
+	if n < 0 || n > maxArrayLen {
+		return Value{}, fmt.Errorf("%w: array length %d", ErrTooLarge, n)
+	}
+	v := Value{Kind: KindArray}
+	if n > 0 {
+		v.Array = make([]Value, n)
+		for i := range v.Array {
+			elem, err := r.ReadValue()
+			if err != nil {
+				return Value{}, err
+			}
+			v.Array[i] = elem
+		}
+	}
+	return v, nil
+}
+
+// readLine reads up to CRLF and returns the line without the terminator.
+// The returned slice is an independent copy.
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadBytes('\n')
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("%w: line not CRLF-terminated", ErrProtocol)
+	}
+	out := make([]byte, len(line)-2)
+	copy(out, line[:len(line)-2])
+	return out, nil
+}
+
+func (r *Reader) readInt() (int64, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(string(line), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
+	}
+	return n, nil
+}
+
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+// Writer encodes RESP values onto a stream. Callers must Flush to push
+// buffered data out.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w in a RESP encoder.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 16<<10)}
+}
+
+// Flush writes any buffered data to the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// WriteSimpleString writes "+s\r\n".
+func (w *Writer) WriteSimpleString(s string) error {
+	w.bw.WriteByte('+') //nolint:errcheck // bufio sticky error checked at Flush
+	w.bw.WriteString(s) //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteError writes "-msg\r\n".
+func (w *Writer) WriteError(msg string) error {
+	w.bw.WriteByte('-')   //nolint:errcheck
+	w.bw.WriteString(msg) //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteInteger writes ":n\r\n".
+func (w *Writer) WriteInteger(n int64) error {
+	w.bw.WriteByte(':')                       //nolint:errcheck
+	w.bw.Write(strconv.AppendInt(nil, n, 10)) //nolint:errcheck
+	if _, err := w.bw.WriteString("\r\n"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteBulk writes a bulk string "$len\r\nbytes\r\n".
+func (w *Writer) WriteBulk(b []byte) error {
+	w.bw.WriteByte('$')                                   //nolint:errcheck
+	w.bw.Write(strconv.AppendInt(nil, int64(len(b)), 10)) //nolint:errcheck
+	w.bw.WriteString("\r\n")                              //nolint:errcheck
+	w.bw.Write(b)                                         //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteBulkString writes a string as a bulk string.
+func (w *Writer) WriteBulkString(s string) error { return w.WriteBulk([]byte(s)) }
+
+// WriteNullBulk writes the null bulk string "$-1\r\n".
+func (w *Writer) WriteNullBulk() error {
+	_, err := w.bw.WriteString("$-1\r\n")
+	return err
+}
+
+// WriteArrayHeader writes "*n\r\n"; the caller then writes n elements.
+func (w *Writer) WriteArrayHeader(n int) error {
+	w.bw.WriteByte('*')                              //nolint:errcheck
+	w.bw.Write(strconv.AppendInt(nil, int64(n), 10)) //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteCommand writes a command as an array of bulk strings.
+func (w *Writer) WriteCommand(args ...[]byte) error {
+	if err := w.WriteArrayHeader(len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.WriteBulk(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteValue writes an arbitrary decoded value back out (used by tests and
+// proxies).
+func (w *Writer) WriteValue(v Value) error {
+	switch v.Kind {
+	case KindSimpleString:
+		return w.WriteSimpleString(string(v.Str))
+	case KindError:
+		return w.WriteError(string(v.Str))
+	case KindInteger:
+		return w.WriteInteger(v.Int)
+	case KindBulkString:
+		if v.Null {
+			return w.WriteNullBulk()
+		}
+		return w.WriteBulk(v.Str)
+	case KindArray:
+		if v.Null {
+			_, err := w.bw.WriteString("*-1\r\n")
+			return err
+		}
+		if err := w.WriteArrayHeader(len(v.Array)); err != nil {
+			return err
+		}
+		for _, e := range v.Array {
+			if err := w.WriteValue(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: cannot encode kind %s", ErrProtocol, v.Kind)
+	}
+}

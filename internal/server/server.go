@@ -1,0 +1,151 @@
+// Package server assembles one Dynamoth node exactly as Figure 1 of the
+// paper draws it: a standard pub/sub server (broker), a local load analyzer,
+// and a dispatcher, collocated on one machine. The node publishes its LLA
+// reports on the control plane so the load balancer can aggregate them.
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/broker"
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/dispatcher"
+	"github.com/dynamoth/dynamoth/internal/lla"
+	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// Options configures a Node.
+type Options struct {
+	// ID is the server's identity in plans (e.g. "pub1").
+	ID plan.ServerID
+	// NodeNum is the numeric node ID used for control envelopes; must be
+	// unique across the deployment.
+	NodeNum uint32
+	// Initial is the bootstrap plan.
+	Initial *plan.Plan
+	// Forwarder lets the dispatcher publish on other servers.
+	Forwarder dispatcher.Forwarder
+	// Clock provides time (default real).
+	Clock clock.Clock
+	// MaxOutgoingBps is the node's theoretical egress capacity T_i.
+	MaxOutgoingBps float64
+	// Unit and ReportEvery configure the LLA (defaults 1 s / 3 s).
+	Unit, ReportEvery time.Duration
+	// OutputBuffer is the broker's per-session output limit.
+	OutputBuffer int
+	// DrainTimeout bounds dispatcher transitions.
+	DrainTimeout time.Duration
+	// PublishReports, when true (the default for cluster nodes), pumps
+	// LLA reports onto the local ReportChannel for the load balancer.
+	PublishReports bool
+}
+
+// Node is one pub/sub server machine: broker + LLA + dispatcher.
+type Node struct {
+	ID         plan.ServerID
+	Broker     *broker.Broker
+	LLA        *lla.Analyzer
+	Dispatcher *dispatcher.Dispatcher
+
+	gen  *message.Generator
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds and starts a node.
+func New(opts Options) (*Node, error) {
+	if opts.ID == "" {
+		return nil, fmt.Errorf("server: missing node ID")
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	b := broker.New(broker.Options{Name: opts.ID, OutputBuffer: opts.OutputBuffer})
+	analyzer := lla.NewAnalyzer(lla.Config{
+		Server:         opts.ID,
+		MaxOutgoingBps: opts.MaxOutgoingBps,
+		Unit:           opts.Unit,
+		ReportEvery:    opts.ReportEvery,
+		Clock:          opts.Clock,
+	})
+	b.AddObserver(analyzer)
+	analyzer.Start()
+
+	disp, err := dispatcher.New(dispatcher.Options{
+		Self:         opts.ID,
+		Node:         opts.NodeNum,
+		Initial:      opts.Initial,
+		Broker:       b,
+		Forwarder:    opts.Forwarder,
+		Clock:        opts.Clock,
+		DrainTimeout: opts.DrainTimeout,
+	})
+	if err != nil {
+		analyzer.Stop()
+		b.Close()
+		return nil, fmt.Errorf("server: starting dispatcher: %w", err)
+	}
+
+	n := &Node{
+		ID:         opts.ID,
+		Broker:     b,
+		LLA:        analyzer,
+		Dispatcher: disp,
+		gen:        message.NewGenerator(opts.NodeNum),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go n.pumpReports(opts.PublishReports)
+	return n, nil
+}
+
+// pumpReports publishes LLA reports on the local control channel.
+func (n *Node) pumpReports(publish bool) {
+	defer close(n.done)
+	for {
+		select {
+		case r, ok := <-n.LLA.Reports():
+			if !ok {
+				return
+			}
+			if !publish || r == nil {
+				continue
+			}
+			data, err := r.Marshal()
+			if err != nil {
+				continue
+			}
+			env := &message.Envelope{
+				Type:    message.TypeLoadReport,
+				ID:      n.gen.Next(),
+				Channel: plan.ReportChannel,
+				Payload: data,
+			}
+			n.Broker.Publish(plan.ReportChannel, env.Marshal())
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// ServeTCP serves the node's broker over RESP on ln (blocking).
+func (n *Node) ServeTCP(ln net.Listener) error {
+	return broker.Serve(ln, n.Broker)
+}
+
+// Close stops all node components.
+func (n *Node) Close() {
+	select {
+	case <-n.stop:
+		return
+	default:
+		close(n.stop)
+	}
+	n.Dispatcher.Close()
+	n.LLA.Stop()
+	n.Broker.Close()
+	<-n.done
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// TestStuckSubscribersUnderLoad: channel migrated off a saturated pub1;
+// how fast do fallback subscribers converge to the new holder?
+func TestStuckSubscribersUnderLoad(t *testing.T) {
+	s := New(Config{Seed: 5, Mode: ModeNone, InitialServers: []string{"pub1", "pub2"}})
+	// Saturate pub1 with background traffic: one busy channel pinned there.
+	bg := s.AddClient(50)
+	bgsubs := make([]*Client, 30)
+	for i := range bgsubs {
+		bgsubs[i] = s.AddClient(uint32(60 + i))
+		bgsubs[i].Subscribe("busy")
+	}
+	p := plan.New("pub1", "pub2")
+	p.Version = 2
+	p.Set("busy", plan.Entry{Strategy: plan.StrategySingle, Servers: []plan.ServerID{"pub1"}})
+	p.Set("game", plan.Entry{Strategy: plan.StrategySingle, Servers: []plan.ServerID{"pub2"}})
+	s.SetPlan(p)
+	s.RunFor(2 * time.Second)
+	// 30 subs * 200B * N msg/s; need > 1.25e6 B/s offered: N=300/s total => each bg msg fans to 30 subs.
+	// one publisher at 30 msg/s -> 30*30*230 = 207kB... need more. 200 msg/s.
+	s.Engine().Every(5*time.Millisecond, func() { bg.PublishTimed("busy", 200) })
+	s.RunFor(5 * time.Second)
+	t.Logf("pub1 backlog: %v", s.servers["pub1"].egress.QueueDelay(s.Now()))
+
+	// Now "game" is explicitly on pub2, but new subscribers use fallback.
+	// Which server does fallback point to?
+	home := plan.New("pub1", "pub2").Ring().Lookup("game")
+	t.Logf("fallback home of game: %s", home)
+	subs := make([]*Client, 20)
+	for i := range subs {
+		subs[i] = s.AddClient(uint32(200 + i))
+		subs[i].Subscribe("game")
+	}
+	pubC := s.AddClient(300)
+	s.Engine().Every(300*time.Millisecond, func() { pubC.PublishTimed("game", 200) })
+	// Subscribers must converge onto the explicit holder within seconds,
+	// even though their fallback points at the saturated server.
+	deadline := 20
+	converged := false
+	for tick := 0; tick < deadline; tick++ {
+		s.RunFor(time.Second)
+		onHome := len(s.servers[home].subs["game"])
+		onPub2 := len(s.servers["pub2"].subs["game"])
+		if home == "pub2" {
+			// Fallback already points at the right server; nothing to prove.
+			converged = onPub2 == 20
+			break
+		}
+		if onHome == 0 && onPub2 == 20 {
+			converged = true
+			if tick > 10 {
+				t.Fatalf("convergence took %ds, too slow", tick+1)
+			}
+			break
+		}
+	}
+	if !converged {
+		t.Fatal("subscribers never converged onto the explicit holder")
+	}
+}

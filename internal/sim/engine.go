@@ -1,0 +1,104 @@
+// Package sim is a deterministic discrete-event simulator for cluster-scale
+// Dynamoth experiments — the stand-in for the paper's 80-machine testbed
+// (DESIGN.md §4, substitution 1). It executes the very same decision logic
+// as the live stack (plan routing, the balancer's Planner, the dispatcher
+// Core, the LLA Accumulator, the client's localplan store and deduper) on a
+// virtual clock, with the netsim link model providing the two physical
+// effects the evaluation depends on: finite server egress bandwidth and
+// sampled wide-area latency.
+//
+// Everything is single-threaded and driven from a seeded RNG, so a given
+// seed reproduces an experiment bit for bit.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is the event loop: a priority queue of timed callbacks.
+type Engine struct {
+	now    time.Time
+	events eventHeap
+	seq    uint64
+}
+
+// NewEngine creates an engine starting at the given virtual time.
+func NewEngine(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// At schedules fn at time t (clamped to now if in the past). Events at the
+// same instant run in scheduling order.
+func (e *Engine) At(t time.Time, fn func()) {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn after d.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.At(e.now.Add(d), fn)
+}
+
+// Every schedules fn at the given period forever (until the engine stops
+// being run). fn receives nothing; reschedule state lives in closures.
+func (e *Engine) Every(period time.Duration, fn func()) {
+	var tick func()
+	tick = func() {
+		fn()
+		e.After(period, tick)
+	}
+	e.After(period, tick)
+}
+
+// RunUntil executes events in order until the virtual clock reaches the
+// deadline (events exactly at the deadline run). It returns the number of
+// events executed.
+func (e *Engine) RunUntil(deadline time.Time) int {
+	n := 0
+	for len(e.events) > 0 && !e.events[0].at.After(deadline) {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now.Before(deadline) {
+		e.now = deadline
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"sync"
+
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// PooledForwarder publishes on remote pub/sub servers over pooled
+// connections from a Dialer — the dispatcher-to-dispatcher forwarding path
+// of a distributed deployment. A connection that fails a publish is dropped
+// and re-dialed on the next use.
+type PooledForwarder struct {
+	dialer Dialer
+
+	mu    sync.Mutex
+	conns map[plan.ServerID]Conn
+}
+
+// NewPooledForwarder creates a forwarder over the given dialer.
+func NewPooledForwarder(dialer Dialer) *PooledForwarder {
+	return &PooledForwarder{
+		dialer: dialer,
+		conns:  make(map[plan.ServerID]Conn),
+	}
+}
+
+// ForwardPublish implements the dispatcher's Forwarder contract.
+func (f *PooledForwarder) ForwardPublish(server plan.ServerID, channel string, payload []byte) error {
+	conn, err := f.conn(server)
+	if err != nil {
+		return err
+	}
+	if err := conn.Publish(channel, payload); err != nil {
+		f.drop(server, conn)
+		return err
+	}
+	return nil
+}
+
+// Close closes all pooled connections.
+func (f *PooledForwarder) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, c := range f.conns {
+		_ = c.Close()
+		delete(f.conns, id)
+	}
+}
+
+func (f *PooledForwarder) conn(server plan.ServerID) (Conn, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.conns[server]; ok {
+		return c, nil
+	}
+	c, err := f.dialer.Dial(server, dropOnDisconnect{f: f, server: server})
+	if err != nil {
+		return nil, err
+	}
+	f.conns[server] = c
+	return c, nil
+}
+
+func (f *PooledForwarder) drop(server plan.ServerID, old Conn) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.conns[server] == old {
+		delete(f.conns, server)
+	}
+	_ = old.Close()
+}
+
+// dropOnDisconnect evicts the pooled connection when the peer goes away.
+type dropOnDisconnect struct {
+	f      *PooledForwarder
+	server plan.ServerID
+}
+
+func (d dropOnDisconnect) OnMessage(string, []byte) {}
+
+func (d dropOnDisconnect) OnDisconnect(error) {
+	d.f.mu.Lock()
+	defer d.f.mu.Unlock()
+	delete(d.f.conns, d.server)
+}

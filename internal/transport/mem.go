@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/broker"
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/netsim"
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// MemDialer connects to in-process brokers, optionally injecting sampled
+// WAN latency in both directions the way the paper's testbed did (§V-B).
+// It is safe for concurrent use and supports servers joining at runtime
+// (elasticity).
+type MemDialer struct {
+	mu      sync.RWMutex
+	brokers map[plan.ServerID]*broker.Broker
+
+	// latency model; nil disables injection.
+	path *netsim.PathModel
+	clk  clock.Clock
+	dq   *netsim.DelayQueue
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	class netsim.NodeClass // the class of the dialing endpoint
+}
+
+// MemDialerOptions configures a MemDialer.
+type MemDialerOptions struct {
+	// Latency enables WAN latency injection with the given model.
+	Latency *netsim.PathModel
+	// Clock drives delayed delivery (required when Latency is set;
+	// defaults to the real clock).
+	Clock clock.Clock
+	// Seed seeds the latency sampler (0 picks a fixed default).
+	Seed int64
+	// Class is the node class of endpoints dialing through this dialer
+	// (clients vs infra); it selects the paper's 1-vs-2-sample rule.
+	// Defaults to Client.
+	Class netsim.NodeClass
+}
+
+// NewMemDialer creates a dialer over a set of in-process brokers.
+func NewMemDialer(brokers map[plan.ServerID]*broker.Broker, opts MemDialerOptions) *MemDialer {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Class == 0 {
+		opts.Class = netsim.Client
+	}
+	d := &MemDialer{
+		brokers: make(map[plan.ServerID]*broker.Broker, len(brokers)),
+		path:    opts.Latency,
+		clk:     opts.Clock,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		class:   opts.Class,
+	}
+	for id, b := range brokers {
+		d.brokers[id] = b
+	}
+	if d.path != nil {
+		d.dq = netsim.NewDelayQueue(opts.Clock)
+	}
+	return d
+}
+
+// AddServer registers a broker that joined at runtime.
+func (d *MemDialer) AddServer(id plan.ServerID, b *broker.Broker) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.brokers[id] = b
+}
+
+// RemoveServer deregisters a broker (despawned server). Existing
+// connections die with the broker itself.
+func (d *MemDialer) RemoveServer(id plan.ServerID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.brokers, id)
+}
+
+// Close stops the latency machinery. Connections must be closed by their
+// owners.
+func (d *MemDialer) Close() {
+	if d.dq != nil {
+		d.dq.Stop()
+	}
+}
+
+func (d *MemDialer) sampleDelay(from, to netsim.NodeClass) time.Duration {
+	if d.path == nil {
+		return 0
+	}
+	d.rngMu.Lock()
+	defer d.rngMu.Unlock()
+	return d.path.Delay(from, to, d.rng)
+}
+
+// Dial implements Dialer.
+func (d *MemDialer) Dial(server plan.ServerID, h Handler) (Conn, error) {
+	d.mu.RLock()
+	b := d.brokers[server]
+	d.mu.RUnlock()
+	if b == nil {
+		return nil, ErrUnknownServer
+	}
+	mc := &memConn{dialer: d, handler: h}
+	session, err := b.Connect("mem", memSink{mc})
+	if err != nil {
+		return nil, err
+	}
+	mc.session = session
+	return mc, nil
+}
+
+// memConn is an in-process connection with optional latency on both legs.
+type memConn struct {
+	dialer  *MemDialer
+	session *broker.Session
+	handler Handler
+
+	closeOnce sync.Once
+	explicit  bool
+}
+
+var _ Conn = (*memConn)(nil)
+
+func (c *memConn) Subscribe(channels ...string) error {
+	_, err := c.session.Subscribe(channels...)
+	return err
+}
+
+func (c *memConn) Unsubscribe(channels ...string) error {
+	_, err := c.session.Unsubscribe(channels...)
+	return err
+}
+
+func (c *memConn) Publish(channel string, payload []byte) error {
+	d := c.dialer
+	if d.dq == nil {
+		// No latency model: publish synchronously.
+		c.publishNow(channel, payload)
+		return nil
+	}
+	delay := d.sampleDelay(d.class, netsim.Infra)
+	d.dq.ScheduleAfter(delay, func() { c.publishNow(channel, payload) })
+	return nil
+}
+
+func (c *memConn) publishNow(channel string, payload []byte) {
+	c.session.Broker().Publish(channel, payload)
+}
+
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.explicit = true
+		c.session.Close()
+	})
+	return nil
+}
+
+// memSink adapts broker deliveries to the Handler, injecting the
+// server→client latency leg.
+type memSink struct{ c *memConn }
+
+func (s memSink) Deliver(channel string, payload []byte) {
+	c := s.c
+	d := c.dialer
+	if d.dq == nil {
+		c.handler.OnMessage(channel, payload)
+		return
+	}
+	delay := d.sampleDelay(netsim.Infra, d.class)
+	d.dq.ScheduleAfter(delay, func() { c.handler.OnMessage(channel, payload) })
+}
+
+func (s memSink) Closed(reason error) {
+	c := s.c
+	if c.explicit {
+		return
+	}
+	c.handler.OnDisconnect(reason)
+}

@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/resp"
+)
+
+// TCPDialer connects to RESP pub/sub servers over TCP. Like standard Redis
+// clients, each logical Conn uses two sockets: one in subscriber mode
+// (SUBSCRIBE/UNSUBSCRIBE plus pushed messages) and one for PUBLISH
+// request/reply traffic.
+type TCPDialer struct {
+	mu    sync.RWMutex
+	addrs map[plan.ServerID]string
+
+	// DialTimeout bounds connection establishment (default 5 s).
+	DialTimeout time.Duration
+}
+
+// NewTCPDialer creates a dialer from a server→address table.
+func NewTCPDialer(addrs map[plan.ServerID]string) *TCPDialer {
+	d := &TCPDialer{addrs: make(map[plan.ServerID]string, len(addrs)), DialTimeout: 5 * time.Second}
+	for id, a := range addrs {
+		d.addrs[id] = a
+	}
+	return d
+}
+
+// AddServer registers a server address at runtime.
+func (d *TCPDialer) AddServer(id plan.ServerID, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addrs[id] = addr
+}
+
+// RemoveServer removes a server's address.
+func (d *TCPDialer) RemoveServer(id plan.ServerID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.addrs, id)
+}
+
+// Dial implements Dialer.
+func (d *TCPDialer) Dial(server plan.ServerID, h Handler) (Conn, error) {
+	d.mu.RLock()
+	addr, ok := d.addrs[server]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, ErrUnknownServer
+	}
+	subSock, err := net.DialTimeout("tcp", addr, d.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", server, addr, err)
+	}
+	pubSock, err := net.DialTimeout("tcp", addr, d.DialTimeout)
+	if err != nil {
+		subSock.Close() //nolint:errcheck // teardown
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", server, addr, err)
+	}
+	c := &tcpConn{
+		handler: h,
+		subSock: subSock,
+		pubSock: pubSock,
+		subW:    resp.NewWriter(subSock),
+		pubR:    resp.NewReader(pubSock),
+		pubW:    resp.NewWriter(pubSock),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+type tcpConn struct {
+	handler Handler
+
+	subSock net.Conn
+	pubSock net.Conn
+
+	subMu sync.Mutex // guards subW
+	subW  *resp.Writer
+
+	pubMu sync.Mutex // guards pubR/pubW request-reply pairs
+	pubR  *resp.Reader
+	pubW  *resp.Writer
+
+	closeOnce sync.Once
+	done      chan struct{}
+	explicit  bool
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func (c *tcpConn) Subscribe(channels ...string) error {
+	return c.subCommand("SUBSCRIBE", channels)
+}
+
+func (c *tcpConn) Unsubscribe(channels ...string) error {
+	return c.subCommand("UNSUBSCRIBE", channels)
+}
+
+func (c *tcpConn) subCommand(cmd string, channels []string) error {
+	if len(channels) == 0 {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	args := make([][]byte, 0, len(channels)+1)
+	args = append(args, []byte(cmd))
+	for _, ch := range channels {
+		args = append(args, []byte(ch))
+	}
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	if err := c.subW.WriteCommand(args...); err != nil {
+		return err
+	}
+	return c.subW.Flush()
+	// Acknowledgements arrive asynchronously on the read loop and are
+	// dropped there; Redis semantics make them informational only.
+}
+
+func (c *tcpConn) Publish(channel string, payload []byte) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
+	if err := c.pubW.WriteCommand([]byte("PUBLISH"), []byte(channel), payload); err != nil {
+		return err
+	}
+	if err := c.pubW.Flush(); err != nil {
+		return err
+	}
+	v, err := c.pubR.ReadValue()
+	if err != nil {
+		return err
+	}
+	if v.Kind == resp.KindError {
+		return fmt.Errorf("transport: publish rejected: %s", v.Str)
+	}
+	return nil
+}
+
+func (c *tcpConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.explicit = true
+		close(c.done)
+		c.subSock.Close() //nolint:errcheck // teardown
+		c.pubSock.Close() //nolint:errcheck // teardown
+	})
+	return nil
+}
+
+// readLoop consumes pushes from the subscriber socket.
+func (c *tcpConn) readLoop() {
+	r := resp.NewReader(c.subSock)
+	for {
+		v, err := r.ReadValue()
+		if err != nil {
+			c.disconnect(err)
+			return
+		}
+		if v.Kind != resp.KindArray || len(v.Array) != 3 {
+			continue
+		}
+		kind := string(v.Array[0].Str)
+		if kind != "message" {
+			continue // subscribe/unsubscribe acks
+		}
+		c.handler.OnMessage(string(v.Array[1].Str), v.Array[2].Str)
+	}
+}
+
+func (c *tcpConn) disconnect(err error) {
+	select {
+	case <-c.done:
+		return // explicit close
+	default:
+	}
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.subSock.Close() //nolint:errcheck // teardown
+		c.pubSock.Close() //nolint:errcheck // teardown
+	})
+	if !c.explicit {
+		c.handler.OnDisconnect(err)
+	}
+}

@@ -1,0 +1,46 @@
+// Package transport abstracts how Dynamoth components reach pub/sub
+// servers: in-process broker sessions (optionally with simulated WAN
+// latency, matching the paper's King-dataset injection) or real TCP
+// connections speaking RESP. The client library and the dispatchers are
+// written against Dialer/Conn and work over either.
+package transport
+
+import (
+	"errors"
+
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// Handler receives asynchronous events from a connection.
+type Handler interface {
+	// OnMessage delivers one publication received on a subscribed channel.
+	OnMessage(channel string, payload []byte)
+	// OnDisconnect reports that the connection died (server shutdown, slow
+	// consumer kill, network error). The Conn is unusable afterwards.
+	OnDisconnect(err error)
+}
+
+// Conn is a pub/sub connection to one server.
+type Conn interface {
+	// Subscribe adds subscriptions.
+	Subscribe(channels ...string) error
+	// Unsubscribe removes subscriptions.
+	Unsubscribe(channels ...string) error
+	// Publish sends a payload on a channel.
+	Publish(channel string, payload []byte) error
+	// Close tears the connection down. OnDisconnect is not called for
+	// explicit closes.
+	Close() error
+}
+
+// Dialer opens connections to pub/sub servers by ID.
+type Dialer interface {
+	Dial(server plan.ServerID, h Handler) (Conn, error)
+}
+
+// ErrUnknownServer is returned when dialing a server the dialer has no
+// route to.
+var ErrUnknownServer = errors.New("transport: unknown server")
+
+// ErrClosed is returned from operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")

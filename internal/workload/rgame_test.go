@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.FillDefaults()
+	if c.TilesX != 8 || c.TilesY != 8 || c.WorldSize != 1000 {
+		t.Fatalf("defaults=%+v", c)
+	}
+	if c.UpdatesPerSec != 3 || c.PayloadBytes != 200 {
+		t.Fatalf("defaults=%+v", c)
+	}
+}
+
+func TestTileNameMapping(t *testing.T) {
+	c := Config{TilesX: 4, TilesY: 4, WorldSize: 400}.FillDefaults()
+	tests := []struct {
+		x, y float64
+		want string
+	}{
+		{0, 0, "tile-0-0"},
+		{399, 399, "tile-3-3"},
+		{150, 50, "tile-1-0"},
+		{-10, 500, "tile-0-3"}, // clamped
+	}
+	for _, tt := range tests {
+		if got := c.TileName(tt.x, tt.y); got != tt.want {
+			t.Fatalf("TileName(%f,%f)=%q want %q", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestPlayerMovesTowardWaypoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPlayer(1, Config{Speed: 100}, rng)
+	x0, y0 := p.Position()
+	dist0 := dist(x0, y0, p.tx, p.ty)
+	for i := 0; i < 10; i++ {
+		p.Advance(time.Duration(i)*100*time.Millisecond, 100*time.Millisecond, rng)
+	}
+	x1, y1 := p.Position()
+	dist1 := dist(x1, y1, p.tx, p.ty)
+	if dist1 >= dist0 && dist0 > 100 {
+		t.Fatalf("player not approaching waypoint: %f -> %f", dist0, dist1)
+	}
+}
+
+func dist(x1, y1, x2, y2 float64) float64 {
+	dx, dy := x2-x1, y2-y1
+	return dx*dx + dy*dy
+}
+
+func TestPlayerPausesAtWaypoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewPlayer(1, Config{Speed: 1e9}, rng) // reaches waypoint instantly
+	p.Advance(0, time.Second, rng)
+	if p.pausedUntil <= 0 {
+		t.Fatal("no pause after reaching waypoint")
+	}
+	// During the pause the player stays put.
+	x0, y0 := p.Position()
+	p.Advance(time.Millisecond, time.Second, rng)
+	if x1, y1 := p.Position(); x1 != x0 || y1 != y0 {
+		t.Fatal("player moved during pause")
+	}
+}
+
+func TestPlayerTileTransitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{TilesX: 8, TilesY: 8, WorldSize: 1000, Speed: 200}.FillDefaults()
+	p := NewPlayer(1, cfg, rng)
+	changes := 0
+	elapsed := time.Duration(0)
+	for i := 0; i < 2000; i++ {
+		dt := 100 * time.Millisecond
+		if changed, old := p.Advance(elapsed, dt, rng); changed {
+			changes++
+			if old == p.Tile() {
+				t.Fatal("old tile equals new tile on change")
+			}
+			if !strings.HasPrefix(old, "tile-") || !strings.HasPrefix(p.Tile(), "tile-") {
+				t.Fatalf("bad tile names %q %q", old, p.Tile())
+			}
+		}
+		elapsed += dt
+	}
+	// Over 200 game-seconds at speed 200 on 125-unit tiles, many
+	// transitions must occur.
+	if changes < 10 {
+		t.Fatalf("only %d tile changes in 200s of movement", changes)
+	}
+}
+
+func TestPlayerUpdatePayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewPlayer(42, Config{PayloadBytes: 64}, rng)
+	buf := p.Update(nil)
+	if len(buf) != 64 {
+		t.Fatalf("payload size=%d", len(buf))
+	}
+	if !strings.HasPrefix(string(buf), "p=42 ") {
+		t.Fatalf("payload=%q", buf)
+	}
+	// Reuse path keeps size.
+	buf2 := p.Update(buf)
+	if len(buf2) != 64 {
+		t.Fatalf("reused payload size=%d", len(buf2))
+	}
+}
+
+func TestScheduleCountAt(t *testing.T) {
+	s := Schedule{
+		Initial: 100,
+		Phases: []Phase{
+			{Length: 100 * time.Second, Target: 200},
+			{Length: 50 * time.Second, Target: 50},
+		},
+	}
+	tests := []struct {
+		at   time.Duration
+		want int
+	}{
+		{0, 100},
+		{50 * time.Second, 150},
+		{100 * time.Second, 200},
+		{125 * time.Second, 125},
+		{150 * time.Second, 50},
+		{999 * time.Second, 50}, // beyond the end
+	}
+	for _, tt := range tests {
+		if got := s.CountAt(tt.at); got != tt.want {
+			t.Fatalf("CountAt(%v)=%d want %d", tt.at, got, tt.want)
+		}
+	}
+	if got := s.Duration(); got != 150*time.Second {
+		t.Fatalf("Duration=%v", got)
+	}
+}
+
+func TestScalabilitySchedule(t *testing.T) {
+	s := ScalabilitySchedule(1200, 1000*time.Second)
+	if got := s.CountAt(0); got != 120 {
+		t.Fatalf("initial=%d", got)
+	}
+	if got := s.CountAt(1000 * time.Second); got != 1200 {
+		t.Fatalf("peak=%d", got)
+	}
+	mid := s.CountAt(500 * time.Second)
+	if mid < 600 || mid > 720 {
+		t.Fatalf("midpoint=%d", mid)
+	}
+}
+
+func TestElasticitySchedule(t *testing.T) {
+	s := ElasticitySchedule(800, 200, 600, 400*time.Second)
+	if got := s.CountAt(400 * time.Second); got != 800 {
+		t.Fatalf("high=%d", got)
+	}
+	if got := s.CountAt(700 * time.Second); got != 200 {
+		t.Fatalf("low=%d", got)
+	}
+	if got := s.CountAt(s.Duration()); got != 600 {
+		t.Fatalf("final=%d", got)
+	}
+	// Monotonic pieces: count during the drop decreases.
+	c1 := s.CountAt(550 * time.Second)
+	c2 := s.CountAt(650 * time.Second)
+	if c1 <= c2 {
+		t.Fatalf("drop not decreasing: %d then %d", c1, c2)
+	}
+}
+
+func TestScheduleZeroLengthPhase(t *testing.T) {
+	s := Schedule{Initial: 5, Phases: []Phase{{Length: 0, Target: 50}}}
+	if got := s.CountAt(0); got != 50 {
+		t.Fatalf("zero-length phase CountAt(0)=%d", got)
+	}
+}
+
+func TestHotspotBiasSkewsTilePopulations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	uniform := Config{}.FillDefaults()
+	skewed := Config{Hotspots: 3, HotspotBias: 0.5}.FillDefaults()
+
+	occupancy := func(cfg Config) map[string]int {
+		counts := make(map[string]int)
+		for p := 0; p < 200; p++ {
+			player := NewPlayer(uint32(p+1), cfg, rng)
+			elapsed := time.Duration(0)
+			for i := 0; i < 600; i++ {
+				player.Advance(elapsed, 100*time.Millisecond, rng)
+				elapsed += 100 * time.Millisecond
+			}
+			counts[player.Tile()]++
+		}
+		return counts
+	}
+
+	maxOf := func(counts map[string]int) int {
+		m := 0
+		for _, c := range counts {
+			if c > m {
+				m = c
+			}
+		}
+		return m
+	}
+	uMax := maxOf(occupancy(uniform))
+	sMax := maxOf(occupancy(skewed))
+	if sMax <= uMax {
+		t.Fatalf("hotspots did not skew occupancy: uniform max=%d skewed max=%d", uMax, sMax)
+	}
+}
+
+func TestHotspotWaypointsNearAttractors(t *testing.T) {
+	cfg := Config{Hotspots: 2, HotspotBias: 1.0}.FillDefaults() // every waypoint hot
+	rng := rand.New(rand.NewSource(3))
+	centers := cfg.hotspotCenters()
+	if len(centers) != 2 {
+		t.Fatalf("centers=%d", len(centers))
+	}
+	p := NewPlayer(1, cfg, rng)
+	spread := cfg.WorldSize / float64(cfg.TilesX)
+	for i := 0; i < 50; i++ {
+		p.pickWaypoint(rng)
+		near := false
+		for _, c := range centers {
+			dx, dy := p.tx-c[0], p.ty-c[1]
+			if dx*dx+dy*dy <= spread*spread {
+				near = true
+				break
+			}
+		}
+		if !near {
+			t.Fatalf("waypoint (%f,%f) not near any attractor", p.tx, p.ty)
+		}
+	}
+}

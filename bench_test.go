@@ -16,6 +16,8 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -38,6 +40,7 @@ import (
 // subscriber count, with and without all-publishers replication.
 
 func BenchmarkFig4aAllPublishers(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiment.RunFig4a(experiment.MicroOptions{
 			Steps:   []int{100, 300, 500, 700},
@@ -60,6 +63,7 @@ func BenchmarkFig4aAllPublishers(b *testing.B) {
 // delivery vs publisher count, with and without all-subscribers replication.
 
 func BenchmarkFig4bAllSubscribers(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiment.RunFig4b(experiment.MicroOptions{
 			Steps:   []int{100, 200, 400, 600},
@@ -82,6 +86,7 @@ func BenchmarkFig4bAllSubscribers(b *testing.B) {
 // curve: Dynamoth and the consistent-hashing baseline, same workload.
 
 func benchScalability(b *testing.B, mode sim.Mode) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiment.RunScalability(mode, 480, 400*time.Second, int64(i+1))
 		if i == 0 {
@@ -106,6 +111,7 @@ func BenchmarkFig5ScalabilityConsistentHashing(b *testing.B) {
 // balancer must keep the average below 1 until global saturation.
 
 func BenchmarkFig6LoadRatios(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiment.RunScalability(sim.ModeDynamoth, 480, 400*time.Second, int64(i+1))
 		if i == 0 {
@@ -123,6 +129,7 @@ func BenchmarkFig6LoadRatios(b *testing.B) {
 // Figure 7 — Experiment 3 (§V-E): elasticity under a rise/drop/rise wave.
 
 func BenchmarkFig7Elasticity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiment.RunElasticity(400, 100, 300, 160*time.Second, int64(i+1))
 		if i == 0 {
@@ -243,6 +250,156 @@ type discardSink struct{}
 
 func (discardSink) Deliver(string, []byte) {}
 func (discardSink) Closed(error)           {}
+
+// BenchmarkBrokerPublishParallel measures concurrent publishes to disjoint
+// channels — the case the sharded subscription registry exists for. Each
+// worker cycles through its own slice of the channel space, so with lock
+// striping publishers should (almost) never contend.
+func BenchmarkBrokerPublishParallel(b *testing.B) {
+	br := broker.New(broker.Options{OutputBuffer: 1 << 16})
+	defer br.Close()
+	const channels = 64
+	names := make([]string, channels)
+	for i := range names {
+		names[i] = fmt.Sprintf("par-%d", i)
+		s, err := br.Connect("c", discardSink{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Subscribe(names[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := make([]byte, 200)
+	var workers atomic.Int64
+	var misses atomic.Int64
+	b.SetParallelism(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(workers.Add(1))
+		for pb.Next() {
+			if got := br.Publish(names[i%channels], payload); got != 1 {
+				// A starved writer goroutine can be culled as a slow
+				// consumer under maximum pressure; track it like
+				// BenchmarkBrokerFanOut does rather than failing.
+				misses.Add(1)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(misses.Load())/float64(b.N)*100, "missed_publishes_%")
+	}
+}
+
+// BenchmarkTCPEndToEnd drives the full RESP path over loopback TCP: a
+// pipelined publisher and subs subscriber connections, with every delivery
+// read back off the wire before the clock stops. This is the syscall-bound
+// path that writer coalescing is meant to amortize.
+func BenchmarkTCPEndToEnd(b *testing.B) {
+	for _, subs := range []int{1, 8} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			br := broker.New(broker.Options{OutputBuffer: 1 << 17})
+			defer br.Close()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+			go broker.Serve(ln, br) //nolint:errcheck // returns on listener close
+			addr := ln.Addr().String()
+
+			var received atomic.Int64
+			for i := 0; i < subs; i++ {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				w := resp.NewWriter(conn)
+				r := resp.NewReader(conn)
+				if err := w.WriteCommand([]byte("SUBSCRIBE"), []byte("bench")); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.ReadValue(); err != nil { // subscribe ack
+					b.Fatal(err)
+				}
+				go func() {
+					for {
+						if _, err := r.ReadValue(); err != nil {
+							return
+						}
+						received.Add(1)
+					}
+				}()
+			}
+
+			pub, err := net.Dial("tcp", addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pub.Close()
+			pw := resp.NewWriter(pub)
+			pr := resp.NewReader(pub)
+			payload := make([]byte, 200)
+
+			// Pipeline publishes in batches, and keep the publisher's lead
+			// over the slowest subscriber bounded so nobody overflows their
+			// output buffer and gets culled mid-benchmark.
+			const pipeline = 64
+			const maxLead = 16384
+			waitFor := func(want int64) {
+				deadline := time.Now().Add(30 * time.Second)
+				for received.Load() < want {
+					if time.Now().After(deadline) {
+						b.Fatalf("stalled: received %d of %d deliveries", received.Load(), want)
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			published := 0
+			for published < b.N {
+				n := pipeline
+				if rem := b.N - published; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					if err := pw.WriteCommand([]byte("PUBLISH"), []byte("bench"), payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := pw.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < n; j++ {
+					v, err := pr.ReadValue()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if v.Kind != resp.KindInteger || v.Int != int64(subs) {
+						b.Fatalf("PUBLISH reply %+v, want %d receivers", v, subs)
+					}
+				}
+				published += n
+				if lead := published - int(received.Load())/subs; lead > maxLead {
+					waitFor(int64(published-maxLead/2) * int64(subs))
+				}
+			}
+			waitFor(int64(b.N) * int64(subs))
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(received.Load())/sec, "deliveries/s")
+			}
+		})
+	}
+}
 
 func BenchmarkClientPublish(b *testing.B) {
 	c, err := cluster.Start(cluster.Options{InitialServers: 2, Balancer: cluster.BalancerNone})

@@ -16,6 +16,12 @@
 //   - An observer hook sees every publication and (un)subscription — the
 //     mechanism the LLA uses to gather per-channel metrics without
 //     modifying the broker (§III-A).
+//
+// The delivery pipeline is engineered to be allocation- and contention-free
+// in steady state (see DESIGN.md "Hot path"): the subscription registry is
+// lock-striped across shards so publishes to different channels never
+// contend, the per-publish scratch is pooled, and the per-session writer
+// coalesces bursts of deliveries into one sink flush.
 package broker
 
 import (
@@ -45,6 +51,16 @@ type PatternSink interface {
 	DeliverPattern(pattern, channel string, payload []byte)
 }
 
+// BatchSink is optionally implemented by sinks that buffer Deliver calls.
+// The session writer drains up to Options.WriteBatch queued deliveries in
+// one burst and then calls FlushDeliveries once, letting the sink coalesce
+// the batch into a single downstream write (one TCP syscall instead of one
+// per message — Redis-style write coalescing).
+type BatchSink interface {
+	// FlushDeliveries pushes buffered deliveries to the client.
+	FlushDeliveries()
+}
+
 // Observer sees broker events. Used by the local load analyzer. Callbacks
 // run synchronously on the publishing/subscribing goroutine and must be
 // cheap and non-blocking.
@@ -72,6 +88,15 @@ var (
 // Redis did.
 const DefaultOutputBuffer = 2000
 
+// DefaultWriteBatch is the per-session writer coalescing window: how many
+// queued deliveries the writer drains before flushing the sink once.
+const DefaultWriteBatch = 64
+
+// numShards is the lock-striping factor of the subscription registry. Must
+// be a power of two. 32 shards keep the probability of two concurrent
+// publishes hashing to the same stripe low at any realistic core count.
+const numShards = 32
+
 // Options configures a Broker.
 type Options struct {
 	// Name identifies the broker in logs and stats (e.g. "pub1").
@@ -79,19 +104,53 @@ type Options struct {
 	// OutputBuffer is the per-session outbound queue limit in messages;
 	// non-positive selects DefaultOutputBuffer.
 	OutputBuffer int
+	// WriteBatch is how many queued deliveries a session writer coalesces
+	// into one sink flush; non-positive selects DefaultWriteBatch.
+	WriteBatch int
+}
+
+// shard is one stripe of the channel→subscribers registry. Padded so two
+// shards never share a cache line under concurrent publishes.
+type shard struct {
+	mu       sync.RWMutex
+	channels map[string]map[*Session]struct{}
+	_        [32]byte // pad to 64 bytes
+}
+
+// shardIndex hashes a channel name with FNV-1a onto a stripe.
+func shardIndex(channel string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(channel); i++ {
+		h ^= uint32(channel[i])
+		h *= 16777619
+	}
+	return h & (numShards - 1)
 }
 
 // Broker is a single independent pub/sub server.
 type Broker struct {
-	name      string
-	outBuffer int
+	name       string
+	outBuffer  int
+	writeBatch int
 
-	mu        sync.RWMutex
-	channels  map[string]map[*Session]struct{}
-	patterns  map[string]map[*Session]struct{}
-	sessions  map[*Session]struct{}
-	observers []Observer
-	closed    bool
+	shards [numShards]shard
+
+	// mu guards patterns, sessions, observer registration, and the closed
+	// transition. It is off the publish hot path unless pattern
+	// subscriptions exist.
+	mu       sync.RWMutex
+	patterns map[string]map[*Session]struct{}
+	sessions map[*Session]struct{}
+
+	// observers is copy-on-write: registration is rare, reads happen on
+	// every publish.
+	observers atomic.Pointer[[]Observer]
+
+	// patternSubs counts live (pattern, session) entries so Publish can
+	// skip the glob scan entirely when no patterns exist (the common case).
+	patternSubs atomic.Int64
+
+	closed atomic.Bool
 
 	published atomic.Uint64
 	delivered atomic.Uint64
@@ -103,16 +162,23 @@ func New(opts Options) *Broker {
 	if opts.OutputBuffer <= 0 {
 		opts.OutputBuffer = DefaultOutputBuffer
 	}
+	if opts.WriteBatch <= 0 {
+		opts.WriteBatch = DefaultWriteBatch
+	}
 	if opts.Name == "" {
 		opts.Name = "broker"
 	}
-	return &Broker{
-		name:      opts.Name,
-		outBuffer: opts.OutputBuffer,
-		channels:  make(map[string]map[*Session]struct{}),
-		patterns:  make(map[string]map[*Session]struct{}),
-		sessions:  make(map[*Session]struct{}),
+	b := &Broker{
+		name:       opts.Name,
+		outBuffer:  opts.OutputBuffer,
+		writeBatch: opts.WriteBatch,
+		patterns:   make(map[string]map[*Session]struct{}),
+		sessions:   make(map[*Session]struct{}),
 	}
+	for i := range b.shards {
+		b.shards[i].channels = make(map[string]map[*Session]struct{})
+	}
+	return b
 }
 
 // Name returns the broker's name.
@@ -126,7 +192,36 @@ func (b *Broker) AddObserver(o Observer) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.observers = append(b.observers, o)
+	var obs []Observer
+	if cur := b.observers.Load(); cur != nil {
+		obs = append(obs, *cur...)
+	}
+	obs = append(obs, o)
+	b.observers.Store(&obs)
+}
+
+func (b *Broker) notifyPublish(channel string, payload []byte, receivers int) {
+	if obs := b.observers.Load(); obs != nil {
+		for _, o := range *obs {
+			o.OnPublish(channel, payload, receivers)
+		}
+	}
+}
+
+func (b *Broker) notifySubscribe(channel, session string, n int) {
+	if obs := b.observers.Load(); obs != nil {
+		for _, o := range *obs {
+			o.OnSubscribe(channel, session, n)
+		}
+	}
+}
+
+func (b *Broker) notifyUnsubscribe(channel, session string, n int) {
+	if obs := b.observers.Load(); obs != nil {
+		for _, o := range *obs {
+			o.OnUnsubscribe(channel, session, n)
+		}
+	}
 }
 
 // Connect opens an in-process session delivering into sink. name labels the
@@ -139,13 +234,14 @@ func (b *Broker) Connect(name string, sink Sink) (*Session, error) {
 		broker: b,
 		name:   name,
 		sink:   sink,
+		batch:  b.writeBatch,
 		out:    make(chan delivery, b.outBuffer),
 		done:   make(chan struct{}),
 		subs:   make(map[string]struct{}),
 		psubs:  make(map[string]struct{}),
 	}
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		return nil, ErrBrokerClosed
 	}
@@ -155,47 +251,81 @@ func (b *Broker) Connect(name string, sink Sink) (*Session, error) {
 	return s, nil
 }
 
+// target pairs a destination session with the pattern that matched it
+// (empty for direct channel subscriptions). One slice of pairs replaces the
+// parallel receivers/targets slices the fan-out used to build, so the two
+// can never drift apart.
+type target struct {
+	s       *Session
+	pattern string
+}
+
+// targetPool recycles the per-publish fan-out scratch so steady-state
+// Publish performs zero allocations.
+var targetPool = sync.Pool{New: func() any { return new([]target) }}
+
 // Publish fans payload out to every subscriber of channel and returns the
 // number of sessions it was queued for (the Redis PUBLISH reply). Sessions
 // whose output buffer is full are disconnected, not blocked on.
 func (b *Broker) Publish(channel string, payload []byte) int {
-	b.mu.RLock()
-	if b.closed {
-		b.mu.RUnlock()
+	if b.closed.Load() {
 		return 0
 	}
-	subs := b.channels[channel]
-	receivers := make([]delivery, 0, len(subs))
-	targets := make([]*Session, 0, len(subs))
+	hasPatterns := b.patternSubs.Load() > 0
+	sh := &b.shards[shardIndex(channel)]
+	sh.mu.RLock()
+	subs := sh.channels[channel]
+	if len(subs) == 0 && !hasPatterns {
+		// Early exit: nobody could possibly receive this. No slice work.
+		sh.mu.RUnlock()
+		b.published.Add(1)
+		b.notifyPublish(channel, payload, 0)
+		return 0
+	}
+	tp := targetPool.Get().(*[]target)
+	ts := (*tp)[:0]
 	for s := range subs {
-		receivers = append(receivers, delivery{channel: channel, payload: payload})
-		targets = append(targets, s)
+		ts = append(ts, target{s: s})
 	}
-	for pattern, set := range b.patterns {
-		if !globMatch(pattern, channel) {
-			continue
-		}
-		for s := range set {
-			receivers = append(receivers, delivery{channel: channel, payload: payload, pattern: pattern})
-			targets = append(targets, s)
-		}
-	}
-	observers := b.observers
-	b.mu.RUnlock()
+	sh.mu.RUnlock()
 
+	if hasPatterns {
+		b.mu.RLock()
+		for pattern, set := range b.patterns {
+			if !globMatch(pattern, channel) {
+				continue
+			}
+			for s := range set {
+				ts = append(ts, target{s: s, pattern: pattern})
+			}
+		}
+		b.mu.RUnlock()
+	}
+
+	// One delivery value is shared across the whole fan-out; the channel
+	// send copies it, so per-subscriber delivery structs are never heap
+	// allocated.
+	d := delivery{channel: channel, payload: payload}
 	delivered := 0
 	var overflowed []*Session
-	for i, s := range targets {
+	for i := range ts {
+		s := ts[i].s
+		if s.closed.Load() {
+			continue // session is gone; skip
+		}
+		d.pattern = ts[i].pattern
 		select {
-		case s.out <- receivers[i]:
+		case s.out <- d:
 			delivered++
-		case <-s.done:
-			// Session is gone; skip.
 		default:
 			// Output buffer full: slow consumer, disconnect it.
 			overflowed = append(overflowed, s)
 		}
 	}
+	clear(ts) // drop *Session references so the pool does not pin them
+	*tp = ts[:0]
+	targetPool.Put(tp)
+
 	for _, s := range overflowed {
 		b.dropped.Add(1)
 		s.close(ErrSlowConsumer)
@@ -203,26 +333,28 @@ func (b *Broker) Publish(channel string, payload []byte) int {
 
 	b.published.Add(1)
 	b.delivered.Add(uint64(delivered))
-	for _, o := range observers {
-		o.OnPublish(channel, payload, delivered)
-	}
+	b.notifyPublish(channel, payload, delivered)
 	return delivered
 }
 
 // Subscribers returns the current subscriber count of a channel.
 func (b *Broker) Subscribers(channel string) int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return len(b.channels[channel])
+	sh := &b.shards[shardIndex(channel)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.channels[channel])
 }
 
 // Channels returns the names of channels with at least one subscriber.
 func (b *Broker) Channels() []string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make([]string, 0, len(b.channels))
-	for ch := range b.channels {
-		out = append(out, ch)
+	var out []string
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for ch := range sh.channels {
+			out = append(out, ch)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -240,8 +372,14 @@ type Stats struct {
 func (b *Broker) Stats() Stats {
 	b.mu.RLock()
 	sessions := len(b.sessions)
-	channels := len(b.channels)
 	b.mu.RUnlock()
+	channels := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		channels += len(sh.channels)
+		sh.mu.RUnlock()
+	}
 	return Stats{
 		Sessions:  sessions,
 		Channels:  channels,
@@ -254,11 +392,11 @@ func (b *Broker) Stats() Stats {
 // Close shuts the broker down, closing every session.
 func (b *Broker) Close() {
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		return
 	}
-	b.closed = true
+	b.closed.Store(true)
 	sessions := make([]*Session, 0, len(b.sessions))
 	for s := range b.sessions {
 		sessions = append(sessions, s)
@@ -272,38 +410,43 @@ func (b *Broker) Close() {
 // removeSession detaches a session from all state. Called exactly once per
 // session from Session.close.
 func (b *Broker) removeSession(s *Session, subs, psubs []string) {
-	b.mu.Lock()
-	delete(b.sessions, s)
-	for _, p := range psubs {
-		if set := b.patterns[p]; set != nil {
-			delete(set, s)
-			if len(set) == 0 {
-				delete(b.patterns, p)
+	if len(psubs) > 0 {
+		b.mu.Lock()
+		for _, p := range psubs {
+			if set := b.patterns[p]; set != nil {
+				if _, ok := set[s]; ok {
+					delete(set, s)
+					b.patternSubs.Add(-1)
+					if len(set) == 0 {
+						delete(b.patterns, p)
+					}
+				}
 			}
 		}
+	} else {
+		b.mu.Lock()
 	}
-	type unsub struct {
-		channel string
-		count   int
-	}
-	events := make([]unsub, 0, len(subs))
+	delete(b.sessions, s)
+	b.mu.Unlock()
 	for _, ch := range subs {
-		set := b.channels[ch]
+		sh := &b.shards[shardIndex(ch)]
+		sh.mu.Lock()
+		set := sh.channels[ch]
 		if set == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		if _, ok := set[s]; !ok {
+			sh.mu.Unlock()
 			continue
 		}
 		delete(set, s)
-		if len(set) == 0 {
-			delete(b.channels, ch)
+		count := len(set)
+		if count == 0 {
+			delete(sh.channels, ch)
 		}
-		events = append(events, unsub{ch, len(set)})
-	}
-	observers := b.observers
-	b.mu.Unlock()
-	for _, o := range observers {
-		for _, e := range events {
-			o.OnUnsubscribe(e.channel, s.name, e.count)
-		}
+		sh.mu.Unlock()
+		b.notifyUnsubscribe(ch, s.name, count)
 	}
 }
 
@@ -320,6 +463,7 @@ type Session struct {
 	broker *Broker
 	name   string
 	sink   Sink
+	batch  int
 	out    chan delivery
 
 	mu    sync.Mutex
@@ -327,6 +471,7 @@ type Session struct {
 	psubs map[string]struct{}
 
 	closeOnce sync.Once
+	closed    atomic.Bool
 	done      chan struct{}
 	reason    error // set before done is closed; read only by the writer
 }
@@ -340,10 +485,8 @@ func (s *Session) Broker() *Broker { return s.broker }
 // Subscribe adds the session to the given channels and returns the session's
 // total subscription count (the Redis reply convention).
 func (s *Session) Subscribe(channels ...string) (int, error) {
-	select {
-	case <-s.done:
+	if s.closed.Load() {
 		return 0, ErrSessionClosed
-	default:
 	}
 	b := s.broker
 	for _, ch := range channels {
@@ -356,19 +499,30 @@ func (s *Session) Subscribe(channels ...string) (int, error) {
 		if already {
 			continue
 		}
-		b.mu.Lock()
-		set := b.channels[ch]
+		sh := &b.shards[shardIndex(ch)]
+		sh.mu.Lock()
+		set := sh.channels[ch]
 		if set == nil {
 			set = make(map[*Session]struct{})
-			b.channels[ch] = set
+			sh.channels[ch] = set
 		}
 		set[s] = struct{}{}
 		count := len(set)
-		observers := b.observers
-		b.mu.Unlock()
-		for _, o := range observers {
-			o.OnSubscribe(ch, s.name, count)
+		sh.mu.Unlock()
+		if s.closed.Load() {
+			// Lost the race against close(): its registry sweep may have
+			// run before our insert. Undo; removal is idempotent.
+			sh.mu.Lock()
+			if set := sh.channels[ch]; set != nil {
+				delete(set, s)
+				if len(set) == 0 {
+					delete(sh.channels, ch)
+				}
+			}
+			sh.mu.Unlock()
+			return s.subscriptionCount(), ErrSessionClosed
 		}
+		b.notifySubscribe(ch, s.name, count)
 	}
 	return s.subscriptionCount(), nil
 }
@@ -376,10 +530,8 @@ func (s *Session) Subscribe(channels ...string) (int, error) {
 // Unsubscribe removes the session from the given channels (all current
 // subscriptions if none given) and returns the remaining subscription count.
 func (s *Session) Unsubscribe(channels ...string) (int, error) {
-	select {
-	case <-s.done:
+	if s.closed.Load() {
 		return 0, ErrSessionClosed
-	default:
 	}
 	if len(channels) == 0 {
 		s.mu.Lock()
@@ -398,21 +550,19 @@ func (s *Session) Unsubscribe(channels ...string) (int, error) {
 		if !had {
 			continue
 		}
-		b.mu.Lock()
-		set := b.channels[ch]
+		sh := &b.shards[shardIndex(ch)]
+		sh.mu.Lock()
+		set := sh.channels[ch]
 		var count int
 		if set != nil {
 			delete(set, s)
 			count = len(set)
 			if count == 0 {
-				delete(b.channels, ch)
+				delete(sh.channels, ch)
 			}
 		}
-		observers := b.observers
-		b.mu.Unlock()
-		for _, o := range observers {
-			o.OnUnsubscribe(ch, s.name, count)
-		}
+		sh.mu.Unlock()
+		b.notifyUnsubscribe(ch, s.name, count)
 	}
 	return s.subscriptionCount(), nil
 }
@@ -420,10 +570,8 @@ func (s *Session) Unsubscribe(channels ...string) (int, error) {
 // PSubscribe adds pattern subscriptions (Redis PSUBSCRIBE). It returns the
 // session's total subscription count (channels + patterns), Redis-style.
 func (s *Session) PSubscribe(patterns ...string) (int, error) {
-	select {
-	case <-s.done:
+	if s.closed.Load() {
 		return 0, ErrSessionClosed
-	default:
 	}
 	b := s.broker
 	for _, p := range patterns {
@@ -437,12 +585,20 @@ func (s *Session) PSubscribe(patterns ...string) (int, error) {
 			continue
 		}
 		b.mu.Lock()
+		if _, live := b.sessions[s]; !live {
+			// Session closed concurrently; its sweep already ran.
+			b.mu.Unlock()
+			return s.subscriptionCount(), ErrSessionClosed
+		}
 		set := b.patterns[p]
 		if set == nil {
 			set = make(map[*Session]struct{})
 			b.patterns[p] = set
 		}
-		set[s] = struct{}{}
+		if _, ok := set[s]; !ok {
+			set[s] = struct{}{}
+			b.patternSubs.Add(1)
+		}
 		b.mu.Unlock()
 	}
 	return s.subscriptionCount(), nil
@@ -451,10 +607,8 @@ func (s *Session) PSubscribe(patterns ...string) (int, error) {
 // PUnsubscribe removes pattern subscriptions (all current patterns if none
 // given) and returns the remaining total subscription count.
 func (s *Session) PUnsubscribe(patterns ...string) (int, error) {
-	select {
-	case <-s.done:
+	if s.closed.Load() {
 		return 0, ErrSessionClosed
-	default:
 	}
 	if len(patterns) == 0 {
 		s.mu.Lock()
@@ -475,9 +629,12 @@ func (s *Session) PUnsubscribe(patterns ...string) (int, error) {
 		}
 		b.mu.Lock()
 		if set := b.patterns[p]; set != nil {
-			delete(set, s)
-			if len(set) == 0 {
-				delete(b.patterns, p)
+			if _, ok := set[s]; ok {
+				delete(set, s)
+				b.patternSubs.Add(-1)
+				if len(set) == 0 {
+					delete(b.patterns, p)
+				}
 			}
 		}
 		b.mu.Unlock()
@@ -521,6 +678,7 @@ func (s *Session) close(reason error) {
 	s.closeOnce.Do(func() {
 		first = true
 		s.reason = reason
+		s.closed.Store(true)
 		close(s.done)
 		s.mu.Lock()
 		subs := make([]string, 0, len(s.subs))
@@ -548,12 +706,28 @@ func (s *Session) close(reason error) {
 }
 
 // writer drains the output queue into the sink — the per-connection sender.
-// Like a Redis disconnect, close drops anything still queued.
+// After each blocking dequeue it greedily drains up to batch-1 more pending
+// deliveries non-blocking and then flushes batching sinks once, so a burst
+// of fan-out costs one syscall instead of one per message. Like a Redis
+// disconnect, close drops anything still queued.
 func (s *Session) writer() {
+	bs, canFlush := s.sink.(BatchSink)
 	for {
 		select {
 		case d := <-s.out:
 			s.dispatch(d)
+		drain:
+			for n := 1; n < s.batch; n++ {
+				select {
+				case d = <-s.out:
+					s.dispatch(d)
+				default:
+					break drain
+				}
+			}
+			if canFlush {
+				bs.FlushDeliveries()
+			}
 		case <-s.done:
 			return
 		}

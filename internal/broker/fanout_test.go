@@ -1,0 +1,224 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDirectAndPatternExactlyOneCopy is the regression test for the old
+// parallel receivers/targets slices: a direct subscriber must get exactly
+// one "message" copy, a pattern subscriber exactly one "pmessage" copy, and
+// the two must stay correctly attributed (no drift between session and
+// pattern).
+func TestDirectAndPatternExactlyOneCopy(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+
+	direct := &patternSink{frames: make(chan [3]string, 8)}
+	ds, err := b.Connect("direct", direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Subscribe("news.sports"); err != nil {
+		t.Fatal(err)
+	}
+
+	patterned := &patternSink{frames: make(chan [3]string, 8)}
+	ps, err := b.Connect("patterned", patterned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.PSubscribe("news.*"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := b.Publish("news.sports", []byte("goal")); got != 2 {
+		t.Fatalf("Publish receivers=%d, want 2", got)
+	}
+
+	recv := func(sink *patternSink) [3]string {
+		select {
+		case f := <-sink.frames:
+			return f
+		case <-time.After(2 * time.Second):
+			t.Fatal("timed out waiting for delivery")
+			return [3]string{}
+		}
+	}
+	if f := recv(direct); f != [3]string{"", "news.sports", "goal"} {
+		t.Fatalf("direct subscriber frame=%v", f)
+	}
+	if f := recv(patterned); f != [3]string{"news.*", "news.sports", "goal"} {
+		t.Fatalf("pattern subscriber frame=%v", f)
+	}
+	// Exactly one copy each: no duplicates trailing behind.
+	time.Sleep(30 * time.Millisecond)
+	select {
+	case f := <-direct.frames:
+		t.Fatalf("direct subscriber got a second copy: %v", f)
+	case f := <-patterned.frames:
+		t.Fatalf("pattern subscriber got a second copy: %v", f)
+	default:
+	}
+}
+
+// batchSink records Deliver and FlushDeliveries calls; the gate, when set,
+// blocks the first Deliver so a backlog can build up behind it.
+type batchSink struct {
+	mu        sync.Mutex
+	delivered int
+	flushes   int
+	gate      chan struct{}
+	gateOnce  sync.Once
+	inFirst   chan struct{} // closed when the first Deliver is entered
+}
+
+func newBatchSink(gated bool) *batchSink {
+	s := &batchSink{inFirst: make(chan struct{})}
+	if gated {
+		s.gate = make(chan struct{})
+	}
+	return s
+}
+
+func (s *batchSink) Deliver(string, []byte) {
+	first := false
+	s.gateOnce.Do(func() { first = true })
+	if first {
+		close(s.inFirst)
+		if s.gate != nil {
+			<-s.gate
+		}
+	}
+	s.mu.Lock()
+	s.delivered++
+	s.mu.Unlock()
+}
+
+func (s *batchSink) FlushDeliveries() {
+	s.mu.Lock()
+	s.flushes++
+	s.mu.Unlock()
+}
+
+func (s *batchSink) Closed(error) {}
+
+func (s *batchSink) counts() (delivered, flushes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered, s.flushes
+}
+
+// TestWriterCoalescesBatches proves the write-coalescing contract: a burst
+// that queues behind a stalled delivery is drained in one batch and flushed
+// once, not once per message.
+func TestWriterCoalescesBatches(t *testing.T) {
+	b := New(Options{OutputBuffer: 128, WriteBatch: 64})
+	defer b.Close()
+	sink := newBatchSink(true)
+	s, err := b.Connect("c", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe("burst"); err != nil {
+		t.Fatal(err)
+	}
+
+	const msgs = 10
+	if got := b.Publish("burst", []byte("m")); got != 1 {
+		t.Fatalf("Publish=%d", got)
+	}
+	<-sink.inFirst // writer is now stalled inside Deliver
+	for i := 1; i < msgs; i++ {
+		if got := b.Publish("burst", []byte("m")); got != 1 {
+			t.Fatalf("Publish=%d", got)
+		}
+	}
+	close(sink.gate)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		delivered, _ := sink.counts()
+		if delivered == msgs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", delivered, msgs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, flushes := sink.counts(); flushes < 1 || flushes >= msgs {
+		t.Fatalf("flushes=%d for %d messages, want coalescing (1 <= flushes < %d)", flushes, msgs, msgs)
+	}
+}
+
+// TestWriteBatchOfOneFlushesPerMessage pins the knob's lower bound:
+// WriteBatch=1 disables coalescing and flushes after every delivery.
+func TestWriteBatchOfOneFlushesPerMessage(t *testing.T) {
+	b := New(Options{OutputBuffer: 128, WriteBatch: 1})
+	defer b.Close()
+	sink := newBatchSink(false)
+	s, err := b.Connect("c", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe("one"); err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 5
+	for i := 0; i < msgs; i++ {
+		b.Publish("one", []byte("m"))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		delivered, flushes := sink.counts()
+		if delivered == msgs && flushes >= msgs {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered=%d flushes=%d, want %d of each", delivered, flushes, msgs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPublishEarlyExitStillObserved: the no-subscriber fast path must not
+// skip observer callbacks or the published counter — the LLA accounts for
+// publications to idle channels too.
+func TestPublishEarlyExitStillObserved(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	obs := &recordingObserver{}
+	b.AddObserver(obs)
+	if got := b.Publish("idle", []byte("xyz")); got != 0 {
+		t.Fatalf("Publish=%d", got)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.pubs) != 1 || obs.pubs[0] != "idle/3/0" {
+		t.Fatalf("observer pubs=%v, want [idle/3/0]", obs.pubs)
+	}
+	if st := b.Stats(); st.Published != 1 || st.Delivered != 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+// TestShardIndexStability pins the FNV-1a stripe function: same channel,
+// same shard, and the index is always in range.
+func TestShardIndexStability(t *testing.T) {
+	seen := make(map[uint32]bool)
+	for _, ch := range []string{"", "a", "tile-3-4", "news.sports", "ch-31"} {
+		i := shardIndex(ch)
+		if i >= numShards {
+			t.Fatalf("shardIndex(%q)=%d out of range", ch, i)
+		}
+		if j := shardIndex(ch); j != i {
+			t.Fatalf("shardIndex(%q) unstable: %d then %d", ch, i, j)
+		}
+		seen[i] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("suspiciously degenerate distribution: %v", seen)
+	}
+}

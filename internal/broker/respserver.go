@@ -36,23 +36,14 @@ func Serve(ln net.Listener, b *Broker) error {
 	}
 }
 
-// respSink bridges broker deliveries onto a RESP connection.
+// respSink bridges broker deliveries onto a RESP connection. Deliver and
+// DeliverPattern only buffer their frame; the session writer calls
+// FlushDeliveries once per drained batch, so a fan-out burst costs one TCP
+// write instead of one per message.
 type respSink struct {
 	mu   sync.Mutex
 	w    *resp.Writer
 	conn net.Conn
-}
-
-func (s *respSink) writeMessage(channel string, payload []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.w.WriteArrayHeader(3)        //nolint:errcheck // sticky error surfaces at Flush
-	s.w.WriteBulkString("message") //nolint:errcheck
-	s.w.WriteBulkString(channel)   //nolint:errcheck
-	if err := s.w.WriteBulk(payload); err != nil {
-		return err
-	}
-	return s.w.Flush()
 }
 
 func (s *respSink) writeAck(kind, channel string, count int) error {
@@ -93,21 +84,32 @@ func (s *respSink) writeBulk(b []byte) error {
 	return s.w.Flush()
 }
 
-// Deliver implements Sink.
+// Deliver implements Sink. It buffers the message frame; the batch flush
+// (or any interleaved reply on this connection) pushes it out.
 func (s *respSink) Deliver(channel string, payload []byte) {
-	if err := s.writeMessage(channel, payload); err != nil {
+	s.mu.Lock()
+	err := s.w.WriteMessage(channel, payload)
+	s.mu.Unlock()
+	if err != nil {
 		s.conn.Close() //nolint:errcheck // teardown; reader notices
 	}
 }
 
-// DeliverPattern implements PatternSink with the Redis pmessage frame.
+// DeliverPattern implements PatternSink with the Redis pmessage frame,
+// buffered like Deliver.
 func (s *respSink) DeliverPattern(pattern, channel string, payload []byte) {
 	s.mu.Lock()
-	s.w.WriteArrayHeader(4)         //nolint:errcheck // sticky error at Flush
-	s.w.WriteBulkString("pmessage") //nolint:errcheck
-	s.w.WriteBulkString(pattern)    //nolint:errcheck
-	s.w.WriteBulkString(channel)    //nolint:errcheck
-	s.w.WriteBulk(payload)          //nolint:errcheck
+	err := s.w.WritePMessage(pattern, channel, payload)
+	s.mu.Unlock()
+	if err != nil {
+		s.conn.Close() //nolint:errcheck // teardown; reader notices
+	}
+}
+
+// FlushDeliveries implements BatchSink: one flush per drained batch of
+// deliveries — the write-coalescing point of the whole pipeline.
+func (s *respSink) FlushDeliveries() {
+	s.mu.Lock()
 	err := s.w.Flush()
 	s.mu.Unlock()
 	if err != nil {

@@ -76,6 +76,11 @@ const maxArrayLen = 1 << 20
 // Reader decodes RESP values from a stream.
 type Reader struct {
 	br *bufio.Reader
+	// line is the reusable scratch buffer behind readLine, so length
+	// prefixes and integer replies cost no allocation per frame. Slices of
+	// it never escape a single read: ReadValue copies simple strings and
+	// errors before returning them.
+	line []byte
 }
 
 // NewReader wraps r in a RESP decoder.
@@ -95,13 +100,13 @@ func (r *Reader) ReadValue() (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		return Value{Kind: KindSimpleString, Str: line}, nil
+		return Value{Kind: KindSimpleString, Str: append([]byte(nil), line...)}, nil
 	case '-':
 		line, err := r.readLine()
 		if err != nil {
 			return Value{}, err
 		}
-		return Value{Kind: KindError, Str: line}, nil
+		return Value{Kind: KindError, Str: append([]byte(nil), line...)}, nil
 	case ':':
 		n, err := r.readInt()
 		if err != nil {
@@ -134,7 +139,9 @@ func (r *Reader) ReadCommand() ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		fields := bytes.Fields(line)
+		// Copy before splitting: the scratch line is overwritten by the
+		// next read, while command args may outlive it.
+		fields := bytes.Fields(append([]byte(nil), line...))
 		if len(fields) == 0 {
 			return nil, fmt.Errorf("%w: empty inline command", ErrProtocol)
 		}
@@ -172,14 +179,35 @@ func (r *Reader) readBulk() (Value, error) {
 	if n < 0 || n > MaxBulkLen {
 		return Value{}, fmt.Errorf("%w: bulk length %d", ErrTooLarge, n)
 	}
-	buf := make([]byte, n+2)
+	// The payload must be an independent allocation (deliveries outlive
+	// the read), sized exactly n with no CRLF tail waste. Fast path: when
+	// payload+CRLF fit the bufio window, validate and copy straight out of
+	// it in one step.
+	if int(n)+2 <= r.br.Size() {
+		frag, err := r.br.Peek(int(n) + 2)
+		if err != nil {
+			return Value{}, unexpectedEOF(err)
+		}
+		if frag[n] != '\r' || frag[n+1] != '\n' {
+			return Value{}, fmt.Errorf("%w: bulk string missing CRLF terminator", ErrProtocol)
+		}
+		buf := make([]byte, n)
+		copy(buf, frag)
+		r.br.Discard(int(n) + 2) //nolint:errcheck // cannot fail after Peek
+		return Value{Kind: KindBulkString, Str: buf}, nil
+	}
+	buf := make([]byte, n)
 	if _, err := io.ReadFull(r.br, buf); err != nil {
 		return Value{}, unexpectedEOF(err)
 	}
-	if buf[n] != '\r' || buf[n+1] != '\n' {
+	var crlf [2]byte
+	if _, err := io.ReadFull(r.br, crlf[:]); err != nil {
+		return Value{}, unexpectedEOF(err)
+	}
+	if crlf[0] != '\r' || crlf[1] != '\n' {
 		return Value{}, fmt.Errorf("%w: bulk string missing CRLF terminator", ErrProtocol)
 	}
-	return Value{Kind: KindBulkString, Str: buf[:n]}, nil
+	return Value{Kind: KindBulkString, Str: buf}, nil
 }
 
 func (r *Reader) readArray() (Value, error) {
@@ -208,18 +236,36 @@ func (r *Reader) readArray() (Value, error) {
 }
 
 // readLine reads up to CRLF and returns the line without the terminator.
-// The returned slice is an independent copy.
+// The returned slice aliases the reader's scratch buffer and is only valid
+// until the next read; callers that retain it must copy.
 func (r *Reader) readLine() ([]byte, error) {
-	line, err := r.br.ReadBytes('\n')
+	frag, err := r.br.ReadSlice('\n')
+	if err == nil {
+		// Common case: the whole line sits in the bufio window, which is
+		// stable until the next read — no copy, no allocation.
+		if len(frag) < 2 || frag[len(frag)-2] != '\r' {
+			return nil, fmt.Errorf("%w: line not CRLF-terminated", ErrProtocol)
+		}
+		return frag[:len(frag)-2], nil
+	}
+	// Slow path: the line spans bufio refills; accumulate fragments into
+	// the reusable scratch buffer (never aliasing the bufio window).
+	r.line = append(r.line[:0], frag...)
+	for errors.Is(err, bufio.ErrBufferFull) {
+		if len(r.line) > MaxBulkLen {
+			return nil, fmt.Errorf("%w: line length %d", ErrTooLarge, len(r.line))
+		}
+		frag, err = r.br.ReadSlice('\n')
+		r.line = append(r.line, frag...)
+	}
 	if err != nil {
 		return nil, unexpectedEOF(err)
 	}
+	line := r.line
 	if len(line) < 2 || line[len(line)-2] != '\r' {
 		return nil, fmt.Errorf("%w: line not CRLF-terminated", ErrProtocol)
 	}
-	out := make([]byte, len(line)-2)
-	copy(out, line[:len(line)-2])
-	return out, nil
+	return line[:len(line)-2], nil
 }
 
 func (r *Reader) readInt() (int64, error) {
@@ -227,11 +273,43 @@ func (r *Reader) readInt() (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := strconv.ParseInt(string(line), 10, 64)
-	if err != nil {
+	n, ok := parseInt(line)
+	if !ok {
 		return 0, fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
 	}
 	return n, nil
+}
+
+// parseInt decodes a decimal integer without the string conversion (and its
+// allocation) that strconv.ParseInt would cost on every length prefix.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i++
+		if i == len(b) {
+			return 0, false
+		}
+	}
+	var n int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+		if n < 0 {
+			return 0, false // overflow
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
 }
 
 func unexpectedEOF(err error) error {
@@ -248,6 +326,9 @@ func unexpectedEOF(err error) error {
 // buffered data out.
 type Writer struct {
 	bw *bufio.Writer
+	// num is scratch for integer encoding, so length prefixes and integer
+	// replies never allocate (strconv.AppendInt(nil, …) would).
+	num [24]byte
 }
 
 // NewWriter wraps w in a RESP encoder.
@@ -274,28 +355,34 @@ func (w *Writer) WriteError(msg string) error {
 	return err
 }
 
-// WriteInteger writes ":n\r\n".
-func (w *Writer) WriteInteger(n int64) error {
-	w.bw.WriteByte(':')                       //nolint:errcheck
-	w.bw.Write(strconv.AppendInt(nil, n, 10)) //nolint:errcheck
-	if _, err := w.bw.WriteString("\r\n"); err != nil {
-		return err
-	}
-	return nil
-}
-
-// WriteBulk writes a bulk string "$len\r\nbytes\r\n".
-func (w *Writer) WriteBulk(b []byte) error {
-	w.bw.WriteByte('$')                                   //nolint:errcheck
-	w.bw.Write(strconv.AppendInt(nil, int64(len(b)), 10)) //nolint:errcheck
-	w.bw.WriteString("\r\n")                              //nolint:errcheck
-	w.bw.Write(b)                                         //nolint:errcheck
+// writeHeader writes one type byte, a decimal integer, and CRLF — the shape
+// of every RESP prefix — without allocating.
+func (w *Writer) writeHeader(t byte, n int64) error {
+	w.bw.WriteByte(t)                               //nolint:errcheck // sticky error checked below
+	w.bw.Write(strconv.AppendInt(w.num[:0], n, 10)) //nolint:errcheck
 	_, err := w.bw.WriteString("\r\n")
 	return err
 }
 
-// WriteBulkString writes a string as a bulk string.
-func (w *Writer) WriteBulkString(s string) error { return w.WriteBulk([]byte(s)) }
+// WriteInteger writes ":n\r\n".
+func (w *Writer) WriteInteger(n int64) error { return w.writeHeader(':', n) }
+
+// WriteBulk writes a bulk string "$len\r\nbytes\r\n".
+func (w *Writer) WriteBulk(b []byte) error {
+	w.writeHeader('$', int64(len(b))) //nolint:errcheck
+	w.bw.Write(b)                     //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteBulkString writes a string as a bulk string. The string's bytes are
+// written directly to the buffer — no []byte(s) copy.
+func (w *Writer) WriteBulkString(s string) error {
+	w.writeHeader('$', int64(len(s))) //nolint:errcheck
+	w.bw.WriteString(s)               //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
 
 // WriteNullBulk writes the null bulk string "$-1\r\n".
 func (w *Writer) WriteNullBulk() error {
@@ -304,11 +391,23 @@ func (w *Writer) WriteNullBulk() error {
 }
 
 // WriteArrayHeader writes "*n\r\n"; the caller then writes n elements.
-func (w *Writer) WriteArrayHeader(n int) error {
-	w.bw.WriteByte('*')                              //nolint:errcheck
-	w.bw.Write(strconv.AppendInt(nil, int64(n), 10)) //nolint:errcheck
-	_, err := w.bw.WriteString("\r\n")
-	return err
+func (w *Writer) WriteArrayHeader(n int) error { return w.writeHeader('*', int64(n)) }
+
+// WriteMessage writes the Redis ["message", channel, payload] push frame in
+// one allocation-free shot — the broker delivery hot path.
+func (w *Writer) WriteMessage(channel string, payload []byte) error {
+	w.bw.WriteString("*3\r\n$7\r\nmessage\r\n") //nolint:errcheck
+	w.WriteBulkString(channel)                  //nolint:errcheck
+	return w.WriteBulk(payload)
+}
+
+// WritePMessage writes the ["pmessage", pattern, channel, payload] frame for
+// pattern-subscription deliveries.
+func (w *Writer) WritePMessage(pattern, channel string, payload []byte) error {
+	w.bw.WriteString("*4\r\n$8\r\npmessage\r\n") //nolint:errcheck
+	w.WriteBulkString(pattern)                   //nolint:errcheck
+	w.WriteBulkString(channel)                   //nolint:errcheck
+	return w.WriteBulk(payload)
 }
 
 // WriteCommand writes a command as an array of bulk strings.
@@ -322,6 +421,47 @@ func (w *Writer) WriteCommand(args ...[]byte) error {
 		}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Append-style encoding
+//
+// These build frames into a caller-provided buffer (append semantics, like
+// strconv.AppendInt), so a sink that owns a reusable scratch buffer can
+// encode a burst of push frames and hand the kernel one contiguous write.
+
+// AppendBulk appends "$len\r\nbytes\r\n" to dst.
+func AppendBulk(dst, b []byte) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(b)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, b...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendBulkString appends a string as a bulk string to dst.
+func AppendBulkString(dst []byte, s string) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendMessage appends the ["message", channel, payload] push frame to dst.
+func AppendMessage(dst []byte, channel string, payload []byte) []byte {
+	dst = append(dst, "*3\r\n$7\r\nmessage\r\n"...)
+	dst = AppendBulkString(dst, channel)
+	return AppendBulk(dst, payload)
+}
+
+// AppendPMessage appends the ["pmessage", pattern, channel, payload] frame
+// to dst.
+func AppendPMessage(dst []byte, pattern, channel string, payload []byte) []byte {
+	dst = append(dst, "*4\r\n$8\r\npmessage\r\n"...)
+	dst = AppendBulkString(dst, pattern)
+	dst = AppendBulkString(dst, channel)
+	return AppendBulk(dst, payload)
 }
 
 // WriteValue writes an arbitrary decoded value back out (used by tests and

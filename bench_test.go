@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -419,6 +420,173 @@ func BenchmarkClientPublish(b *testing.B) {
 		if err := client.Publish("bench", payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClientPublishThroughput measures the client's publish hot path
+// over real TCP: routing-snapshot lookup, envelope encoding into a pooled
+// buffer, and the pipelined PUBLISH write. The clock stops only once the
+// broker has accepted every publication, so ops/s is true throughput rather
+// than local buffer-stuffing speed. The goroutines=4 variant hammers one
+// client from four publishers — the case the lock-free snapshot exists for.
+func BenchmarkClientPublishThroughput(b *testing.B) {
+	for _, gs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("goroutines=%d", gs), func(b *testing.B) {
+			br := broker.New(broker.Options{OutputBuffer: 1 << 17})
+			defer br.Close()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+			go broker.Serve(ln, br) //nolint:errcheck // returns on listener close
+
+			client, err := dynamoth.Connect(dynamoth.Config{
+				Addrs:  map[string]string{"pub1": ln.Addr().String()},
+				NodeID: 42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			payload := make([]byte, 200)
+			// Warm the route: dial the target and publish the snapshot.
+			if err := client.Publish("bench", payload); err != nil {
+				b.Fatal(err)
+			}
+			base := waitBrokerPublished(b, br, 1)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < gs; g++ {
+				n := b.N / gs
+				if g < b.N%gs {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if err := client.Publish("bench", payload); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			waitBrokerPublished(b, br, base+uint64(b.N))
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "publishes/s")
+			}
+		})
+	}
+}
+
+func waitBrokerPublished(b *testing.B, br *broker.Broker, want uint64) uint64 {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got := br.Stats().Published
+		if got >= want {
+			return got
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("stalled: broker accepted %d of %d publications", got, want)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// BenchmarkClientEndToEnd runs the full library round trip over loopback
+// TCP: publisher client → RESP wire → broker fan-out → subscriber client →
+// application channel. The publisher's lead is bounded so the subscriber's
+// buffer never overflows; allocs/op covers both ends of the path.
+func BenchmarkClientEndToEnd(b *testing.B) {
+	br := broker.New(broker.Options{OutputBuffer: 1 << 17})
+	defer br.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go broker.Serve(ln, br) //nolint:errcheck // returns on listener close
+	addrs := map[string]string{"pub1": ln.Addr().String()}
+
+	sub, err := dynamoth.Connect(dynamoth.Config{Addrs: addrs, NodeID: 43, SubscribeBuffer: 1 << 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+	msgs, err := sub.Subscribe("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := dynamoth.Connect(dynamoth.Config{Addrs: addrs, NodeID: 44})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	payload := make([]byte, 200)
+
+	// Warm up until the subscription is live, then drain the warmup traffic
+	// (every warmup publish is eventually delivered — the buffer is large).
+	warm := 0
+	for delivered := 0; delivered < warm || warm == 0; {
+		if err := pub.Publish("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+		warm++
+		select {
+		case <-msgs:
+			delivered++
+			for delivered < warm {
+				select {
+				case <-msgs:
+					delivered++
+				case <-time.After(time.Second):
+					b.Fatalf("warmup: %d of %d deliveries", delivered, warm)
+				}
+			}
+		case <-time.After(100 * time.Millisecond):
+			if warm > 50 {
+				b.Fatal("subscription never became live")
+			}
+		}
+	}
+
+	var received atomic.Int64
+	go func() {
+		for range msgs {
+			received.Add(1)
+		}
+	}()
+	const maxLead = 8192
+	waitFor := func(want int64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for received.Load() < want {
+			if time.Now().After(deadline) {
+				b.Fatalf("stalled: received %d of %d deliveries", received.Load(), want)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Publish("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+		if lead := int64(i+1) - received.Load(); lead > maxLead {
+			waitFor(int64(i+1) - maxLead/2)
+		}
+	}
+	waitFor(int64(b.N))
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(received.Load())/sec, "deliveries/s")
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	mrand "math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,14 +90,24 @@ type Stats struct {
 
 // Client is a Dynamoth pub/sub client: a standard publish/subscribe API
 // backed by a lazily maintained partial plan (§II-C).
+//
+// The steady-state hot paths — Publish and message delivery — run against an
+// immutable routing snapshot behind an atomic pointer and take no
+// client-wide lock; c.mu serializes only control-plane mutations (plan
+// updates, subscription changes, dialing, repair), each of which republishes
+// the snapshot.
 type Client struct {
 	cfg    Config
 	dialer transport.Dialer
 	gen    *message.Generator
 	dedup  *message.Deduper
 
-	rngMu sync.Mutex
-	rng   *mrand.Rand
+	// rngState is the xorshift64 state behind pick (replica selection for
+	// replicated channels) — lock-free, seeded from cfg.Seed.
+	rngState atomic.Uint64
+
+	// route is the copy-on-write snapshot read by Publish/deliver/touch.
+	route atomic.Pointer[routeTable]
 
 	mu     sync.Mutex
 	local  *localplan.Store
@@ -116,15 +125,47 @@ type Client struct {
 	done chan struct{}
 }
 
+// routeTable is an immutable snapshot of everything the lock-free paths
+// need: learned plan entries (whose timers stay touchable through the shared
+// *Learned values), the fallback ring, the dialed connection table, and the
+// live subscriptions. Rebuilt under c.mu on every control-plane change.
+type routeTable struct {
+	base    *plan.Plan
+	entries map[string]*localplan.Learned
+	conns   map[plan.ServerID]*clientConn
+	subs    map[string]*subscription
+	closed  bool
+}
+
 type subscription struct {
-	out     chan Message
+	// outMu guards out against the send-vs-close race between lock-free
+	// delivery and Unsubscribe/Close; it is per-subscription, so deliveries
+	// on different channels never contend.
+	outMu  sync.Mutex
+	closed bool
+	out    chan Message
+
+	// servers and broken are guarded by Client.mu (control plane only).
 	servers []plan.ServerID
 	broken  bool // needs repair after a disconnect
+}
+
+// closeOut closes the delivery stream exactly once.
+func (s *subscription) closeOut() {
+	s.outMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.out)
+	}
+	s.outMu.Unlock()
 }
 
 type clientConn struct {
 	conn   transport.Conn
 	server plan.ServerID
+	// noRetain records that conn.Publish consumes the payload before
+	// returning, so publications may be encoded into pooled buffers.
+	noRetain bool
 }
 
 // Connect dials a Dynamoth deployment over TCP using the bootstrap servers
@@ -157,24 +198,33 @@ func ConnectWithDialer(dialer transport.Dialer, servers []string, cfg Config) (*
 		dialer: dialer,
 		gen:    message.NewGenerator(cfg.NodeID),
 		dedup:  message.NewDeduper(0),
-		rng:    mrand.New(mrand.NewSource(cfg.Seed)),
 		local:  localplan.New(servers, cfg.EntryTimeout),
 		conns:  make(map[plan.ServerID]*clientConn),
 		subs:   make(map[string]*subscription),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	seed := uint64(cfg.Seed)
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	c.rngState.Store(seed)
 	// Subscribe to this client's inbox so servers can redirect us
 	// (§IV "Publishing on old server").
 	inbox := plan.InboxChannel(cfg.NodeID)
+	c.mu.Lock()
 	home := c.local.Base().Home(inbox)
 	conn, err := c.connLocked(home)
 	if err != nil {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("dynamoth: connecting to bootstrap server %s: %w", home, err)
 	}
 	if err := conn.conn.Subscribe(inbox); err != nil {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("dynamoth: subscribing inbox: %w", err)
 	}
+	c.rebuildRouteLocked()
+	c.mu.Unlock()
 	go c.maintain()
 	return c, nil
 }
@@ -195,23 +245,52 @@ func (c *Client) Stats() Stats {
 
 // Publish sends payload on channel, routed by the client's current plan
 // knowledge (explicit entry, else consistent hashing).
+//
+// The steady-state path reads the routing snapshot and touches no
+// client-wide lock; it falls back to the locked slow path only when a target
+// server has no dialed connection yet.
 func (c *Client) Publish(channel string, payload []byte) error {
+	rt := c.route.Load()
+	if rt == nil {
+		return c.publishSlow(channel, payload)
+	}
+	if rt.closed {
+		return ErrClosed
+	}
+	var version uint64
+	var targetArr [1]plan.ServerID
+	var targets []plan.ServerID
+	if le, ok := rt.entries[channel]; ok {
+		le.Touch(c.cfg.Clock.Now())
+		version = le.Version()
+		targets = plan.PublishTargets(le.Entry(), c.pick)
+	} else {
+		// Consistent-hash fallback: one target, no Entry allocation.
+		targetArr[0] = rt.base.Home(channel)
+		targets = targetArr[:]
+	}
+	var connArr [4]*clientConn
+	conns := connArr[:0]
+	for _, s := range targets {
+		cc, ok := rt.conns[s]
+		if !ok {
+			return c.publishSlow(channel, payload) // needs a dial (or substitution)
+		}
+		conns = append(conns, cc)
+	}
+	return c.sendToConns(channel, payload, version, conns)
+}
+
+// publishSlow is the locked publish path: it resolves (dialing or
+// substituting) connections for the channel's targets and republishes the
+// routing snapshot so the next Publish takes the fast path.
+func (c *Client) publishSlow(channel string, payload []byte) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
 	}
 	entry, version := c.lookupVersionLocked(channel)
-	env := &message.Envelope{
-		Type:    message.TypeData,
-		ID:      c.gen.Next(),
-		Channel: channel,
-		Payload: payload,
-		// Publications carry the plan version the routing decision was
-		// based on, so dispatchers can detect stale clients lazily.
-		PlanVersion: version,
-	}
-	data := env.Marshal()
 	targets := plan.PublishTargets(entry, c.pick)
 	conns := make([]*clientConn, 0, len(targets))
 	var dialErr error
@@ -223,6 +302,7 @@ func (c *Client) Publish(channel string, payload []byte) error {
 		}
 		conns = append(conns, conn)
 	}
+	c.rebuildRouteLocked()
 	c.mu.Unlock()
 
 	if len(conns) == 0 {
@@ -231,16 +311,51 @@ func (c *Client) Publish(channel string, payload []byte) error {
 		}
 		return fmt.Errorf("dynamoth: publish %q: no target servers", channel)
 	}
+	return c.sendToConns(channel, payload, version, conns)
+}
+
+// sendToConns encodes the publication once and sends it to every target.
+// When every target connection consumes the payload before Publish returns
+// (transport.NonRetaining), the envelope is encoded into a pooled buffer.
+func (c *Client) sendToConns(channel string, payload []byte, version uint64, conns []*clientConn) error {
+	env := message.Envelope{
+		Type:    message.TypeData,
+		ID:      c.gen.Next(),
+		Channel: channel,
+		Payload: payload,
+		// Publications carry the plan version the routing decision was
+		// based on, so dispatchers can detect stale clients lazily.
+		PlanVersion: version,
+	}
+	pooled := true
+	for _, cc := range conns {
+		if !cc.noRetain {
+			pooled = false
+			break
+		}
+	}
+	var data []byte
+	var buf *[]byte
+	if pooled {
+		buf = message.GetBuffer()
+		data = env.AppendMarshal((*buf)[:0])
+	} else {
+		data = env.Marshal()
+	}
 	var firstErr error
-	for _, conn := range conns {
-		if err := conn.conn.Publish(channel, data); err != nil {
+	for _, cc := range conns {
+		if err := cc.conn.Publish(channel, data); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
-			c.handleDisconnectedConn(conn)
+			c.handleDisconnectedConn(cc)
 			continue
 		}
 		c.published.Add(1)
+	}
+	if buf != nil {
+		*buf = data[:0]
+		message.PutBuffer(buf)
 	}
 	return firstErr
 }
@@ -265,8 +380,10 @@ func (c *Client) Subscribe(channel string) (<-chan Message, error) {
 	c.subs[channel] = sub
 	if err := c.subscribeOnLocked(channel, targets); err != nil {
 		delete(c.subs, channel)
+		c.rebuildRouteLocked() // subscribeOnLocked may have dialed
 		return nil, err
 	}
+	c.rebuildRouteLocked()
 	return sub.out, nil
 }
 
@@ -287,7 +404,8 @@ func (c *Client) Unsubscribe(channel string) error {
 			_ = conn.conn.Unsubscribe(channel) // best effort; conn may be dying
 		}
 	}
-	close(sub.out)
+	c.rebuildRouteLocked()
+	sub.closeOut()
 	return nil
 }
 
@@ -305,9 +423,10 @@ func (c *Client) Close() error {
 	}
 	c.conns = make(map[plan.ServerID]*clientConn)
 	for ch, sub := range c.subs {
-		close(sub.out)
+		sub.closeOut()
 		delete(c.subs, ch)
 	}
+	c.rebuildRouteLocked()
 	c.mu.Unlock()
 
 	close(c.stop)
@@ -325,10 +444,40 @@ func (c *Client) clientKey() string {
 	return plan.InboxChannel(c.cfg.NodeID) // unique, stable per client
 }
 
+// pick selects a replica index via a lock-free xorshift64 step (replacing a
+// mutex-guarded math/rand: pick sits on the publish fast path).
 func (c *Client) pick(n int) int {
-	c.rngMu.Lock()
-	defer c.rngMu.Unlock()
-	return c.rng.Intn(n)
+	for {
+		old := c.rngState.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if c.rngState.CompareAndSwap(old, x) {
+			return int(x % uint64(n))
+		}
+	}
+}
+
+// rebuildRouteLocked republishes the routing snapshot read by the lock-free
+// paths. Must be called under c.mu at the end of every control-plane
+// mutation (plan/ring updates, subscription changes, dialing, teardown).
+func (c *Client) rebuildRouteLocked() {
+	rt := &routeTable{
+		base:    c.local.Base(),
+		entries: make(map[string]*localplan.Learned, c.local.Len()),
+		conns:   make(map[plan.ServerID]*clientConn, len(c.conns)),
+		subs:    make(map[string]*subscription, len(c.subs)),
+		closed:  c.closed,
+	}
+	c.local.Each(func(ch string, l *localplan.Learned) { rt.entries[ch] = l })
+	for id, cc := range c.conns {
+		rt.conns[id] = cc
+	}
+	for ch, sub := range c.subs {
+		rt.subs[ch] = sub
+	}
+	c.route.Store(rt)
 }
 
 // lookupLocked resolves a channel against the local plan, falling back to
@@ -374,6 +523,9 @@ func (c *Client) connLocked(server plan.ServerID) (*clientConn, error) {
 		return nil, err
 	}
 	cc.conn = conn
+	if nr, ok := conn.(transport.NonRetaining); ok && nr.PublishNonRetaining() {
+		cc.noRetain = true
+	}
 	c.conns[server] = cc
 	return cc, nil
 }
@@ -432,33 +584,51 @@ func (c *Client) handleMessage(channel string, payload []byte) {
 }
 
 func (c *Client) deliver(channel string, env *message.Envelope) {
-	msg := Message{
-		Channel:   channel,
-		Payload:   append([]byte(nil), env.Payload...),
-		Publisher: env.ID.Node,
+	rt := c.route.Load()
+	if rt == nil {
+		return // bootstrap window; nothing subscribed yet
 	}
-	// The non-blocking send happens under the mutex so it cannot race the
-	// close(sub.out) in Unsubscribe/Close (which hold the same mutex).
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sub := c.subs[channel]
+	sub := rt.subs[channel]
 	if sub == nil {
 		return // already unsubscribed; late delivery
 	}
+	msg := Message{
+		Channel: channel,
+		// The transport transferred payload ownership to us (Handler docs)
+		// and env.Payload aliases it, so it goes to the application without
+		// another copy.
+		Payload:   env.Payload,
+		Publisher: env.ID.Node,
+	}
+	// The non-blocking send happens under the subscription's own mutex so it
+	// cannot race closeOut in Unsubscribe/Close; deliveries on different
+	// channels do not contend.
+	sub.outMu.Lock()
+	if sub.closed {
+		sub.outMu.Unlock()
+		return
+	}
 	select {
 	case sub.out <- msg:
+		sub.outMu.Unlock()
 		c.received.Add(1)
 	default:
+		sub.outMu.Unlock()
 		c.dropped.Add(1)
 	}
 }
 
 // touch resets the plan-entry timer for a channel (§IV-A5: "the timer is
-// reset whenever the client sends or receives a publication").
+// reset whenever the client sends or receives a publication"). Entry timers
+// are atomic, so the snapshot suffices — no lock.
 func (c *Client) touch(channel string) {
-	c.mu.Lock()
-	c.local.Touch(channel, c.cfg.Clock.Now())
-	c.mu.Unlock()
+	rt := c.route.Load()
+	if rt == nil {
+		return
+	}
+	if le, ok := rt.entries[channel]; ok {
+		le.Touch(c.cfg.Clock.Now())
+	}
 }
 
 // applyEntryUpdate installs the mapping carried by a switch or wrong-server
@@ -483,6 +653,7 @@ func (c *Client) applyEntryUpdate(channel string, env *message.Envelope, resubsc
 	}
 	sub := c.subs[channel]
 	if sub == nil || !resubscribe {
+		c.rebuildRouteLocked()
 		c.mu.Unlock()
 		return
 	}
@@ -497,6 +668,7 @@ func (c *Client) applyEntryUpdate(channel string, env *message.Envelope, resubsc
 			_ = conn.conn.Unsubscribe(channel) // best effort
 		}
 	}
+	c.rebuildRouteLocked()
 	c.mu.Unlock()
 }
 
@@ -517,6 +689,7 @@ func (c *Client) handleDisconnectedConn(cc *clientConn) {
 	}
 	inboxHome := c.local.Base().Home(plan.InboxChannel(c.cfg.NodeID))
 	needInbox := inboxHome == cc.server
+	c.rebuildRouteLocked()
 	c.mu.Unlock()
 	_ = cc.conn.Close()
 	if needInbox {
@@ -546,6 +719,7 @@ func (c *Client) updateRing(env *message.Envelope) {
 				_ = conn.conn.Unsubscribe(inbox)
 			}
 		}
+		c.rebuildRouteLocked()
 	}
 	c.mu.Unlock()
 }
@@ -561,6 +735,7 @@ func (c *Client) repairInbox() {
 	if conn, err := c.connLocked(home); err == nil {
 		_ = conn.conn.Subscribe(inbox)
 	}
+	c.rebuildRouteLocked()
 }
 
 // maintain runs the entry-timer sweep (§IV-A5) and subscription repair.
@@ -586,7 +761,7 @@ func (c *Client) sweep() {
 	now := c.cfg.Clock.Now()
 	c.mu.Lock()
 	var repairs []string
-	c.local.Sweep(now, func(ch string) bool {
+	swept := c.local.Sweep(now, func(ch string) bool {
 		_, subscribed := c.subs[ch]
 		return subscribed
 	})
@@ -604,6 +779,9 @@ func (c *Client) sweep() {
 		if err := c.subscribeOnLocked(ch, targets); err != nil {
 			sub.broken = true // retry next sweep
 		}
+	}
+	if swept > 0 || len(repairs) > 0 {
+		c.rebuildRouteLocked()
 	}
 	c.mu.Unlock()
 }

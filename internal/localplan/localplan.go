@@ -8,6 +8,7 @@
 package localplan
 
 import (
+	"sync/atomic"
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/plan"
@@ -16,18 +17,34 @@ import (
 // DefaultTimeout is the per-entry timer of §IV-A5.
 const DefaultTimeout = 30 * time.Second
 
-type entry struct {
+// Learned is one channel's learned mapping. The struct itself is immutable
+// after creation except for the entry timer, which is atomic so that holders
+// of a routing snapshot (the client's lock-free publish/delivery paths) can
+// touch it without the Store owner's lock.
+type Learned struct {
 	e        plan.Entry
 	version  uint64
-	lastUsed time.Time
+	lastUsed atomic.Int64 // unix nanoseconds of last use
 }
 
-// Store is a client's local plan. It is not safe for concurrent use; the
-// owner serializes access (the live client under its mutex, the simulator on
-// its single thread).
+// Entry returns the mapping. Callers must treat the entry (including its
+// Servers slice) as read-only.
+func (l *Learned) Entry() plan.Entry { return l.e }
+
+// Version is the plan version the entry was learned at.
+func (l *Learned) Version() uint64 { return l.version }
+
+// Touch resets the entry timer (§IV-A5: "the timer is reset whenever the
+// client sends or receives a publication"). Safe for concurrent use.
+func (l *Learned) Touch(now time.Time) { l.lastUsed.Store(now.UnixNano()) }
+
+// Store is a client's local plan. Mutations are not safe for concurrent
+// use; the owner serializes them (the live client under its mutex, the
+// simulator on its single thread). Learned entries handed out by Lookup or
+// Each may be touched concurrently.
 type Store struct {
 	base        *plan.Plan
-	entries     map[string]*entry
+	entries     map[string]*Learned
 	timeout     time.Duration
 	ringVersion uint64
 }
@@ -40,7 +57,7 @@ func New(bootstrap []plan.ServerID, timeout time.Duration) *Store {
 	}
 	return &Store{
 		base:    plan.New(bootstrap...),
-		entries: make(map[string]*entry),
+		entries: make(map[string]*Learned),
 		timeout: timeout,
 	}
 }
@@ -84,11 +101,19 @@ func sameMembers(a, b []plan.ServerID) bool {
 // version the entry was learned at (0 for fallback).
 func (s *Store) Lookup(channel string, now time.Time) (plan.Entry, uint64) {
 	if le, ok := s.entries[channel]; ok {
-		le.lastUsed = now
+		le.Touch(now)
 		return le.e, le.version
 	}
 	e, _ := s.base.Lookup(channel)
 	return e, 0
+}
+
+// Each visits every learned entry. The *Learned references remain valid (and
+// touchable) after the call — routing snapshots are built from them.
+func (s *Store) Each(f func(channel string, l *Learned)) {
+	for ch, le := range s.entries {
+		f(ch, le)
+	}
 }
 
 // Peek is Lookup without touching the timer.
@@ -110,11 +135,12 @@ func (s *Store) Update(channel string, e plan.Entry, version uint64, now time.Ti
 	if le, ok := s.entries[channel]; ok && version < le.version {
 		return false
 	}
-	s.entries[channel] = &entry{
-		e:        plan.Entry{Strategy: e.Strategy, Servers: append([]plan.ServerID(nil), e.Servers...)},
-		version:  version,
-		lastUsed: now,
+	le := &Learned{
+		e:       plan.Entry{Strategy: e.Strategy, Servers: append([]plan.ServerID(nil), e.Servers...)},
+		version: version,
 	}
+	le.Touch(now)
+	s.entries[channel] = le
 	return true
 }
 
@@ -122,7 +148,7 @@ func (s *Store) Update(channel string, e plan.Entry, version uint64, now time.Ti
 // receives a publication on it).
 func (s *Store) Touch(channel string, now time.Time) {
 	if le, ok := s.entries[channel]; ok {
-		le.lastUsed = now
+		le.Touch(now)
 	}
 }
 
@@ -138,7 +164,7 @@ func (s *Store) Sweep(now time.Time, keep func(channel string) bool) int {
 		if keep != nil && keep(ch) {
 			continue
 		}
-		if now.Sub(le.lastUsed) > s.timeout {
+		if now.Sub(time.Unix(0, le.lastUsed.Load())) > s.timeout {
 			delete(s.entries, ch)
 			dropped++
 		}

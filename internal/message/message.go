@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 )
 
@@ -136,24 +137,52 @@ func (e *Envelope) Marshal() []byte {
 		n += binary.MaxVarintLen32 + len(s)
 	}
 	n += len(e.Payload)
+	return e.AppendMarshal(make([]byte, 0, n))
+}
 
-	buf := make([]byte, 0, n)
-	buf = append(buf, envelopeMagic, byte(e.Type))
-	buf = binary.AppendUvarint(buf, e.PlanVersion)
-	buf = binary.AppendUvarint(buf, uint64(e.ID.Node))
-	buf = binary.AppendUvarint(buf, e.ID.Seq)
-	buf = appendString(buf, e.Channel)
-	buf = append(buf, e.Strategy)
-	buf = binary.AppendUvarint(buf, uint64(len(e.Servers)))
+// AppendMarshal appends the envelope's encoding to dst and returns the
+// extended slice (append semantics, like strconv.AppendInt). A caller with a
+// reusable scratch buffer — e.g. one from GetBuffer — encodes a publication
+// with zero allocations.
+func (e *Envelope) AppendMarshal(dst []byte) []byte {
+	dst = append(dst, envelopeMagic, byte(e.Type))
+	dst = binary.AppendUvarint(dst, e.PlanVersion)
+	dst = binary.AppendUvarint(dst, uint64(e.ID.Node))
+	dst = binary.AppendUvarint(dst, e.ID.Seq)
+	dst = appendString(dst, e.Channel)
+	dst = append(dst, e.Strategy)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Servers)))
 	for _, s := range e.Servers {
-		buf = appendString(buf, s)
+		dst = appendString(dst, s)
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(e.RingServers)))
+	dst = binary.AppendUvarint(dst, uint64(len(e.RingServers)))
 	for _, s := range e.RingServers {
-		buf = appendString(buf, s)
+		dst = appendString(dst, s)
 	}
-	buf = append(buf, e.Payload...)
-	return buf
+	return append(dst, e.Payload...)
+}
+
+// maxPooledBuf bounds the capacity of buffers kept in the marshal pool, so
+// one giant payload does not pin its buffer forever.
+const maxPooledBuf = 64 << 10
+
+// marshalPool recycles AppendMarshal scratch buffers for publish hot paths.
+var marshalPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuffer returns a pooled scratch buffer for AppendMarshal. Encode with
+// buf := message.GetBuffer(); data := env.AppendMarshal((*buf)[:0]) and hand
+// the buffer back with PutBuffer once nothing references the encoded bytes —
+// only safe when every consumer of data finishes with it before the release
+// (e.g. a transport that copies the payload out before Publish returns).
+func GetBuffer() *[]byte { return marshalPool.Get().(*[]byte) }
+
+// PutBuffer returns a GetBuffer buffer to the pool. Store the final slice
+// back first (*buf = data) so the grown capacity is what gets recycled.
+func PutBuffer(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	marshalPool.Put(b)
 }
 
 // Unmarshal decodes an envelope previously produced by Marshal. The returned

@@ -168,6 +168,67 @@ func (r *Reader) ReadCommand() ([][]byte, error) {
 	return args, nil
 }
 
+// messagePushPrefix is the fixed wire prefix of a ["message", channel,
+// payload] push frame: array of 3, first element the 7-byte bulk "message".
+var messagePushPrefix = []byte("*3\r\n$7\r\nmessage\r\n")
+
+// ReadMessagePush reads one frame from a subscriber-mode connection,
+// decoding the dominant ["message", channel, payload] push without building
+// a generic Value tree: the fixed prefix is matched with a single
+// Peek/Discard and only the channel and payload themselves are allocated,
+// both owned by the caller. Any other frame (subscription acks, pmessage
+// pushes) is consumed through the generic path and reported with ok=false
+// unless it is itself a message push.
+//
+// The fast path peeks len(messagePushPrefix) bytes, so it is only suitable
+// for streams whose every frame is at least that long — true of subscriber
+// sockets, where the shortest frames are subscription acks.
+func (r *Reader) ReadMessagePush() (channel string, payload []byte, ok bool, err error) {
+	frag, perr := r.br.Peek(len(messagePushPrefix))
+	if perr == nil && bytes.Equal(frag, messagePushPrefix) {
+		r.br.Discard(len(messagePushPrefix)) //nolint:errcheck // cannot fail after Peek
+		ch, err := r.expectBulk()
+		if err != nil {
+			return "", nil, false, err
+		}
+		pay, err := r.expectBulk()
+		if err != nil {
+			return "", nil, false, err
+		}
+		return string(ch), pay, true, nil
+	}
+	// Slow path: a non-message frame, or fewer than len(prefix) bytes left
+	// before EOF. ReadValue consumes whatever is there and surfaces the real
+	// error position.
+	v, err := r.ReadValue()
+	if err != nil {
+		return "", nil, false, err
+	}
+	if v.Kind == KindArray && !v.Null && len(v.Array) == 3 && string(v.Array[0].Str) == "message" {
+		return string(v.Array[1].Str), v.Array[2].Str, true, nil
+	}
+	return "", nil, false, nil
+}
+
+// expectBulk reads a non-null bulk string including its type byte.
+func (r *Reader) expectBulk() ([]byte, error) {
+	t, err := r.br.ReadByte()
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if t != '$' {
+		return nil, fmt.Errorf("%w: expected bulk string, got type byte %q", ErrProtocol, t)
+	}
+	v, err := r.readBulk()
+	if err != nil {
+		return nil, err
+	}
+	if v.Null {
+		return nil, fmt.Errorf("%w: unexpected null bulk string", ErrProtocol)
+	}
+	return v.Str, nil
+}
+
 func (r *Reader) readBulk() (Value, error) {
 	n, err := r.readInt()
 	if err != nil {
@@ -408,6 +469,33 @@ func (w *Writer) WritePMessage(pattern, channel string, payload []byte) error {
 	w.WriteBulkString(pattern)                   //nolint:errcheck
 	w.WriteBulkString(channel)                   //nolint:errcheck
 	return w.WriteBulk(payload)
+}
+
+// WritePublish writes the ["PUBLISH", channel, payload] command frame in one
+// allocation-free shot — the pipelined client publish hot path, mirroring
+// WriteMessage on the delivery side.
+func (w *Writer) WritePublish(channel string, payload []byte) error {
+	w.bw.WriteString("*3\r\n$7\r\nPUBLISH\r\n") //nolint:errcheck // sticky error checked below
+	w.WriteBulkString(channel)                  //nolint:errcheck
+	return w.WriteBulk(payload)
+}
+
+// WriteCommandStrings writes a command whose name and arguments are strings,
+// straight from the string bytes — no [][]byte conversion or per-argument
+// allocation (the subscribe-path analogue of WritePublish).
+func (w *Writer) WriteCommandStrings(cmd string, args ...string) error {
+	if err := w.WriteArrayHeader(len(args) + 1); err != nil {
+		return err
+	}
+	if err := w.WriteBulkString(cmd); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.WriteBulkString(a); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteCommand writes a command as an array of bulk strings.

@@ -8,8 +8,12 @@ import (
 
 // PooledForwarder publishes on remote pub/sub servers over pooled
 // connections from a Dialer — the dispatcher-to-dispatcher forwarding path
-// of a distributed deployment. A connection that fails a publish is dropped
-// and re-dialed on the next use.
+// of a distributed deployment. Over TCP the pooled connections pipeline:
+// ForwardPublish returns as soon as the command is buffered, replies are
+// drained asynchronously, and a mid-pipeline failure surfaces on the next
+// ForwardPublish to that server. A connection that reports a publish error
+// is dropped and re-dialed on the next use, which also clears the pipelined
+// error state.
 type PooledForwarder struct {
 	dialer Dialer
 

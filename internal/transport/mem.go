@@ -3,6 +3,7 @@ package transport
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/broker"
@@ -128,7 +129,7 @@ type memConn struct {
 	handler Handler
 
 	closeOnce sync.Once
-	explicit  bool
+	explicit  atomic.Bool // read by the broker's Closed callback goroutine
 }
 
 var _ Conn = (*memConn)(nil)
@@ -160,8 +161,8 @@ func (c *memConn) publishNow(channel string, payload []byte) {
 }
 
 func (c *memConn) Close() error {
+	c.explicit.Store(true)
 	c.closeOnce.Do(func() {
-		c.explicit = true
 		c.session.Close()
 	})
 	return nil
@@ -172,19 +173,24 @@ func (c *memConn) Close() error {
 type memSink struct{ c *memConn }
 
 func (s memSink) Deliver(channel string, payload []byte) {
+	// The broker shares one payload slice across its whole fan-out, while
+	// OnMessage transfers ownership to the handler (see Handler docs) — copy
+	// out. This is the same copy deliver() used to make client-side, moved
+	// to the transport boundary.
+	owned := append([]byte(nil), payload...)
 	c := s.c
 	d := c.dialer
 	if d.dq == nil {
-		c.handler.OnMessage(channel, payload)
+		c.handler.OnMessage(channel, owned)
 		return
 	}
 	delay := d.sampleDelay(netsim.Infra, d.class)
-	d.dq.ScheduleAfter(delay, func() { c.handler.OnMessage(channel, payload) })
+	d.dq.ScheduleAfter(delay, func() { c.handler.OnMessage(channel, owned) })
 }
 
 func (s memSink) Closed(reason error) {
 	c := s.c
-	if c.explicit {
+	if c.explicit.Load() {
 		return
 	}
 	c.handler.OnDisconnect(reason)

@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/broker"
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// TestTCPPipelineAcksDrain verifies the pipelined publish path: Publish
+// returns immediately, and the ack loop drains the server replies until the
+// outstanding count returns to zero.
+func TestTCPPipelineAcksDrain(t *testing.T) {
+	d := tcpSetup(t)
+	h := newRecHandler()
+	conn, err := d.Dial("t1", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	tc := conn.(*tcpConn)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := conn.Publish("pipe", []byte("payload")); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tc.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("outstanding=%d never drained", tc.Outstanding())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-h.disc:
+		t.Fatalf("unexpected disconnect: %v", err)
+	default:
+	}
+}
+
+// errServer is a fake RESP endpoint that answers every write on a connection
+// with a RESP error, standing in for a broker that rejects PUBLISH.
+func errServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+					if _, err := conn.Write([]byte("-ERR publish rejected\r\n")); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestTCPPipelineRejectionSurfacesOnLaterPublish verifies the asynchronous
+// error contract: a server that rejects a pipelined PUBLISH does not fail
+// that call, but poisons the connection so a subsequent Publish reports the
+// rejection.
+func TestTCPPipelineRejectionSurfacesOnLaterPublish(t *testing.T) {
+	addr := errServer(t)
+	d := NewTCPDialer(map[plan.ServerID]string{"bad": addr})
+	h := newRecHandler()
+	conn, err := d.Dial("bad", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Publish("c", []byte("x")); err != nil {
+		t.Fatalf("first publish should pipeline cleanly, got %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := conn.Publish("c", []byte("x"))
+		if err != nil {
+			if !strings.Contains(err.Error(), "rejected") {
+				t.Fatalf("err=%v, want the server rejection", err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rejection never surfaced on a later publish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTCPPipelineServerDropSurfacesOnPublish kills the broker mid-pipeline
+// and verifies both failure channels: OnDisconnect fires (driving the client
+// library's drop-and-redial repair), and later Publish calls return an error
+// instead of silently dropping into a dead pipe.
+func TestTCPPipelineServerDropSurfacesOnPublish(t *testing.T) {
+	b := broker.New(broker.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		broker.Serve(ln, b) //nolint:errcheck
+	}()
+	d := NewTCPDialer(map[plan.ServerID]string{"t1": ln.Addr().String()})
+	h := newRecHandler()
+	conn, err := d.Dial("t1", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 64; i++ {
+		if err := conn.Publish("pipe", []byte("pre-kill")); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	b.Close()
+	ln.Close()
+	<-served
+
+	select {
+	case err := <-h.disc:
+		if err == nil {
+			t.Fatal("nil disconnect reason")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no disconnect notification after server drop")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := conn.Publish("pipe", []byte("post-kill")); err != nil {
+			return // surfaced: the sticky socket error or ErrClosed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("publishing into a dead pipeline keeps succeeding")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// countingHandler counts disconnect callbacks; used by the race test where
+// multiple notifications would indicate a broken closeOnce/explicit dance.
+type countingHandler struct {
+	disc atomic.Int64
+}
+
+func (h *countingHandler) OnMessage(string, []byte) {}
+func (h *countingHandler) OnDisconnect(error)       { h.disc.Add(1) }
+
+// TestTCPPipelineExplicitCloseDisconnectRace races explicit Close against a
+// server-side teardown across several connections. Run under -race this
+// exercises the atomic explicit flag and the closeOnce path: at most one
+// disconnect callback may fire per connection, and none after a Close that
+// wins the race.
+func TestTCPPipelineExplicitCloseDisconnectRace(t *testing.T) {
+	b := broker.New(broker.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		broker.Serve(ln, b) //nolint:errcheck
+	}()
+	d := NewTCPDialer(map[plan.ServerID]string{"t1": ln.Addr().String()})
+
+	const conns = 8
+	handlers := make([]*countingHandler, conns)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < conns; i++ {
+		h := &countingHandler{}
+		handlers[i] = h
+		conn, err := d.Dial("t1", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(conn Conn) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 32; j++ {
+				if conn.Publish("race", []byte("x")) != nil {
+					break
+				}
+			}
+			conn.Close()
+		}(conn)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		b.Close()
+		ln.Close()
+	}()
+	close(start)
+	wg.Wait()
+	<-served
+	time.Sleep(100 * time.Millisecond) // let stragglers deliver callbacks
+	for i, h := range handlers {
+		if n := h.disc.Load(); n > 1 {
+			t.Fatalf("conn %d: %d disconnect callbacks, want at most 1", i, n)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/plan"
@@ -69,12 +70,21 @@ func (d *TCPDialer) Dial(server plan.ServerID, h Handler) (Conn, error) {
 		subW:    resp.NewWriter(subSock),
 		pubR:    resp.NewReader(pubSock),
 		pubW:    resp.NewWriter(pubSock),
+		flushCh: make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
+	go c.ackLoop()
+	go c.flushLoop()
 	return c, nil
 }
 
+// tcpConn pipelines the publish path: Publish only appends the command to
+// the buffered publisher socket and returns; a flusher goroutine coalesces
+// buffered commands into one write syscall (mirroring the broker's
+// WriteBatch delivery coalescing), and an ack-reader goroutine drains the
+// integer replies, counting outstanding publishes and capturing the first
+// server error or disconnect, which subsequent Publish calls surface.
 type tcpConn struct {
 	handler Handler
 
@@ -84,16 +94,32 @@ type tcpConn struct {
 	subMu sync.Mutex // guards subW
 	subW  *resp.Writer
 
-	pubMu sync.Mutex // guards pubR/pubW request-reply pairs
-	pubR  *resp.Reader
+	pubMu sync.Mutex // guards pubW buffered writes (never held across a read)
 	pubW  *resp.Writer
+	pubR  *resp.Reader // owned by ackLoop
+
+	// outstanding counts publishes written but not yet acknowledged by the
+	// server — the pipeline depth.
+	outstanding atomic.Int64
+	// pubErr is the first asynchronous publish failure (server rejection or
+	// socket error); once set it is sticky and poisons the connection.
+	pubErr atomic.Pointer[error]
+	// flushCh signals (capacity 1, non-blocking) that buffered publish bytes
+	// await a flush.
+	flushCh chan struct{}
 
 	closeOnce sync.Once
 	done      chan struct{}
-	explicit  bool
+	explicit  atomic.Bool
 }
 
 var _ Conn = (*tcpConn)(nil)
+var _ NonRetaining = (*tcpConn)(nil)
+
+// PublishNonRetaining implements NonRetaining: WritePublish copies the
+// payload into the buffered writer (or writes it through to the socket)
+// before returning, so callers may immediately reuse the payload buffer.
+func (c *tcpConn) PublishNonRetaining() bool { return true }
 
 func (c *tcpConn) Subscribe(channels ...string) error {
 	return c.subCommand("SUBSCRIBE", channels)
@@ -112,14 +138,9 @@ func (c *tcpConn) subCommand(cmd string, channels []string) error {
 		return ErrClosed
 	default:
 	}
-	args := make([][]byte, 0, len(channels)+1)
-	args = append(args, []byte(cmd))
-	for _, ch := range channels {
-		args = append(args, []byte(ch))
-	}
 	c.subMu.Lock()
 	defer c.subMu.Unlock()
-	if err := c.subW.WriteCommand(args...); err != nil {
+	if err := c.subW.WriteCommandStrings(cmd, channels...); err != nil {
 		return err
 	}
 	return c.subW.Flush()
@@ -127,72 +148,135 @@ func (c *tcpConn) subCommand(cmd string, channels []string) error {
 	// dropped there; Redis semantics make them informational only.
 }
 
+// Publish appends the PUBLISH command to the publisher socket's buffer and
+// returns without waiting for the server's reply — the reply is consumed by
+// ackLoop. A server rejection or connection failure observed there is
+// returned by the next Publish call (the connection is then poisoned; the
+// owner drops it and re-dials, which is the client library's usual
+// disconnect repair path).
 func (c *tcpConn) Publish(channel string, payload []byte) error {
 	select {
 	case <-c.done:
+		if perr := c.pubErr.Load(); perr != nil {
+			return *perr
+		}
 		return ErrClosed
 	default:
 	}
+	if perr := c.pubErr.Load(); perr != nil {
+		return *perr
+	}
 	c.pubMu.Lock()
-	defer c.pubMu.Unlock()
-	if err := c.pubW.WriteCommand([]byte("PUBLISH"), []byte(channel), payload); err != nil {
-		return err
-	}
-	if err := c.pubW.Flush(); err != nil {
-		return err
-	}
-	v, err := c.pubR.ReadValue()
+	err := c.pubW.WritePublish(channel, payload)
+	c.pubMu.Unlock()
 	if err != nil {
+		c.setPubErr(err)
+		c.disconnect(err)
 		return err
 	}
-	if v.Kind == resp.KindError {
-		return fmt.Errorf("transport: publish rejected: %s", v.Str)
+	c.outstanding.Add(1)
+	select {
+	case c.flushCh <- struct{}{}:
+	default: // a flush is already pending; it will carry these bytes too
 	}
 	return nil
 }
 
+// Outstanding reports the number of pipelined publishes not yet acknowledged.
+func (c *tcpConn) Outstanding() int64 { return c.outstanding.Load() }
+
+// flushLoop pushes buffered publish commands to the kernel. While one flush
+// blocks in the write syscall, concurrent Publish calls keep appending and
+// collapse into the single pending flushCh token — the publisher-side
+// mirror of the broker's per-batch delivery flush.
+func (c *tcpConn) flushLoop() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.flushCh:
+		}
+		c.pubMu.Lock()
+		err := c.pubW.Flush()
+		c.pubMu.Unlock()
+		if err != nil {
+			c.setPubErr(err)
+			c.disconnect(err)
+			return
+		}
+	}
+}
+
+// ackLoop drains PUBLISH replies from the publisher socket, keeping the
+// outstanding count and capturing server errors.
+func (c *tcpConn) ackLoop() {
+	for {
+		v, err := c.pubR.ReadValue()
+		if err != nil {
+			select {
+			case <-c.done: // expected: socket torn down by Close/disconnect
+			default:
+				c.setPubErr(err)
+				c.disconnect(err)
+			}
+			return
+		}
+		c.outstanding.Add(-1)
+		if v.Kind == resp.KindError {
+			rejected := fmt.Errorf("transport: publish rejected: %s", v.Str)
+			c.setPubErr(rejected)
+		}
+	}
+}
+
+func (c *tcpConn) setPubErr(err error) {
+	c.pubErr.CompareAndSwap(nil, &err)
+}
+
 func (c *tcpConn) Close() error {
+	c.explicit.Store(true)
 	c.closeOnce.Do(func() {
-		c.explicit = true
 		close(c.done)
+		// Best effort: push buffered publishes to the kernel before the FIN
+		// so a publish-then-close sequence is not lossy. TryLock skips the
+		// flush when the flusher already holds the lock (it is flushing the
+		// same bytes) or is wedged on a dead peer.
+		if c.pubMu.TryLock() {
+			c.pubW.Flush() //nolint:errcheck // teardown
+			c.pubMu.Unlock()
+		}
 		c.subSock.Close() //nolint:errcheck // teardown
 		c.pubSock.Close() //nolint:errcheck // teardown
 	})
 	return nil
 }
 
-// readLoop consumes pushes from the subscriber socket.
+// readLoop consumes pushes from the subscriber socket through the
+// ReadMessagePush fast path (no generic Value tree for message frames).
 func (c *tcpConn) readLoop() {
 	r := resp.NewReader(c.subSock)
 	for {
-		v, err := r.ReadValue()
+		channel, payload, ok, err := r.ReadMessagePush()
 		if err != nil {
 			c.disconnect(err)
 			return
 		}
-		if v.Kind != resp.KindArray || len(v.Array) != 3 {
-			continue
-		}
-		kind := string(v.Array[0].Str)
-		if kind != "message" {
+		if !ok {
 			continue // subscribe/unsubscribe acks
 		}
-		c.handler.OnMessage(string(v.Array[1].Str), v.Array[2].Str)
+		c.handler.OnMessage(channel, payload)
 	}
 }
 
 func (c *tcpConn) disconnect(err error) {
-	select {
-	case <-c.done:
-		return // explicit close
-	default:
-	}
+	first := false
 	c.closeOnce.Do(func() {
+		first = true
 		close(c.done)
 		c.subSock.Close() //nolint:errcheck // teardown
 		c.pubSock.Close() //nolint:errcheck // teardown
 	})
-	if !c.explicit {
+	if first && !c.explicit.Load() {
 		c.handler.OnDisconnect(err)
 	}
 }

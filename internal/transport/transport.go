@@ -14,6 +14,9 @@ import (
 // Handler receives asynchronous events from a connection.
 type Handler interface {
 	// OnMessage delivers one publication received on a subscribed channel.
+	// Ownership of payload transfers to the handler: the transport never
+	// reuses or retains the slice after the call, so the handler may keep
+	// (or alias) it without copying.
 	OnMessage(channel string, payload []byte)
 	// OnDisconnect reports that the connection died (server shutdown, slow
 	// consumer kill, network error). The Conn is unusable afterwards.
@@ -26,11 +29,24 @@ type Conn interface {
 	Subscribe(channels ...string) error
 	// Unsubscribe removes subscriptions.
 	Unsubscribe(channels ...string) error
-	// Publish sends a payload on a channel.
+	// Publish sends a payload on a channel. Implementations may pipeline:
+	// a nil return means the publish was accepted for delivery, and a
+	// server-side failure may instead surface on a later call. Publish may
+	// retain payload after returning unless the Conn also implements
+	// NonRetaining.
 	Publish(channel string, payload []byte) error
 	// Close tears the connection down. OnDisconnect is not called for
 	// explicit closes.
 	Close() error
+}
+
+// NonRetaining is implemented by Conns whose Publish fully consumes the
+// payload before returning (the bytes are copied into an internal buffer or
+// written to the socket synchronously). Callers may then reuse the payload's
+// backing buffer immediately — the client library publishes from pooled
+// envelope buffers when every target connection reports true.
+type NonRetaining interface {
+	PublishNonRetaining() bool
 }
 
 // Dialer opens connections to pub/sub servers by ID.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments examples vet clean
+.PHONY: all build test test-short race chaos bench experiments examples vet clean
 
 all: vet test
 
@@ -22,6 +22,11 @@ test-short:
 
 race:
 	$(GO) test -short -race ./...
+
+# Fault-tolerance suite (broker crashes, partitions, client failover),
+# twice under the race detector.
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Fail|Crash' ./...
 
 # Reduced-scale figure benches + substrate microbenches.
 bench:

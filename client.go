@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,16 @@ type Config struct {
 	Clock clock.Clock
 	// Seed seeds the replica-picking RNG (0 = nondeterministic).
 	Seed int64
+	// DialTimeout bounds TCP connection establishment for Connect's dialer
+	// (default 5 s). Ignored when a custom dialer is supplied to
+	// ConnectWithDialer.
+	DialTimeout time.Duration
+	// RedialMin and RedialMax bound the jittered exponential backoff
+	// between reconnection attempts to a failed server (defaults 100 ms
+	// and 5 s). While a server is backing off, publishes and subscription
+	// repairs fail over to its ring successor instead of redialing it.
+	RedialMin time.Duration
+	RedialMax time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -69,6 +80,15 @@ func (c *Config) fillDefaults() error {
 	if c.Seed == 0 {
 		c.Seed = int64(c.NodeID)
 	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RedialMin <= 0 {
+		c.RedialMin = 100 * time.Millisecond
+	}
+	if c.RedialMax <= 0 {
+		c.RedialMax = 5 * time.Second
+	}
 	return nil
 }
 
@@ -81,11 +101,13 @@ var (
 
 // Stats are client-side counters.
 type Stats struct {
-	Published  uint64 // publications sent (per target server)
-	Received   uint64 // data messages delivered to the application
-	Duplicates uint64 // messages suppressed by deduplication
-	Dropped    uint64 // messages dropped on full subscription buffers
-	Redirects  uint64 // wrong-server/switch notifications processed
+	Published    uint64 // publications sent (per target server)
+	Received     uint64 // data messages delivered to the application
+	Duplicates   uint64 // messages suppressed by deduplication
+	Dropped      uint64 // messages dropped on full subscription buffers
+	Redirects    uint64 // wrong-server/switch notifications processed
+	DialFailures uint64 // failed dial attempts (each arms redial backoff)
+	Redials      uint64 // successful reconnections after a failure or disconnect
 }
 
 // Client is a Dynamoth pub/sub client: a standard publish/subscribe API
@@ -109,20 +131,42 @@ type Client struct {
 	// route is the copy-on-write snapshot read by Publish/deliver/touch.
 	route atomic.Pointer[routeTable]
 
+	// backoff computes redial delays; dials (under c.mu) holds the sticky
+	// per-server failure state that gates connLocked.
+	backoff transport.Backoff
+
 	mu     sync.Mutex
 	local  *localplan.Store
 	conns  map[plan.ServerID]*clientConn
+	dials  map[plan.ServerID]*dialBackoff
 	subs   map[string]*subscription
 	closed bool
 
-	published  atomic.Uint64
-	received   atomic.Uint64
-	duplicates atomic.Uint64
-	dropped    atomic.Uint64
-	redirects  atomic.Uint64
+	published    atomic.Uint64
+	received     atomic.Uint64
+	duplicates   atomic.Uint64
+	dropped      atomic.Uint64
+	redirects    atomic.Uint64
+	dialFailures atomic.Uint64
+	redials      atomic.Uint64
+
+	// repairKick wakes maintain for an immediate repair sweep after a
+	// disconnect (capacity 1; losing a duplicate kick is fine).
+	repairKick chan struct{}
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// dialBackoff is the sticky "server dead" state for one server: while
+// Clock.Now() < nextTry every dial to it fails fast with lastErr, so
+// publish and repair paths substitute a ring successor instead of
+// hot-spinning against a dead endpoint. The state is dropped on the first
+// successful dial.
+type dialBackoff struct {
+	attempts int
+	nextTry  time.Time
+	lastErr  error
 }
 
 // routeTable is an immutable snapshot of everything the lock-free paths
@@ -180,7 +224,11 @@ func Connect(cfg Config) (*Client, error) {
 		addrs[id] = addr
 		servers = append(servers, id)
 	}
-	return ConnectWithDialer(transport.NewTCPDialer(addrs), servers, cfg)
+	d := transport.NewTCPDialer(addrs)
+	if cfg.DialTimeout > 0 {
+		d.DialTimeout = cfg.DialTimeout
+	}
+	return ConnectWithDialer(d, servers, cfg)
 }
 
 // ConnectWithDialer creates a client over an arbitrary transport. servers is
@@ -194,16 +242,22 @@ func ConnectWithDialer(dialer transport.Dialer, servers []string, cfg Config) (*
 		return nil, err
 	}
 	c := &Client{
-		cfg:    cfg,
-		dialer: dialer,
-		gen:    message.NewGenerator(cfg.NodeID),
-		dedup:  message.NewDeduper(0),
-		local:  localplan.New(servers, cfg.EntryTimeout),
-		conns:  make(map[plan.ServerID]*clientConn),
-		subs:   make(map[string]*subscription),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:        cfg,
+		dialer:     dialer,
+		gen:        message.NewGenerator(cfg.NodeID),
+		dedup:      message.NewDeduper(0),
+		local:      localplan.New(servers, cfg.EntryTimeout),
+		conns:      make(map[plan.ServerID]*clientConn),
+		dials:      make(map[plan.ServerID]*dialBackoff),
+		subs:       make(map[string]*subscription),
+		repairKick: make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
+	// Backoff jitter uses its own seeded source; Delay is only called under
+	// c.mu, so an unlocked rand.Rand is safe.
+	jitter := mrand.New(mrand.NewSource(cfg.Seed))
+	c.backoff = transport.Backoff{Min: cfg.RedialMin, Max: cfg.RedialMax, Rand: jitter.Float64}
 	seed := uint64(cfg.Seed)
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
@@ -235,11 +289,13 @@ func (c *Client) NodeID() uint32 { return c.cfg.NodeID }
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Published:  c.published.Load(),
-		Received:   c.received.Load(),
-		Duplicates: c.duplicates.Load(),
-		Dropped:    c.dropped.Load(),
-		Redirects:  c.redirects.Load(),
+		Published:    c.published.Load(),
+		Received:     c.received.Load(),
+		Duplicates:   c.duplicates.Load(),
+		Dropped:      c.dropped.Load(),
+		Redirects:    c.redirects.Load(),
+		DialFailures: c.dialFailures.Load(),
+		Redials:      c.redials.Load(),
 	}
 }
 
@@ -348,7 +404,7 @@ func (c *Client) sendToConns(channel string, payload []byte, version uint64, con
 			if firstErr == nil {
 				firstErr = err
 			}
-			c.handleDisconnectedConn(cc)
+			c.handleDisconnectedConn(cc, err)
 			continue
 		}
 		c.published.Add(1)
@@ -512,15 +568,29 @@ func (c *Client) resolveConnLocked(channel string, target plan.ServerID) (*clien
 	return nil, err
 }
 
-// connLocked returns (dialing if needed) the connection to a server.
+// connLocked returns (dialing if needed) the connection to a server. A
+// server inside its redial-backoff window fails fast without touching the
+// network, so callers substitute a ring successor immediately; each failed
+// dial extends the window exponentially (jittered, capped).
 func (c *Client) connLocked(server plan.ServerID) (*clientConn, error) {
 	if conn, ok := c.conns[server]; ok {
 		return conn, nil
 	}
+	now := c.cfg.Clock.Now()
+	ds := c.dials[server]
+	if ds != nil && now.Before(ds.nextTry) {
+		return nil, fmt.Errorf("dynamoth: server %s in redial backoff: %w", server, ds.lastErr)
+	}
 	cc := &clientConn{server: server}
 	conn, err := c.dialer.Dial(server, &connHandler{c: c, cc: cc})
 	if err != nil {
+		c.dialFailures.Add(1)
+		c.armBackoffLocked(server, err)
 		return nil, err
+	}
+	if ds != nil {
+		delete(c.dials, server)
+		c.redials.Add(1)
 	}
 	cc.conn = conn
 	if nr, ok := conn.(transport.NonRetaining); ok && nr.PublishNonRetaining() {
@@ -528,6 +598,19 @@ func (c *Client) connLocked(server plan.ServerID) (*clientConn, error) {
 	}
 	c.conns[server] = cc
 	return cc, nil
+}
+
+// armBackoffLocked records a dial failure or disconnect for server and
+// schedules the earliest next dial attempt.
+func (c *Client) armBackoffLocked(server plan.ServerID, cause error) {
+	ds := c.dials[server]
+	if ds == nil {
+		ds = &dialBackoff{}
+		c.dials[server] = ds
+	}
+	ds.lastErr = cause
+	ds.nextTry = c.cfg.Clock.Now().Add(c.backoff.Delay(ds.attempts))
+	ds.attempts++
 }
 
 func (c *Client) subscribeOnLocked(channel string, targets []plan.ServerID) error {
@@ -672,17 +755,33 @@ func (c *Client) applyEntryUpdate(channel string, env *message.Envelope, resubsc
 	c.mu.Unlock()
 }
 
-// handleDisconnectedConn drops a dead connection and marks affected
-// subscriptions for repair.
-func (c *Client) handleDisconnectedConn(cc *clientConn) {
+// errConnLost is the backoff cause when a connection died without a more
+// specific error.
+var errConnLost = errors.New("dynamoth: connection lost")
+
+// handleDisconnectedConn drops a dead connection, arms redial backoff for
+// its server (stopping hot-spin reconnects), marks affected subscriptions
+// for repair, and wakes the maintenance loop to repair them immediately.
+func (c *Client) handleDisconnectedConn(cc *clientConn, cause error) {
+	if cause == nil {
+		cause = errConnLost
+	}
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = cc.conn.Close()
+		return
+	}
 	if current, ok := c.conns[cc.server]; ok && current == cc {
 		delete(c.conns, cc.server)
 	}
+	c.armBackoffLocked(cc.server, cause)
+	broken := false
 	for _, sub := range c.subs {
 		for _, s := range sub.servers {
 			if s == cc.server {
 				sub.broken = true
+				broken = true
 				break
 			}
 		}
@@ -694,6 +793,14 @@ func (c *Client) handleDisconnectedConn(cc *clientConn) {
 	_ = cc.conn.Close()
 	if needInbox {
 		c.repairInbox()
+	}
+	if broken {
+		// Stranded subscriptions move to surviving replicas now, not at the
+		// next timer sweep.
+		select {
+		case c.repairKick <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -732,7 +839,10 @@ func (c *Client) repairInbox() {
 		return
 	}
 	home := c.local.Base().Home(inbox)
-	if conn, err := c.connLocked(home); err == nil {
+	// Substitute the home's ring successor when it is unreachable: the
+	// dispatchers' redirect hashing walks the same ring once the repaired
+	// plan lands, so redirects find us there.
+	if conn, err := c.resolveConnLocked(inbox, home); err == nil {
 		_ = conn.conn.Subscribe(inbox)
 	}
 	c.rebuildRouteLocked()
@@ -750,6 +860,8 @@ func (c *Client) maintain() {
 	for {
 		select {
 		case <-ticker.C():
+			c.sweep()
+		case <-c.repairKick:
 			c.sweep()
 		case <-c.stop:
 			return
@@ -796,8 +908,8 @@ func (h *connHandler) OnMessage(channel string, payload []byte) {
 	h.c.handleMessage(channel, payload)
 }
 
-func (h *connHandler) OnDisconnect(error) {
-	h.c.handleDisconnectedConn(h.cc)
+func (h *connHandler) OnDisconnect(err error) {
+	h.c.handleDisconnectedConn(h.cc, err)
 }
 
 // added returns the servers in next that are not in prev.

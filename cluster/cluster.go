@@ -77,6 +77,14 @@ type Options struct {
 	ReportEvery time.Duration
 	// OutputBuffer overrides the broker per-session output buffer.
 	OutputBuffer int
+	// DisableFailureDetection turns off the balancer's broker failure
+	// detector and automatic plan repair (on by default whenever a
+	// balancer runs; thresholds derive from ReportEvery — see DESIGN.md
+	// §11).
+	DisableFailureDetection bool
+	// ReplaceFailedServers asks the cloud for a replacement node after
+	// each failure evacuation (default: the pool just shrinks).
+	ReplaceFailedServers bool
 }
 
 // Cluster is a running deployment.
@@ -90,6 +98,7 @@ type Cluster struct {
 	nextNum uint32
 
 	dialer   *transport.MemDialer // client-facing (WAN latency if enabled)
+	faults   *netsim.Faults       // fault injection on the client↔server path
 	reports  chan *lla.Report
 	orch     *balancer.Orchestrator
 	provider *cloud.Simulator
@@ -134,6 +143,7 @@ func Start(opts Options) (*Cluster, error) {
 		reports: make(chan *lla.Report, 256),
 	}
 
+	c.faults = netsim.NewFaults(opts.Seed)
 	var dialerOpts transport.MemDialerOptions
 	if opts.WANLatency {
 		dialerOpts = transport.MemDialerOptions{
@@ -141,9 +151,10 @@ func Start(opts Options) (*Cluster, error) {
 			Clock:   opts.Clock,
 			Seed:    opts.Seed,
 			Class:   netsim.Client,
+			Faults:  c.faults,
 		}
 	} else {
-		dialerOpts = transport.MemDialerOptions{Clock: opts.Clock}
+		dialerOpts = transport.MemDialerOptions{Clock: opts.Clock, Faults: c.faults}
 	}
 	c.dialer = transport.NewMemDialer(nil, dialerOpts)
 
@@ -184,7 +195,7 @@ func Start(opts Options) (*Cluster, error) {
 			pinned := func(s string) bool { return s == names[0] }
 			gen = balancer.NewPlanner(cfg, plan.IsControlChannel, pinned, opts.MaxOutgoingBps)
 		}
-		c.orch = balancer.NewOrchestrator(balancer.OrchestratorOptions{
+		orchOpts := balancer.OrchestratorOptions{
 			Planner:       gen,
 			Config:        cfg,
 			Initial:       initial,
@@ -193,7 +204,25 @@ func Start(opts Options) (*Cluster, error) {
 			Cloud:         clusterCloud{c},
 			Clock:         opts.Clock,
 			DefaultMaxBps: opts.MaxOutgoingBps,
-		})
+		}
+		if !opts.DisableFailureDetection {
+			reportEvery := opts.ReportEvery
+			if reportEvery <= 0 {
+				reportEvery = 3 * time.Second // the server.Options default
+			}
+			// Staleness threshold: a few missed report intervals. Probes run
+			// at report cadence, so K=3 misses and staleness agree on the
+			// detection window (~4×ReportEvery) for a hard crash.
+			orchOpts.Detect = &lla.DetectorConfig{
+				StaleAfter:  4 * reportEvery,
+				ProbeMisses: 3,
+			}
+			orchOpts.Probe = c.probe
+			orchOpts.ProbeInterval = reportEvery
+			orchOpts.OnServerDead = func(id plan.ServerID) { c.teardownNode(id) }
+			orchOpts.ReplaceFailed = opts.ReplaceFailedServers
+		}
+		c.orch = balancer.NewOrchestrator(orchOpts)
 		go c.orch.Run()
 	}
 	return c, nil
@@ -249,6 +278,54 @@ func (c *Cluster) Rebalances() int {
 	return c.orch.Rebalances()
 }
 
+// Failures returns how many servers the balancer's failure detector
+// declared dead and evacuated from the plan.
+func (c *Cluster) Failures() int {
+	if c.orch == nil {
+		return 0
+	}
+	return c.orch.Failures()
+}
+
+// Crash kills a node abruptly: its broker drops every connection with an
+// error, the dialer forgets its endpoint, and the cloud instance stops
+// billing. Unlike a graceful release, the balancer is not told — the
+// failure detector has to notice and repair the plan.
+func (c *Cluster) Crash(id string) error {
+	if !c.teardownNode(id) {
+		return fmt.Errorf("cluster: no node %s", id)
+	}
+	_ = c.provider.Crash(id) // bootstrap nodes are not provider instances
+	return nil
+}
+
+// PartitionServer blackholes a node's endpoint: connections stay up while
+// publishes, deliveries, and load reports silently vanish — the failure
+// mode probes and report staleness exist to catch. Undo with HealServer.
+func (c *Cluster) PartitionServer(id string) error {
+	c.mu.Lock()
+	_, ok := c.nodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: no node %s", id)
+	}
+	c.faults.Blackhole(id)
+	_ = c.provider.Partition(id)
+	return nil
+}
+
+// HealServer reconnects a partitioned node's endpoint.
+func (c *Cluster) HealServer(id string) {
+	c.faults.Heal(id)
+	_ = c.provider.Heal(id)
+}
+
+// SetDropRate makes a fraction p (0..1) of packets to and from the node
+// vanish, in both the publish and delivery direction.
+func (c *Cluster) SetDropRate(id string, p float64) {
+	c.faults.SetDropRate(id, p)
+}
+
 // InstanceHours returns cloud usage beyond the bootstrap pool.
 func (c *Cluster) InstanceHours() float64 {
 	if c.provider == nil {
@@ -295,6 +372,43 @@ func (c *Cluster) currentPlanLocked() *plan.Plan {
 	p := plan.New(ids...)
 	p.Version = 1
 	return p
+}
+
+// teardownNode fences one node: endpoint removed from the dialer, the LB's
+// report watch closed, the broker shut down (dropping every client session).
+// Used by Crash and as the balancer's OnServerDead fence — idempotent, so a
+// detected crash after an explicit Crash is a no-op.
+func (c *Cluster) teardownNode(id plan.ServerID) bool {
+	c.mu.Lock()
+	n := c.nodes[id]
+	delete(c.nodes, id)
+	w := c.watched[id]
+	delete(c.watched, id)
+	c.mu.Unlock()
+	c.dialer.RemoveServer(id)
+	if w != nil {
+		w.sess.Close()
+	}
+	if n != nil {
+		n.Close()
+	}
+	return n != nil
+}
+
+// probe models the balancer's RESP PING with a deadline against one node.
+// In-process there is no socket to time out on, so liveness is membership
+// (the node still exists) plus reachability (its endpoint not blackholed).
+func (c *Cluster) probe(id plan.ServerID) error {
+	if c.faults.Blackholed(id) {
+		return fmt.Errorf("cluster: probe %s: timeout (blackholed)", id)
+	}
+	c.mu.Lock()
+	n := c.nodes[id]
+	c.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("cluster: probe %s: connection refused", id)
+	}
+	return nil
 }
 
 // forward implements dispatcher forwarding across nodes (cloud LAN).
@@ -387,6 +501,11 @@ func (s reportSink) Deliver(_ string, payload []byte) {
 	}
 	r, err := lla.UnmarshalReport(env.Payload)
 	if err != nil {
+		return
+	}
+	// The in-process report hop bypasses the dialer, so apply the partition
+	// model here: a blackholed node's reports never reach the balancer.
+	if s.c.faults.Blackholed(r.Server) {
 		return
 	}
 	select {

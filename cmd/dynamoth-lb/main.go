@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -59,8 +60,12 @@ func (n nodeList) Set(v string) error {
 func run() error {
 	nodes := nodeList{}
 	var (
-		twait  = flag.Duration("twait", 10*time.Second, "minimum time between plan generations")
-		maxBps = flag.Float64("max-bps", 1.25e6, "assumed server capacity for unreported nodes")
+		twait      = flag.Duration("twait", 10*time.Second, "minimum time between plan generations")
+		maxBps     = flag.Float64("max-bps", 1.25e6, "assumed server capacity for unreported nodes")
+		dialTO     = flag.Duration("dial-timeout", 5*time.Second, "deadline for dialing nodes")
+		detect     = flag.Bool("detect", true, "detect node failures (PING probes + report staleness) and repair the plan")
+		probeEvery = flag.Duration("probe-interval", 2*time.Second, "liveness probe interval")
+		staleAfter = flag.Duration("stale-after", 12*time.Second, "report silence that marks a node dead")
 	)
 	flag.Var(nodes, "node", "pub/sub node as id=host:port (repeatable)")
 	flag.Parse()
@@ -78,10 +83,13 @@ func run() error {
 	initial.Version = 1
 
 	dialer := transport.NewTCPDialer(addrs)
+	dialer.DialTimeout = *dialTO
 	reports := make(chan *lla.Report, 256)
 
 	// One subscription per node for its report channel; plan publications
-	// reuse the same connections.
+	// reuse the same connections. connsMu covers the plan-publish and
+	// failure-fence goroutines.
+	var connsMu sync.Mutex
 	conns := make(map[plan.ServerID]transport.Conn, len(ids))
 	for _, id := range ids {
 		conn, err := dialer.Dial(id, reportHandler{reports: reports})
@@ -115,22 +123,41 @@ func run() error {
 			Payload: data,
 		}
 		payload := env.Marshal()
+		connsMu.Lock()
 		for id, conn := range conns {
 			if err := conn.Publish(plan.PlanChannel, payload); err != nil {
 				fmt.Fprintf(os.Stderr, "publishing plan v%d to %s: %v\n", p.Version, id, err)
 			}
 		}
+		connsMu.Unlock()
 		fmt.Printf("published plan v%d (%d explicit channels)\n", p.Version, len(p.Channels))
 	}
 
-	orch := balancer.NewOrchestrator(balancer.OrchestratorOptions{
+	orchOpts := balancer.OrchestratorOptions{
 		Planner:       planner,
 		Config:        cfg,
 		Initial:       initial,
 		Reports:       reports,
 		PublishPlan:   publishPlan,
 		DefaultMaxBps: *maxBps,
-	})
+	}
+	if *detect {
+		orchOpts.Detect = &lla.DetectorConfig{StaleAfter: *staleAfter, ProbeMisses: 3}
+		orchOpts.Probe = func(id plan.ServerID) error {
+			return dialer.Probe(id, 2*time.Second)
+		}
+		orchOpts.ProbeInterval = *probeEvery
+		orchOpts.OnServerDead = func(id plan.ServerID) {
+			fmt.Fprintf(os.Stderr, "node %s declared dead; plan repaired\n", id)
+			connsMu.Lock()
+			if conn, ok := conns[id]; ok {
+				conn.Close()
+				delete(conns, id)
+			}
+			connsMu.Unlock()
+		}
+	}
+	orch := balancer.NewOrchestrator(orchOpts)
 	go orch.Run()
 	defer orch.Stop()
 

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/server"
@@ -61,6 +62,7 @@ func run() error {
 		servers = flag.String("servers", "pub1", "comma-separated bootstrap server IDs (plan 0)")
 		nodeNum = flag.Uint("node", 0xD001, "unique numeric node ID for control envelopes")
 		maxBps  = flag.Float64("max-bps", 1.25e6, "theoretical max outgoing bandwidth T_i (bytes/s)")
+		dialTO  = flag.Duration("dial-timeout", 5*time.Second, "deadline for dialing peer nodes (forwarding)")
 	)
 	flag.Var(peers, "peer", "peer node as id=host:port (repeatable)")
 	flag.Parse()
@@ -70,6 +72,7 @@ func run() error {
 	initial.Version = 1
 
 	dialer := transport.NewTCPDialer(nil)
+	dialer.DialTimeout = *dialTO
 	for pid, addr := range peers {
 		dialer.AddServer(pid, addr)
 	}

@@ -54,20 +54,40 @@ type OrchestratorOptions struct {
 	Clock clock.Clock
 	// DefaultMaxBps is assumed for servers that have not reported yet.
 	DefaultMaxBps float64
+
+	// Detect enables broker failure detection and automatic plan repair
+	// with the given thresholds. Nil disables the failure tolerance layer
+	// (the paper's fault-free model).
+	Detect *lla.DetectorConfig
+	// Probe checks one server's liveness (e.g. a RESP PING with a
+	// deadline; the probe itself must enforce its timeout). Nil restricts
+	// detection to report staleness.
+	Probe func(plan.ServerID) error
+	// ProbeInterval is how often every plan server is probed (default 2 s).
+	ProbeInterval time.Duration
+	// OnServerDead is called (from the detection goroutine) after a dead
+	// server was evacuated from the plan — deployments use it to fence the
+	// node (tear it down, stop routing to it). May be nil.
+	OnServerDead func(plan.ServerID)
+	// ReplaceFailed, when true and Cloud is set, spawns a replacement
+	// server after each failure evacuation.
+	ReplaceFailed bool
 }
 
 // Orchestrator runs the live load-balancer loop: it folds LLA reports into
 // the metric state, invokes the planner at most once per T_wait, publishes
 // resulting plans, and drives the cloud provider for spawns and releases.
 type Orchestrator struct {
-	opts  OrchestratorOptions
-	state *State
+	opts     OrchestratorOptions
+	state    *State
+	detector *lla.Detector // nil when detection is disabled
 
 	mu           sync.Mutex
 	current      *plan.Plan
 	lastPlanTime time.Time
 	spawning     bool
 	rebalances   int
+	failures     int
 
 	stop chan struct{}
 	done chan struct{}
@@ -86,7 +106,10 @@ func NewOrchestrator(opts OrchestratorOptions) *Orchestrator {
 	if opts.DefaultMaxBps <= 0 {
 		opts.DefaultMaxBps = 1.25e6
 	}
-	return &Orchestrator{
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 2 * time.Second
+	}
+	o := &Orchestrator{
 		opts:  opts,
 		state: NewState(opts.Config.Window),
 		// Publishing plan 0 is unnecessary: every component boots with it.
@@ -94,6 +117,10 @@ func NewOrchestrator(opts OrchestratorOptions) *Orchestrator {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	if opts.Detect != nil {
+		o.detector = lla.NewDetector(*opts.Detect)
+	}
+	return o
 }
 
 // Plan returns the current plan.
@@ -111,10 +138,22 @@ func (o *Orchestrator) Rebalances() int {
 	return o.rebalances
 }
 
+// Failures returns how many servers the detector declared dead and the
+// repair path evacuated.
+func (o *Orchestrator) Failures() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.failures
+}
+
 // Run processes reports and ticks until Stop. It blocks; start it in a
 // goroutine.
 func (o *Orchestrator) Run() {
 	defer close(o.done)
+	if o.detector != nil {
+		o.wg.Add(1)
+		go o.detectLoop()
+	}
 	ticker := o.opts.Clock.NewTicker(time.Second)
 	defer ticker.Stop()
 	for {
@@ -125,6 +164,9 @@ func (o *Orchestrator) Run() {
 			}
 			if r != nil {
 				o.state.AddReport(r)
+				if o.detector != nil {
+					o.detector.ObserveReport(r.Server, o.opts.Clock.Now())
+				}
 			}
 		case <-ticker.C():
 			o.maybeRebalance()
@@ -182,6 +224,10 @@ func (o *Orchestrator) maybeRebalance() {
 	}
 	if decision.Release != "" {
 		o.state.Forget(decision.Release)
+		if o.detector != nil {
+			// Gracefully released — its silence is not a failure.
+			o.detector.Forget(decision.Release)
+		}
 		if o.opts.Cloud != nil {
 			o.wg.Add(1)
 			go o.releaseAfterGrace(decision.Release)
@@ -252,6 +298,81 @@ func (o *Orchestrator) spawnOne() {
 	}
 	if o.opts.PublishPlan != nil {
 		o.opts.PublishPlan(next)
+	}
+}
+
+// detectLoop is the failure-detection side of the balancer: it probes every
+// plan server on ProbeInterval, folds outcomes into the detector (reports
+// arrive through Run), and triggers plan repair for servers declared dead.
+func (o *Orchestrator) detectLoop() {
+	defer o.wg.Done()
+	ticker := o.opts.Clock.NewTicker(o.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C():
+		case <-o.stop:
+			return
+		}
+		now := o.opts.Clock.Now()
+		servers := o.Plan().Servers
+		for _, s := range servers {
+			o.detector.Track(s, now)
+		}
+		if o.opts.Probe != nil {
+			// Probe concurrently: each probe carries its own deadline, and a
+			// dead server must not delay the liveness verdict of the rest.
+			var pw sync.WaitGroup
+			for _, s := range servers {
+				pw.Add(1)
+				go func(s plan.ServerID) {
+					defer pw.Done()
+					err := o.opts.Probe(s)
+					o.detector.ObserveProbe(s, err == nil)
+				}(s)
+			}
+			pw.Wait()
+		}
+		for _, dead := range o.detector.Dead(o.opts.Clock.Now()) {
+			o.repairFailure(dead)
+		}
+	}
+}
+
+// repairFailure evacuates a dead server: it publishes a repaired plan (ring
+// successors take over its channels), forgets its metrics, fences the node
+// via OnServerDead, and optionally spawns a replacement. Repair is exempt
+// from the T_wait throttle — recovery latency, not plan churn, dominates
+// tail latency during failures.
+func (o *Orchestrator) repairFailure(dead plan.ServerID) {
+	o.mu.Lock()
+	next, changed := RepairPlan(o.current, dead)
+	if !changed {
+		o.mu.Unlock()
+		o.detector.Forget(dead)
+		return
+	}
+	o.current = next
+	o.rebalances++
+	o.failures++
+	o.lastPlanTime = o.opts.Clock.Now()
+	wantReplacement := o.opts.ReplaceFailed && o.opts.Cloud != nil && !o.spawning
+	if wantReplacement {
+		o.spawning = true
+	}
+	o.mu.Unlock()
+
+	o.state.Forget(dead)
+	o.detector.Forget(dead)
+	if o.opts.OnServerDead != nil {
+		o.opts.OnServerDead(dead)
+	}
+	if o.opts.PublishPlan != nil {
+		o.opts.PublishPlan(next)
+	}
+	if wantReplacement {
+		o.wg.Add(1)
+		go o.spawnOne()
 	}
 }
 

@@ -1,0 +1,147 @@
+package balancer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/lla"
+	"github.com/dynamoth/dynamoth/internal/plan"
+)
+
+// startDetectingOrchestrator runs an orchestrator with failure detection over
+// a pub1+pub2 plan where "room" is explicitly mapped to pub2.
+func startDetectingOrchestrator(t *testing.T, opts OrchestratorOptions) (*Orchestrator, func() []*plan.Plan) {
+	t.Helper()
+	initial := plan.New("pub1", "pub2")
+	initial.Version = 1
+	initial.Set("room", plan.Entry{Strategy: plan.StrategySingle, Servers: []plan.ServerID{"pub2"}})
+	var mu sync.Mutex
+	var published []*plan.Plan
+	opts.Planner = &scriptedPlanner{}
+	opts.Config = DefaultConfig()
+	opts.Config.TWait = time.Hour // prove repair is exempt from the throttle
+	opts.Initial = initial
+	if opts.Reports == nil {
+		opts.Reports = make(chan *lla.Report, 16)
+	}
+	opts.PublishPlan = func(p *plan.Plan) {
+		mu.Lock()
+		published = append(published, p)
+		mu.Unlock()
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	o := NewOrchestrator(opts)
+	go o.Run()
+	t.Cleanup(o.Stop)
+	return o, func() []*plan.Plan {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]*plan.Plan(nil), published...)
+	}
+}
+
+func TestOrchestratorProbeFailureRepairsPlan(t *testing.T) {
+	var deadMu sync.Mutex
+	var fenced []plan.ServerID
+	o, published := startDetectingOrchestrator(t, OrchestratorOptions{
+		Detect:        &lla.DetectorConfig{StaleAfter: time.Hour, ProbeMisses: 3},
+		ProbeInterval: 5 * time.Millisecond,
+		Probe: func(id plan.ServerID) error {
+			if id == "pub2" {
+				return errors.New("connection refused")
+			}
+			return nil
+		},
+		OnServerDead: func(id plan.ServerID) {
+			deadMu.Lock()
+			fenced = append(fenced, id)
+			deadMu.Unlock()
+		},
+	})
+
+	waitFor(t, "failure repair", func() bool { return o.Failures() == 1 })
+	p := o.Plan()
+	if p.HasServer("pub2") {
+		t.Fatalf("dead server still in plan: %v", p.Servers)
+	}
+	if e, _ := p.Lookup("room"); len(e.Servers) != 1 || e.Servers[0] != "pub1" {
+		t.Fatalf("room not evacuated: %+v", e)
+	}
+	waitFor(t, "repaired plan published despite T_wait", func() bool { return len(published()) >= 1 })
+	if got := published()[0]; got.Version != 2 || got.HasServer("pub2") {
+		t.Fatalf("published plan: v%d servers=%v", got.Version, got.Servers)
+	}
+	deadMu.Lock()
+	defer deadMu.Unlock()
+	if len(fenced) != 1 || fenced[0] != "pub2" {
+		t.Fatalf("fenced=%v", fenced)
+	}
+	// The healthy server must not be collateral damage.
+	if o.Failures() != 1 {
+		t.Fatalf("failures=%d", o.Failures())
+	}
+}
+
+func TestOrchestratorStalenessRepairsSilentPartition(t *testing.T) {
+	// No probes at all: only pub2's report silence gives it away.
+	reports := make(chan *lla.Report, 16)
+	o, _ := startDetectingOrchestrator(t, OrchestratorOptions{
+		Detect:        &lla.DetectorConfig{StaleAfter: 100 * time.Millisecond, ProbeMisses: 1 << 30},
+		ProbeInterval: 5 * time.Millisecond,
+		Reports:       reports,
+	})
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		seq := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				seq++
+				select {
+				case reports <- &lla.Report{Server: "pub1", Seq: seq, MaxOutgoingBps: 1000}:
+				default:
+				}
+			}
+		}
+	}()
+
+	waitFor(t, "staleness repair", func() bool { return o.Failures() == 1 })
+	p := o.Plan()
+	if p.HasServer("pub2") {
+		t.Fatalf("silent server still in plan: %v", p.Servers)
+	}
+	if !p.HasServer("pub1") {
+		t.Fatalf("reporting server evacuated: %v", p.Servers)
+	}
+}
+
+func TestOrchestratorReplacesFailedServer(t *testing.T) {
+	cloud := &fakeCloud{}
+	o, _ := startDetectingOrchestrator(t, OrchestratorOptions{
+		Detect:        &lla.DetectorConfig{StaleAfter: time.Hour, ProbeMisses: 2},
+		ProbeInterval: 5 * time.Millisecond,
+		Probe: func(id plan.ServerID) error {
+			if id == "pub2" {
+				return errors.New("down")
+			}
+			return nil
+		},
+		Cloud:         cloud,
+		ReplaceFailed: true,
+	})
+	waitFor(t, "replacement spawn", func() bool {
+		s, _ := cloud.counts()
+		return s == 1 && o.Plan().HasServer("new1")
+	})
+	if o.Plan().HasServer("pub2") {
+		t.Fatal("dead server resurrected")
+	}
+}

@@ -2,12 +2,22 @@
 // servers on: instances take time to boot, accrue cost while running, and
 // can be released. The load balancer's elasticity decisions (§III-B2) are
 // exercised — and their cost consequences measured — against this provider.
+//
+// Beyond the paper's assumptions, the simulator also injects the failures
+// production clouds exhibit: instances can crash (Crash, or automatically on
+// a configurable MTBF schedule) and can be network-partitioned without dying
+// (Partition/Heal). A crashed instance stops accruing instance-hours at the
+// moment of the crash; a partitioned one keeps billing — it is still
+// running, just unreachable — which is exactly the distinction the failure
+// detector upstairs has to cope with.
 package cloud
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -18,6 +28,12 @@ import (
 var (
 	ErrUnknownInstance = errors.New("cloud: unknown instance")
 	ErrAtCapacity      = errors.New("cloud: provider at capacity")
+	// ErrNotRunning is returned when an operation targets an instance that
+	// was already released or crashed. It is distinct from
+	// ErrUnknownInstance so callers can tell "never existed" from "already
+	// gone" — a Release racing a crash is benign, a Release of a bogus ID
+	// is a bug.
+	ErrNotRunning = errors.New("cloud: instance not running")
 )
 
 // Config configures a Simulator.
@@ -33,6 +49,18 @@ type Config struct {
 	Clock clock.Clock
 	// NamePrefix prefixes generated instance IDs (default "pub").
 	NamePrefix string
+
+	// MTBF, when positive, enables the crash schedule: instances fail with
+	// exponentially distributed inter-arrival times whose mean is MTBF
+	// (per provider, not per instance). Each event crashes one running
+	// instance chosen uniformly at random.
+	MTBF time.Duration
+	// Seed seeds the crash schedule's RNG (0 picks a fixed default, so
+	// chaos runs are reproducible unless the caller opts out).
+	Seed int64
+	// OnCrash is invoked (from the scheduler goroutine) after each
+	// scheduled crash with the victim's ID. May be nil.
+	OnCrash func(id string)
 }
 
 func (c *Config) fillDefaults() {
@@ -48,11 +76,16 @@ func (c *Config) fillDefaults() {
 	if c.NamePrefix == "" {
 		c.NamePrefix = "pub"
 	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 }
 
 type instance struct {
-	started time.Time
-	stopped time.Time // zero while running
+	started     time.Time
+	stopped     time.Time // zero while running
+	crashed     bool
+	partitioned bool
 }
 
 // Simulator is an in-process cloud provider. It is safe for concurrent use.
@@ -63,12 +96,35 @@ type Simulator struct {
 	instances map[string]*instance
 	nextID    int
 	running   int
+
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
 }
 
-// NewSimulator creates a provider.
+// NewSimulator creates a provider. When cfg.MTBF is positive the crash
+// scheduler starts immediately; call Close to stop it.
 func NewSimulator(cfg Config) *Simulator {
 	cfg.fillDefaults()
-	return &Simulator{cfg: cfg, instances: make(map[string]*instance)}
+	s := &Simulator{
+		cfg:       cfg,
+		instances: make(map[string]*instance),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if cfg.MTBF > 0 {
+		go s.crashSchedule()
+	} else {
+		close(s.done)
+	}
+	return s
+}
+
+// Close stops the MTBF crash scheduler (if any). Instances are left as they
+// are; Close is about the simulator's own goroutine, not the fleet.
+func (s *Simulator) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+	<-s.done
 }
 
 // Spawn requests a new instance and blocks until it is booted (BootDelay on
@@ -102,21 +158,98 @@ func (s *Simulator) Spawn(ctx context.Context) (string, error) {
 	return id, nil
 }
 
-// Release terminates an instance. Releasing an unknown or already-released
-// instance returns ErrUnknownInstance.
+// Release terminates an instance. Releasing an unknown instance returns
+// ErrUnknownInstance; releasing one that already stopped (released or
+// crashed) returns ErrNotRunning.
 func (s *Simulator) Release(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	inst, ok := s.instances[id]
-	if !ok || !inst.stopped.IsZero() {
+	if !ok {
 		return ErrUnknownInstance
+	}
+	if !inst.stopped.IsZero() {
+		return ErrNotRunning
 	}
 	inst.stopped = s.cfg.Clock.Now()
 	s.running--
 	return nil
 }
 
-// Running returns the number of booted, unreleased instances.
+// Crash kills a running instance abruptly: it stops accruing instance-hours
+// at the crash time and is unreachable afterwards. Crashing an unknown
+// instance returns ErrUnknownInstance; an already-stopped one, ErrNotRunning.
+func (s *Simulator) Crash(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashLocked(id)
+}
+
+func (s *Simulator) crashLocked(id string) error {
+	inst, ok := s.instances[id]
+	if !ok {
+		return ErrUnknownInstance
+	}
+	if !inst.stopped.IsZero() {
+		return ErrNotRunning
+	}
+	inst.stopped = s.cfg.Clock.Now()
+	inst.crashed = true
+	inst.partitioned = false
+	s.running--
+	return nil
+}
+
+// Crashed reports whether the instance ended by crashing.
+func (s *Simulator) Crashed(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[id]
+	return ok && inst.crashed
+}
+
+// Partition cuts a running instance off the network without stopping it: it
+// keeps accruing instance-hours (it is still up, just unreachable) until
+// Heal, Release, or Crash.
+func (s *Simulator) Partition(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[id]
+	if !ok {
+		return ErrUnknownInstance
+	}
+	if !inst.stopped.IsZero() {
+		return ErrNotRunning
+	}
+	inst.partitioned = true
+	return nil
+}
+
+// Heal reconnects a partitioned instance.
+func (s *Simulator) Heal(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[id]
+	if !ok {
+		return ErrUnknownInstance
+	}
+	if !inst.stopped.IsZero() {
+		return ErrNotRunning
+	}
+	inst.partitioned = false
+	return nil
+}
+
+// Partitioned reports whether the instance is currently network-partitioned.
+func (s *Simulator) Partitioned(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[id]
+	return ok && inst.partitioned && inst.stopped.IsZero()
+}
+
+// Running returns the number of booted, unreleased instances (partitioned
+// instances count: they are up, just unreachable).
 func (s *Simulator) Running() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -130,6 +263,7 @@ func (s *Simulator) Running() int {
 }
 
 // InstanceHours returns the cumulative instance-hours consumed so far.
+// Crashed instances stop accruing at their crash time.
 func (s *Simulator) InstanceHours() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -147,3 +281,47 @@ func (s *Simulator) InstanceHours() float64 {
 
 // Cost returns the cumulative cost in currency units.
 func (s *Simulator) Cost() float64 { return s.InstanceHours() * s.cfg.CostPerHour }
+
+// crashSchedule fails one random running instance per exponential
+// inter-arrival with mean MTBF, until Close.
+func (s *Simulator) crashSchedule() {
+	defer close(s.done)
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	for {
+		wait := time.Duration(rng.ExpFloat64() * float64(s.cfg.MTBF))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		timer := s.cfg.Clock.NewTimer(wait)
+		select {
+		case <-timer.C():
+		case <-s.stop:
+			timer.Stop()
+			return
+		}
+		if id, ok := s.crashRandom(rng); ok && s.cfg.OnCrash != nil {
+			s.cfg.OnCrash(id)
+		}
+	}
+}
+
+// crashRandom crashes one uniformly chosen running instance, if any.
+// Victims are drawn from a sorted ID list so a fixed seed yields a fixed
+// crash sequence regardless of map iteration order.
+func (s *Simulator) crashRandom(rng *rand.Rand) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alive := make([]string, 0, len(s.instances))
+	for id, inst := range s.instances {
+		if inst.stopped.IsZero() {
+			alive = append(alive, id)
+		}
+	}
+	if len(alive) == 0 {
+		return "", false
+	}
+	sort.Strings(alive)
+	id := alive[rng.Intn(len(alive))]
+	_ = s.crashLocked(id) // cannot fail: id is running and we hold the lock
+	return id, true
+}

@@ -30,11 +30,142 @@ func TestSpawnReleaseLifecycle(t *testing.T) {
 	if got := sim.Running(); got != 0 {
 		t.Fatalf("Running after release=%d", got)
 	}
-	if err := sim.Release(id); !errors.Is(err, ErrUnknownInstance) {
-		t.Fatalf("double release err=%v", err)
+	if err := sim.Release(id); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("double release err=%v, want ErrNotRunning", err)
 	}
 	if err := sim.Release("nope"); !errors.Is(err, ErrUnknownInstance) {
 		t.Fatalf("unknown release err=%v", err)
+	}
+}
+
+func TestCrashStopsBillingAndRelease(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	sim := NewSimulator(Config{BootDelay: time.Second, Clock: clk})
+	done := make(chan string, 1)
+	go func() {
+		id, _ := sim.Spawn(context.Background())
+		done <- id
+	}()
+	time.Sleep(10 * time.Millisecond)
+	clk.Advance(time.Second)
+	id := <-done
+
+	clk.Advance(30 * time.Minute)
+	if err := sim.Crash(id); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Crashed(id) {
+		t.Fatal("Crashed=false after Crash")
+	}
+	if sim.Running() != 0 {
+		t.Fatalf("Running=%d after crash", sim.Running())
+	}
+	// InstanceHours must stop accruing at crash time.
+	clk.Advance(2 * time.Hour)
+	if got := sim.InstanceHours(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("InstanceHours after crash=%f want 0.5", got)
+	}
+	// Releasing (or re-crashing) a crashed instance is ErrNotRunning, not a
+	// silent success and not "unknown".
+	if err := sim.Release(id); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("release after crash err=%v, want ErrNotRunning", err)
+	}
+	if err := sim.Crash(id); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("double crash err=%v, want ErrNotRunning", err)
+	}
+	if err := sim.Crash("nope"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("unknown crash err=%v", err)
+	}
+}
+
+func TestPartitionHealKeepsBilling(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	sim := NewSimulator(Config{BootDelay: time.Second, Clock: clk})
+	done := make(chan string, 1)
+	go func() {
+		id, _ := sim.Spawn(context.Background())
+		done <- id
+	}()
+	time.Sleep(10 * time.Millisecond)
+	clk.Advance(time.Second)
+	id := <-done
+
+	if err := sim.Partition(id); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Partitioned(id) {
+		t.Fatal("Partitioned=false after Partition")
+	}
+	if sim.Running() != 1 {
+		t.Fatalf("Running=%d: partitioned instances are still up", sim.Running())
+	}
+	clk.Advance(time.Hour) // still billing while partitioned
+	if got := sim.InstanceHours(); got < 0.99 {
+		t.Fatalf("InstanceHours while partitioned=%f want ~1.0", got)
+	}
+	if err := sim.Heal(id); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Partitioned(id) {
+		t.Fatal("Partitioned=true after Heal")
+	}
+	if err := sim.Partition("nope"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("unknown partition err=%v", err)
+	}
+	if err := sim.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Partition(id); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("partition after release err=%v, want ErrNotRunning", err)
+	}
+}
+
+func TestMTBFCrashSchedule(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	crashed := make(chan string, 8)
+	sim := NewSimulator(Config{
+		BootDelay: time.Second,
+		Clock:     clk,
+		MTBF:      time.Minute,
+		Seed:      42,
+		OnCrash:   func(id string) { crashed <- id },
+	})
+	defer sim.Close()
+
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		done := make(chan string, 1)
+		go func() {
+			id, _ := sim.Spawn(context.Background())
+			done <- id
+		}()
+		time.Sleep(10 * time.Millisecond)
+		clk.Advance(time.Second)
+		ids = append(ids, <-done)
+	}
+	if sim.Running() != 3 {
+		t.Fatalf("Running=%d", sim.Running())
+	}
+
+	// Walk virtual time forward; the exponential schedule must fire within a
+	// few MTBFs.
+	var victim string
+	deadline := time.Now().Add(5 * time.Second)
+	for victim == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("MTBF schedule never crashed an instance")
+		}
+		clk.Advance(10 * time.Second)
+		select {
+		case victim = <-crashed:
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !sim.Crashed(victim) {
+		t.Fatalf("victim %q not marked crashed", victim)
+	}
+	if sim.Running() != 2 {
+		t.Fatalf("Running=%d after scheduled crash", sim.Running())
 	}
 }
 

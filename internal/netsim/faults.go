@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Faults injects network failures into a simulated deployment, per endpoint
+// (endpoints are identified by string, typically a plan.ServerID). Two modes
+// are distinguishable on purpose:
+//
+//   - Blackhole: every packet to or from the endpoint vanishes silently.
+//     Connections stay "up" — no error, no disconnect — so a blackholed
+//     server is indistinguishable from an extremely slow one at the
+//     transport layer. Only staleness/probe-based detection catches it.
+//   - Packet drop: each packet is lost independently with probability p,
+//     modeling a lossy path rather than a dead one.
+//
+// This is deliberately unlike a crash (which closes connections and surfaces
+// errors): the paper's fault-free model never had to tell the two apart, and
+// the failure detector has to handle both.
+//
+// Faults is safe for concurrent use.
+type Faults struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	blackholed map[string]struct{}
+	dropRate   map[string]float64
+}
+
+// NewFaults creates a fault injector. seed drives the packet-drop sampler
+// (0 picks a fixed default for reproducibility).
+func NewFaults(seed int64) *Faults {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Faults{
+		rng:        rand.New(rand.NewSource(seed)),
+		blackholed: make(map[string]struct{}),
+		dropRate:   make(map[string]float64),
+	}
+}
+
+// Blackhole starts dropping every packet to/from the endpoint.
+func (f *Faults) Blackhole(endpoint string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blackholed[endpoint] = struct{}{}
+}
+
+// Heal removes the endpoint's blackhole and packet-drop rate.
+func (f *Faults) Heal(endpoint string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.blackholed, endpoint)
+	delete(f.dropRate, endpoint)
+}
+
+// Blackholed reports whether the endpoint is currently blackholed.
+func (f *Faults) Blackholed(endpoint string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.blackholed[endpoint]
+	return ok
+}
+
+// SetDropRate sets the independent per-packet loss probability for the
+// endpoint (clamped to [0,1]; 0 removes the entry).
+func (f *Faults) SetDropRate(endpoint string, p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case p <= 0:
+		delete(f.dropRate, endpoint)
+	case p >= 1:
+		f.dropRate[endpoint] = 1
+	default:
+		f.dropRate[endpoint] = p
+	}
+}
+
+// Drop decides the fate of one packet to/from the endpoint: true means the
+// packet is lost (blackholed endpoint, or a loss sample under the endpoint's
+// drop rate).
+func (f *Faults) Drop(endpoint string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.blackholed[endpoint]; ok {
+		return true
+	}
+	p, ok := f.dropRate[endpoint]
+	if !ok {
+		return false
+	}
+	return f.rng.Float64() < p
+}

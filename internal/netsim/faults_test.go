@@ -1,0 +1,53 @@
+package netsim
+
+import "testing"
+
+func TestFaultsBlackholeAndHeal(t *testing.T) {
+	f := NewFaults(1)
+	if f.Blackholed("s1") || f.Drop("s1") {
+		t.Fatal("fresh endpoint should pass packets")
+	}
+	f.Blackhole("s1")
+	if !f.Blackholed("s1") {
+		t.Fatal("not blackholed after Blackhole")
+	}
+	for i := 0; i < 100; i++ {
+		if !f.Drop("s1") {
+			t.Fatal("blackholed endpoint leaked a packet")
+		}
+	}
+	if f.Drop("s2") {
+		t.Fatal("unrelated endpoint dropped")
+	}
+	f.Heal("s1")
+	if f.Blackholed("s1") || f.Drop("s1") {
+		t.Fatal("heal did not restore the endpoint")
+	}
+}
+
+func TestFaultsDropRate(t *testing.T) {
+	f := NewFaults(42)
+	f.SetDropRate("s1", 0.5)
+	dropped := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if f.Drop("s1") {
+			dropped++
+		}
+	}
+	if dropped < n/3 || dropped > 2*n/3 {
+		t.Fatalf("drop rate 0.5 dropped %d/%d", dropped, n)
+	}
+	f.SetDropRate("s1", 0)
+	if f.Drop("s1") {
+		t.Fatal("rate 0 dropped a packet")
+	}
+	f.SetDropRate("s1", 1)
+	if !f.Drop("s1") {
+		t.Fatal("rate 1 passed a packet")
+	}
+	f.Heal("s1")
+	if f.Drop("s1") {
+		t.Fatal("heal did not clear the drop rate")
+	}
+}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped exponential redial delays with "equal jitter":
+// attempt n waits uniformly in [d/2, d] where d = min(Min·2ⁿ, Max). The
+// deterministic lower bound of d/2 guarantees a minimum spacing between
+// attempts (no hot-spin even with adversarial jitter), while the random
+// upper half spreads simultaneous reconnect storms after a broker failure.
+type Backoff struct {
+	// Min is the attempt-0 delay (default 100 ms).
+	Min time.Duration
+	// Max caps the exponential growth (default 5 s).
+	Max time.Duration
+	// Rand supplies jitter in [0,1); nil uses math/rand's global source.
+	// Tests inject a deterministic source.
+	Rand func() float64
+}
+
+// Delay returns the wait before redial attempt n (0-based). Negative
+// attempts are treated as 0.
+func (b Backoff) Delay(attempt int) time.Duration {
+	min := b.Min
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if min > max {
+		min = max
+	}
+	d := min
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	r := b.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	half := d / 2
+	return half + time.Duration(r()*float64(d-half))
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Min: 100 * time.Millisecond, Max: 800 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		base := 100 * time.Millisecond << uint(attempt)
+		if base > 800*time.Millisecond {
+			base = 800 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt)
+			if d < base/2 || d > base {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, base/2, base)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicRand(t *testing.T) {
+	// r=0 pins the floor, r→1 approaches the full base: the jitter window
+	// is [d/2, d].
+	floor := Backoff{Min: 200 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 0 }}
+	if d := floor.Delay(0); d != 100*time.Millisecond {
+		t.Fatalf("floor delay=%v, want 100ms", d)
+	}
+	if d := floor.Delay(1); d != 200*time.Millisecond {
+		t.Fatalf("floor delay(1)=%v, want 200ms", d)
+	}
+	almost := Backoff{Min: 200 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 0.999999 }}
+	if d := almost.Delay(0); d < 199*time.Millisecond || d > 200*time.Millisecond {
+		t.Fatalf("ceiling delay=%v, want ~200ms", d)
+	}
+}
+
+func TestBackoffCapAndDefaults(t *testing.T) {
+	b := Backoff{Min: 50 * time.Millisecond, Max: 300 * time.Millisecond, Rand: func() float64 { return 0 }}
+	// Growth: 50, 100, 200, 300 (capped), 300, ...
+	want := []time.Duration{25, 50, 100, 150, 150, 150}
+	for i, w := range want {
+		if d := b.Delay(i); d != w*time.Millisecond {
+			t.Fatalf("delay(%d)=%v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+	// Zero-value config gets sane defaults and never panics.
+	var zero Backoff
+	if d := zero.Delay(0); d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("default delay(0)=%v", d)
+	}
+	if d := zero.Delay(100); d > 5*time.Second {
+		t.Fatalf("default cap exceeded: %v", d)
+	}
+	if d := zero.Delay(-1); d <= 0 {
+		t.Fatalf("negative attempt delay=%v", d)
+	}
+}

@@ -25,6 +25,9 @@ type MemDialer struct {
 	clk  clock.Clock
 	dq   *netsim.DelayQueue
 
+	// faults drops packets to/from failed servers; nil disables injection.
+	faults *netsim.Faults
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -44,6 +47,10 @@ type MemDialerOptions struct {
 	// (clients vs infra); it selects the paper's 1-vs-2-sample rule.
 	// Defaults to Client.
 	Class netsim.NodeClass
+	// Faults, when set, drops packets to/from blackholed or lossy servers
+	// on both legs (publish and delivery) without closing connections —
+	// partitions look like silence, not like errors.
+	Faults *netsim.Faults
 }
 
 // NewMemDialer creates a dialer over a set of in-process brokers.
@@ -61,6 +68,7 @@ func NewMemDialer(brokers map[plan.ServerID]*broker.Broker, opts MemDialerOption
 		brokers: make(map[plan.ServerID]*broker.Broker, len(brokers)),
 		path:    opts.Latency,
 		clk:     opts.Clock,
+		faults:  opts.Faults,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		class:   opts.Class,
 	}
@@ -113,7 +121,7 @@ func (d *MemDialer) Dial(server plan.ServerID, h Handler) (Conn, error) {
 	if b == nil {
 		return nil, ErrUnknownServer
 	}
-	mc := &memConn{dialer: d, handler: h}
+	mc := &memConn{dialer: d, server: server, handler: h}
 	session, err := b.Connect("mem", memSink{mc})
 	if err != nil {
 		return nil, err
@@ -125,6 +133,7 @@ func (d *MemDialer) Dial(server plan.ServerID, h Handler) (Conn, error) {
 // memConn is an in-process connection with optional latency on both legs.
 type memConn struct {
 	dialer  *MemDialer
+	server  plan.ServerID
 	session *broker.Session
 	handler Handler
 
@@ -146,6 +155,11 @@ func (c *memConn) Unsubscribe(channels ...string) error {
 
 func (c *memConn) Publish(channel string, payload []byte) error {
 	d := c.dialer
+	if d.faults != nil && d.faults.Drop(string(c.server)) {
+		// Lost on the wire: the connection stays up and the publisher gets
+		// no error — exactly how a partitioned server looks from outside.
+		return nil
+	}
 	if d.dq == nil {
 		// No latency model: publish synchronously.
 		c.publishNow(channel, payload)
@@ -180,6 +194,9 @@ func (s memSink) Deliver(channel string, payload []byte) {
 	owned := append([]byte(nil), payload...)
 	c := s.c
 	d := c.dialer
+	if d.faults != nil && d.faults.Drop(string(c.server)) {
+		return // delivery leg lost on the wire
+	}
 	if d.dq == nil {
 		c.handler.OnMessage(channel, owned)
 		return

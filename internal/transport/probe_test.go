@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestProbeTCP(t *testing.T) {
+	// Healthy: a minimal RESP endpoint answering +PONG.
+	healthy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	go func() {
+		for {
+			conn, err := healthy.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 512)
+				if _, err := c.Read(buf); err != nil {
+					return
+				}
+				_, _ = c.Write([]byte("+PONG\r\n"))
+			}(conn)
+		}
+	}()
+	if err := ProbeTCP(healthy.Addr().String(), time.Second); err != nil {
+		t.Fatalf("probe of healthy server: %v", err)
+	}
+
+	// Refused: nothing listening.
+	closed, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := closed.Addr().String()
+	closed.Close()
+	if err := ProbeTCP(deadAddr, 300*time.Millisecond); err == nil {
+		t.Fatal("probe of closed port succeeded")
+	}
+
+	// Wedged: accepts connections but never answers — must count as dead
+	// within the deadline, not hang.
+	wedged, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wedged.Close()
+	var held []net.Conn
+	done := make(chan struct{})
+	defer func() {
+		wedged.Close()
+		<-done
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	go func() {
+		defer close(done)
+		for {
+			c, err := wedged.Accept()
+			if err != nil {
+				return
+			}
+			held = append(held, c)
+		}
+	}()
+	start := time.Now()
+	if err := ProbeTCP(wedged.Addr().String(), 150*time.Millisecond); err == nil {
+		t.Fatal("probe of wedged server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("probe deadline not enforced: took %v", elapsed)
+	}
+}
+
+func TestTCPDialerProbeUnknownServer(t *testing.T) {
+	d := NewTCPDialer(nil)
+	if err := d.Probe("ghost", time.Second); err != ErrUnknownServer {
+		t.Fatalf("err=%v, want ErrUnknownServer", err)
+	}
+}

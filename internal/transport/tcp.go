@@ -46,6 +46,52 @@ func (d *TCPDialer) RemoveServer(id plan.ServerID) {
 	delete(d.addrs, id)
 }
 
+// Probe checks a server's liveness with a RESP PING under a hard deadline:
+// dial, PING, and the PONG read must all complete within timeout. It is the
+// probe the failure detector feeds on — a wedged server that accepts
+// connections but never answers counts as dead, not slow.
+func (d *TCPDialer) Probe(server plan.ServerID, timeout time.Duration) error {
+	d.mu.RLock()
+	addr, ok := d.addrs[server]
+	d.mu.RUnlock()
+	if !ok {
+		return ErrUnknownServer
+	}
+	return ProbeTCP(addr, timeout)
+}
+
+// ProbeTCP performs one RESP PING round trip against addr with an overall
+// deadline covering dial, write, and read.
+func ProbeTCP(addr string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("transport: probe dial %s: %w", addr, err)
+	}
+	defer conn.Close() //nolint:errcheck // teardown
+	if err := conn.SetDeadline(deadline); err != nil {
+		return err
+	}
+	w := resp.NewWriter(conn)
+	if err := w.WriteCommandStrings("PING"); err != nil {
+		return fmt.Errorf("transport: probe %s: %w", addr, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("transport: probe %s: %w", addr, err)
+	}
+	v, err := resp.NewReader(conn).ReadValue()
+	if err != nil {
+		return fmt.Errorf("transport: probe %s: %w", addr, err)
+	}
+	if v.Kind == resp.KindError {
+		return fmt.Errorf("transport: probe %s: server error: %s", addr, v.Str)
+	}
+	return nil
+}
+
 // Dial implements Dialer.
 func (d *TCPDialer) Dial(server plan.ServerID, h Handler) (Conn, error) {
 	d.mu.RLock()

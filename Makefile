@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos bench experiments examples vet clean
+.PHONY: all build test test-short race chaos obs bench experiments examples vet clean
 
 all: vet test
 
@@ -27,6 +27,12 @@ race:
 # twice under the race detector.
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Fail|Crash' ./...
+
+# Observability suite: exposition/registry/admin unit tests, the scrape
+# cross-checks, and the exec-based dynamoth-node admin endpoint test.
+obs:
+	$(GO) test -race -run 'Obs|Metrics|Scrape|Admin|TopK|Exposition|Stamp|Quantile' ./...
+	$(GO) test -run TestAdminEndpointIntegration ./cmd/dynamoth-node/
 
 # Reduced-scale figure benches + substrate microbenches.
 bench:

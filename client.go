@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	mrand "math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +12,8 @@ import (
 	"github.com/dynamoth/dynamoth/internal/clock"
 	"github.com/dynamoth/dynamoth/internal/localplan"
 	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/metrics"
+	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/transport"
 )
@@ -150,6 +151,11 @@ type Client struct {
 	dialFailures atomic.Uint64
 	redials      atomic.Uint64
 
+	// e2e observes publish→deliver latency: publications are stamped in
+	// sendToConns and the stamp is read back on every data delivery. This is
+	// the full-path measurement behind the paper's latency CDFs (Fig. 8).
+	e2e *metrics.Histogram
+
 	// repairKick wakes maintain for an immediate repair sweep after a
 	// disconnect (capacity 1; losing a duplicate kick is fine).
 	repairKick chan struct{}
@@ -250,14 +256,14 @@ func ConnectWithDialer(dialer transport.Dialer, servers []string, cfg Config) (*
 		conns:      make(map[plan.ServerID]*clientConn),
 		dials:      make(map[plan.ServerID]*dialBackoff),
 		subs:       make(map[string]*subscription),
+		e2e:        metrics.NewHistogram(100*time.Microsecond, 30*time.Second, 160),
 		repairKick: make(chan struct{}, 1),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
-	// Backoff jitter uses its own seeded source; Delay is only called under
-	// c.mu, so an unlocked rand.Rand is safe.
-	jitter := mrand.New(mrand.NewSource(cfg.Seed))
-	c.backoff = transport.Backoff{Min: cfg.RedialMin, Max: cfg.RedialMax, Rand: jitter.Float64}
+	// Backoff jitter uses its own per-client seeded source (no global rand
+	// lock); Delay is only called under c.mu, so the unlocked source is safe.
+	c.backoff = transport.Backoff{Min: cfg.RedialMin, Max: cfg.RedialMax, Rand: transport.NewJitter(cfg.Seed)}
 	seed := uint64(cfg.Seed)
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
@@ -297,6 +303,41 @@ func (c *Client) Stats() Stats {
 		DialFailures: c.dialFailures.Load(),
 		Redials:      c.redials.Load(),
 	}
+}
+
+// E2ELatency returns the client's publish→deliver latency histogram:
+// publications are stamped on send, and the stamp is read back when a data
+// message arrives on any subscription.
+func (c *Client) E2ELatency() *metrics.Histogram { return c.e2e }
+
+// RegisterMetrics exports the client's counters and end-to-end latency
+// histogram on r under the dynamoth_client_* namespace. All reads happen at
+// scrape time; registration adds nothing to the publish or delivery paths.
+func (c *Client) RegisterMetrics(r *obs.Registry) {
+	r.Counter("dynamoth_client_published_total",
+		"Publications sent (counted per target server).",
+		c.published.Load)
+	r.Counter("dynamoth_client_received_total",
+		"Data messages delivered to the application.",
+		c.received.Load)
+	r.Counter("dynamoth_client_duplicates_total",
+		"Messages suppressed by deduplication.",
+		c.duplicates.Load)
+	r.Counter("dynamoth_client_dropped_total",
+		"Messages dropped on full subscription buffers.",
+		c.dropped.Load)
+	r.Counter("dynamoth_client_redirects_total",
+		"Wrong-server and switch notifications processed.",
+		c.redirects.Load)
+	r.Counter("dynamoth_client_dial_failures_total",
+		"Failed dial attempts (each arms redial backoff).",
+		c.dialFailures.Load)
+	r.Counter("dynamoth_client_redials_total",
+		"Successful reconnections after a failure or disconnect.",
+		c.redials.Load)
+	r.Histogram("dynamoth_client_e2e_latency_seconds",
+		"Publish-to-deliver latency observed by this client.",
+		c.e2e, 0.5, 0.99, 0.999)
 }
 
 // Publish sends payload on channel, routed by the client's current plan
@@ -382,6 +423,9 @@ func (c *Client) sendToConns(channel string, payload []byte, version uint64, con
 		// Publications carry the plan version the routing decision was
 		// based on, so dispatchers can detect stale clients lazily.
 		PlanVersion: version,
+		// The publish stamp lets every hop (broker fan-out, subscriber
+		// delivery) observe end-to-end latency.
+		Stamp: c.cfg.Clock.Now().UnixNano(),
 	}
 	pooled := true
 	for _, cc := range conns {
@@ -649,6 +693,10 @@ func (c *Client) handleMessage(channel string, payload []byte) {
 		if c.dedup.Observe(env.ID) {
 			c.duplicates.Add(1)
 			return
+		}
+		if env.Stamp != 0 {
+			// Observe clamps negative durations (cross-machine clock skew).
+			c.e2e.Observe(time.Duration(c.cfg.Clock.Now().UnixNano() - env.Stamp))
 		}
 		c.touch(channel)
 		c.deliver(channel, env)

@@ -29,6 +29,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/lla"
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/netsim"
+	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/server"
 	"github.com/dynamoth/dynamoth/internal/transport"
@@ -102,6 +103,11 @@ type Cluster struct {
 	reports  chan *lla.Report
 	orch     *balancer.Orchestrator
 	provider *cloud.Simulator
+
+	// lbReg is the balancer's scrape registry, built lazily by
+	// BalancerRegistry (the orchestrator is optional).
+	lbRegOnce sync.Once
+	lbReg     *obs.Registry
 
 	stopOnce sync.Once
 }

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/dynamoth/dynamoth/internal/metrics"
+	"github.com/dynamoth/dynamoth/internal/obs"
+	"github.com/dynamoth/dynamoth/internal/server"
+)
+
+// Node returns the running node with the given ID (nil if not running).
+// Exposed for observability: tests and experiments scrape a node's registry
+// or read its end-to-end latency histogram directly.
+func (c *Cluster) Node(id string) *server.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[id]
+}
+
+// ScrapeMetrics renders the named node's /metrics exposition, exactly as the
+// admin endpoint would serve it.
+func (c *Cluster) ScrapeMetrics(id string) (string, error) {
+	n := c.Node(id)
+	if n == nil {
+		return "", fmt.Errorf("cluster: no node %s", id)
+	}
+	return n.Registry().String(), nil
+}
+
+// NodeStatus returns the named node's /statusz document (a server.Status).
+func (c *Cluster) NodeStatus(id string) (any, error) {
+	n := c.Node(id)
+	if n == nil {
+		return nil, fmt.Errorf("cluster: no node %s", id)
+	}
+	return n.Status(), nil
+}
+
+// E2ELatency returns the named node's publish→deliver latency histogram
+// (nil if the node is not running).
+func (c *Cluster) E2ELatency(id string) *metrics.Histogram {
+	n := c.Node(id)
+	if n == nil {
+		return nil
+	}
+	return n.E2ELatency()
+}
+
+// BalancerRegistry returns the load balancer's metric registry (plan version,
+// rebalance and failure counters, per-server utilization gauges), building it
+// on first use. Returns nil when the cluster runs without a balancer.
+func (c *Cluster) BalancerRegistry() *obs.Registry {
+	if c.orch == nil {
+		return nil
+	}
+	c.lbRegOnce.Do(func() {
+		r := obs.NewRegistry()
+		c.orch.RegisterMetrics(r)
+		c.lbReg = r
+	})
+	return c.lbReg
+}
+
+// ScrapeBalancerMetrics renders the balancer's /metrics exposition.
+func (c *Cluster) ScrapeBalancerMetrics() (string, error) {
+	r := c.BalancerRegistry()
+	if r == nil {
+		return "", fmt.Errorf("cluster: no balancer running")
+	}
+	return r.String(), nil
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/internal/obs"
+)
+
+// extractSample pulls one sample value out of a rendered exposition, e.g.
+// extractSample(out, `dynamoth_e2e_latency_seconds_quantile{quantile="0.99"}`).
+func extractSample(t *testing.T, exposition, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, prefix+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, prefix+" "), 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("exposition has no sample %q:\n%s", prefix, exposition)
+	return 0
+}
+
+// TestClusterScrapeUnderLoad drives traffic through a cluster, scrapes the
+// node exactly as the admin endpoint would, and cross-checks the exported
+// p99 against the in-process histogram — the exposition must be valid and
+// the two views must agree within one log bucket (~8%).
+func TestClusterScrapeUnderLoad(t *testing.T) {
+	c, err := Start(Options{InitialServers: 1, Balancer: BalancerNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	sub, err := c.NewClient(dynamoth.Config{NodeID: 1, SubscribeBuffer: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := c.NewClient(dynamoth.Config{NodeID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	msgs, err := sub.Subscribe("arena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sent = 500
+	for i := 0; i < sent; i++ {
+		if err := pub.Publish("arena", []byte("tick")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := 0
+	timeout := time.After(5 * time.Second)
+	for received < sent {
+		select {
+		case <-msgs:
+			received++
+		case <-timeout:
+			t.Fatalf("received %d/%d", received, sent)
+		}
+	}
+
+	out, err := c.ScrapeMetrics("pub1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ValidateExposition(out)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	if fams["dynamoth_broker_published_total"] != "counter" ||
+		fams["dynamoth_e2e_latency_seconds"] != "histogram" {
+		t.Fatalf("families = %v", fams)
+	}
+	if got := extractSample(t, out, "dynamoth_broker_published_total"); got < sent {
+		t.Errorf("published_total = %v, want >= %d", got, sent)
+	}
+	if got := extractSample(t, out, "dynamoth_plan_version"); got != 1 {
+		t.Errorf("plan_version = %v, want 1", got)
+	}
+
+	// Exported p99 vs in-process Quantile(0.99): same histogram, so they
+	// must agree within a bucket ratio (scrape races new observations).
+	h := c.E2ELatency("pub1")
+	if h == nil || h.Count() == 0 {
+		t.Fatal("node e2e histogram empty")
+	}
+	exported := extractSample(t, out, `dynamoth_e2e_latency_seconds_quantile{quantile="0.99"}`)
+	inProcess := h.Quantile(0.99).Seconds()
+	if inProcess > 0 {
+		ratio := exported / inProcess
+		if ratio < 0.9 || ratio > 1.12 {
+			t.Errorf("exported p99 %v vs in-process %v (ratio %v), want within one bucket", exported, inProcess, ratio)
+		}
+	}
+
+	// The client measures the full publish→deliver path too.
+	if sub.E2ELatency().Count() == 0 {
+		t.Error("client e2e histogram empty")
+	}
+}
+
+// TestClusterBalancerScrape checks the balancer-side registry renders the
+// plan/rebalance families when a balancer runs, and that scraping without a
+// balancer fails cleanly.
+func TestClusterBalancerScrape(t *testing.T) {
+	c, err := Start(Options{InitialServers: 2, Balancer: BalancerDynamoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	out, err := c.ScrapeBalancerMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateExposition(out); err != nil {
+		t.Fatalf("balancer exposition invalid: %v\n%s", err, out)
+	}
+	for _, fam := range []string{
+		"dynamoth_plan_version",
+		"dynamoth_plan_servers 2",
+		"dynamoth_rebalances_total",
+		"dynamoth_failures_total",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("balancer exposition missing %q:\n%s", fam, out)
+		}
+	}
+
+	none, err := Start(Options{InitialServers: 1, Balancer: BalancerNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer none.Stop()
+	if _, err := none.ScrapeBalancerMetrics(); err == nil {
+		t.Error("ScrapeBalancerMetrics succeeded without a balancer")
+	}
+	if none.BalancerRegistry() != nil {
+		t.Error("BalancerRegistry non-nil without a balancer")
+	}
+}

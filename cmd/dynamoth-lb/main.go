@@ -27,6 +27,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/balancer"
 	"github.com/dynamoth/dynamoth/internal/lla"
 	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/transport"
 )
@@ -66,6 +67,7 @@ func run() error {
 		detect     = flag.Bool("detect", true, "detect node failures (PING probes + report staleness) and repair the plan")
 		probeEvery = flag.Duration("probe-interval", 2*time.Second, "liveness probe interval")
 		staleAfter = flag.Duration("stale-after", 12*time.Second, "report silence that marks a node dead")
+		admin      = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (empty = disabled)")
 	)
 	flag.Var(nodes, "node", "pub/sub node as id=host:port (repeatable)")
 	flag.Parse()
@@ -160,6 +162,17 @@ func run() error {
 	orch := balancer.NewOrchestrator(orchOpts)
 	go orch.Run()
 	defer orch.Stop()
+
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		orch.RegisterMetrics(reg)
+		srv, aln, err := obs.Serve(*admin, obs.NewAdminMux(reg, orch.Status))
+		if err != nil {
+			return fmt.Errorf("admin listen %s: %w", *admin, err)
+		}
+		defer srv.Close()
+		fmt.Printf("admin http on %s\n", aln.Addr())
+	}
 
 	fmt.Printf("dynamoth-lb balancing %d nodes: %s\n", len(ids), nodes.String())
 	sigc := make(chan os.Signal, 1)

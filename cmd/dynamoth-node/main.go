@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/server"
 	"github.com/dynamoth/dynamoth/internal/transport"
@@ -63,6 +64,7 @@ func run() error {
 		nodeNum = flag.Uint("node", 0xD001, "unique numeric node ID for control envelopes")
 		maxBps  = flag.Float64("max-bps", 1.25e6, "theoretical max outgoing bandwidth T_i (bytes/s)")
 		dialTO  = flag.Duration("dial-timeout", 5*time.Second, "deadline for dialing peer nodes (forwarding)")
+		admin   = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (empty = disabled)")
 	)
 	flag.Var(peers, "peer", "peer node as id=host:port (repeatable)")
 	flag.Parse()
@@ -97,6 +99,18 @@ func run() error {
 		return fmt.Errorf("listen %s: %w", *listen, err)
 	}
 	fmt.Printf("dynamoth-node %s serving RESP on %s (peers: %s)\n", *id, ln.Addr(), peers.String())
+
+	if *admin != "" {
+		srv, aln, err := obs.Serve(*admin, obs.NewAdminMux(n.Registry(), n.Status))
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("admin listen %s: %w", *admin, err)
+		}
+		defer srv.Close()
+		// Printed on its own line so harnesses passing -admin-addr :0 can
+		// discover the bound port.
+		fmt.Printf("admin http on %s\n", aln.Addr())
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- n.ServeTCP(ln) }()

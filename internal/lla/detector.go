@@ -1,6 +1,7 @@
 package lla
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -125,6 +126,33 @@ func (d *Detector) Dead(now time.Time) []string {
 			out = append(out, name)
 		}
 	}
+	return out
+}
+
+// ServerStatus is one server's liveness evidence, exported for status pages.
+type ServerStatus struct {
+	Server     string    `json:"server"`
+	LastReport time.Time `json:"lastReport"`
+	Misses     int       `json:"probeMisses"`
+	Dead       bool      `json:"dead"`
+}
+
+// Status snapshots every tracked server's verdict evidence, sorted by name.
+// Unlike Dead it does not evaluate thresholds or mutate verdicts — it only
+// reports what the detector currently believes.
+func (d *Detector) Status() []ServerStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ServerStatus, 0, len(d.servers))
+	for name, h := range d.servers {
+		out = append(out, ServerStatus{
+			Server:     name,
+			LastReport: h.lastReport,
+			Misses:     h.misses,
+			Dead:       h.dead,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
 	return out
 }
 

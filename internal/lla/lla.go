@@ -248,6 +248,11 @@ type Analyzer struct {
 	seq        uint64
 	bytesOut   int64 // bytes sent during current report window
 	deliveries int64 // per-subscriber deliveries during current window
+	// windowStart stamps when the current report window opened so rates are
+	// divided by the time that actually elapsed, not the configured
+	// ReportEvery: a ticker firing late (CPU contention, coarse simulated
+	// clocks) would otherwise overstate Bps and mask an overload.
+	windowStart time.Time
 
 	unitTicker   clock.Ticker
 	reportTicker clock.Ticker
@@ -269,6 +274,7 @@ func NewAnalyzer(cfg Config) *Analyzer {
 	return &Analyzer{
 		cfg:          cfg,
 		accum:        NewAccumulator(),
+		windowStart:  cfg.Clock.Now(),
 		unitTicker:   cfg.Clock.NewTicker(cfg.Unit),
 		reportTicker: cfg.Clock.NewTicker(cfg.ReportEvery),
 		reports:      make(chan *Report, 16),
@@ -361,8 +367,11 @@ func (an *Analyzer) run() {
 	}
 }
 
-// buildReport drains pending units into a Report.
+// buildReport drains pending units into a Report. Rates are computed over
+// the wall-clock (or virtual-clock) time since the previous report, not the
+// configured interval, so a late-firing ticker cannot inflate them.
 func (an *Analyzer) buildReport() *Report {
+	now := an.cfg.Clock.Now()
 	an.mu.Lock()
 	units := an.pending
 	an.pending = nil
@@ -372,8 +381,12 @@ func (an *Analyzer) buildReport() *Report {
 	an.deliveries = 0
 	an.seq++
 	seq := an.seq
+	window := now.Sub(an.windowStart).Seconds()
+	an.windowStart = now
 	an.mu.Unlock()
-	window := an.cfg.ReportEvery.Seconds()
+	if window <= 0 {
+		window = an.cfg.ReportEvery.Seconds()
+	}
 	r := &Report{
 		Server:              an.cfg.Server,
 		Seq:                 seq,

@@ -1,0 +1,86 @@
+package lla
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/clock"
+)
+
+// TestBuildReportUsesElapsedTimeNotInterval is the regression test for the
+// late-ticker measurement bug: a report built after 2× the configured
+// interval must divide the byte count by the time that actually elapsed.
+// Dividing by ReportEvery would double the measured Bps and make the
+// balancer see phantom overload.
+func TestBuildReportUsesElapsedTimeNotInterval(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	an := NewAnalyzer(Config{
+		Server:         "pub1",
+		MaxOutgoingBps: 1e6,
+		Unit:           time.Second,
+		ReportEvery:    3 * time.Second,
+		Clock:          clk,
+	})
+	defer an.Stop()
+
+	// 600 bytes × 10 receivers = 6000 bytes out in the window.
+	an.OnPublish("game", make([]byte, 600), 10)
+
+	// The ticker fires late: 6 s elapse instead of the configured 3 s.
+	clk.Advance(6 * time.Second)
+	r := an.buildReport()
+	want := 6000.0 / 6.0
+	if r.MeasuredOutgoingBps != want {
+		t.Fatalf("MeasuredOutgoingBps = %v, want %v (bytes/elapsed, not bytes/ReportEvery)",
+			r.MeasuredOutgoingBps, want)
+	}
+
+	// The next window starts at this report: another 6000 bytes over the
+	// nominal 3 s must yield the full rate, unaffected by the late first
+	// report.
+	an.OnPublish("game", make([]byte, 600), 10)
+	clk.Advance(3 * time.Second)
+	r = an.buildReport()
+	if want := 6000.0 / 3.0; r.MeasuredOutgoingBps != want {
+		t.Fatalf("second window Bps = %v, want %v", r.MeasuredOutgoingBps, want)
+	}
+}
+
+// TestBuildReportZeroElapsedFallsBack covers the degenerate case of two
+// reports at the same instant (possible with a manual clock): the rate
+// divides by the configured interval instead of zero.
+func TestBuildReportZeroElapsedFallsBack(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	an := NewAnalyzer(Config{
+		Server:      "pub1",
+		Unit:        time.Second,
+		ReportEvery: 3 * time.Second,
+		Clock:       clk,
+	})
+	defer an.Stop()
+	an.OnPublish("game", make([]byte, 300), 1)
+	r := an.buildReport()
+	if want := 300.0 / 3.0; r.MeasuredOutgoingBps != want {
+		t.Fatalf("zero-elapsed Bps = %v, want %v (ReportEvery fallback)", r.MeasuredOutgoingBps, want)
+	}
+}
+
+// TestBuildReportCPUWindow checks the CPU estimate uses the same elapsed
+// window as the bandwidth measurement.
+func TestBuildReportCPUWindow(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	an := NewAnalyzer(Config{
+		Server:              "pub1",
+		MaxDeliveriesPerSec: 100,
+		Unit:                time.Second,
+		ReportEvery:         3 * time.Second,
+		Clock:               clk,
+	})
+	defer an.Stop()
+	an.OnPublish("game", make([]byte, 10), 300) // 300 deliveries
+	clk.Advance(6 * time.Second)                // late window again
+	r := an.buildReport()
+	if want := 300.0 / 6.0 / 100.0; r.CPUUtilization != want {
+		t.Fatalf("CPUUtilization = %v, want %v", r.CPUUtilization, want)
+	}
+}

@@ -90,6 +90,14 @@ type Envelope struct {
 	Channel string // application channel the envelope concerns
 	Payload []byte // application payload or encoded control body
 
+	// Stamp is the publish time in Unix nanoseconds (0 = unstamped). Clients
+	// stamp data publications on send so every hop — broker fan-out,
+	// dispatcher forwarding, subscriber delivery — can observe end-to-end
+	// latency against its own clock (the quantity behind the paper's latency
+	// CDFs). Across real machines the measurement inherits clock skew;
+	// in-process and simulated deployments share one clock.
+	Stamp int64
+
 	// Servers names pub/sub servers for TypeSwitch (the new server set) and
 	// TypeWrongServer (the correct server set).
 	Servers []string
@@ -122,11 +130,11 @@ const maxFieldLen = 1 << 24
 // Marshal encodes the envelope into a compact binary form.
 //
 // Layout: magic, type, planVersion(uvarint), node(uvarint), seq(uvarint),
-// channel(len-prefixed), strategy, servers(count + len-prefixed each),
-// payload (remainder).
+// stamp(uvarint), channel(len-prefixed), strategy, servers(count +
+// len-prefixed each), payload (remainder).
 func (e *Envelope) Marshal() []byte {
 	n := 2 + // magic + type
-		binary.MaxVarintLen64*3 +
+		binary.MaxVarintLen64*4 +
 		binary.MaxVarintLen32 + len(e.Channel) +
 		1 + // strategy
 		2*binary.MaxVarintLen32
@@ -149,6 +157,7 @@ func (e *Envelope) AppendMarshal(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, e.PlanVersion)
 	dst = binary.AppendUvarint(dst, uint64(e.ID.Node))
 	dst = binary.AppendUvarint(dst, e.ID.Seq)
+	dst = binary.AppendUvarint(dst, uint64(e.Stamp))
 	dst = appendString(dst, e.Channel)
 	dst = append(dst, e.Strategy)
 	dst = binary.AppendUvarint(dst, uint64(len(e.Servers)))
@@ -215,6 +224,10 @@ func Unmarshal(data []byte) (*Envelope, error) {
 		return nil, err
 	}
 	e.ID.Seq = u
+	if u, rest, err = readUvarint(rest); err != nil {
+		return nil, err
+	}
+	e.Stamp = int64(u)
 	if e.Channel, rest, err = readString(rest); err != nil {
 		return nil, err
 	}
@@ -287,6 +300,30 @@ func readString(data []byte) (string, []byte, error) {
 // WireSize returns the exact encoded size of the envelope. It is used by the
 // simulator's bandwidth model so simulated byte counts equal live byte counts.
 func (e *Envelope) WireSize() int { return len(e.Marshal()) }
+
+// PeekStamp extracts the envelope type and publish stamp from an encoded
+// envelope without decoding (or allocating) anything else. It exists for the
+// broker-side latency observer, which runs on the publish hot path and must
+// not pay the full Unmarshal. ok is false for non-envelope payloads.
+func PeekStamp(data []byte) (t Type, stamp int64, ok bool) {
+	if len(data) < 2 || data[0] != envelopeMagic {
+		return 0, 0, false
+	}
+	t = Type(data[1])
+	rest := data[2:]
+	for i := 0; i < 3; i++ { // skip planVersion, node, seq
+		_, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, 0, false
+		}
+		rest = rest[n:]
+	}
+	u, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, 0, false
+	}
+	return t, int64(u), true
+}
 
 // Generator allocates globally unique message IDs for one node. The zero
 // value is not usable; create one with NewGenerator.

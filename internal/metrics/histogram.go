@@ -113,7 +113,10 @@ func (h *Histogram) Min() time.Duration {
 }
 
 // Quantile returns an estimate of the q-quantile (0 < q <= 1), using the
-// geometric midpoint of the bucket containing the rank.
+// geometric midpoint of the bucket containing the rank, clamped to the
+// observed [Min(), Max()] range. The edge buckets absorb out-of-range
+// observations, so their midpoints can lie arbitrarily far from any real
+// sample; they report the true observed extremes instead.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -126,14 +129,44 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		cum += c
 		if cum >= rank {
 			lo := math.Exp(h.logMin + float64(i)*h.logStep)
-			mid := lo * math.Sqrt(h.ratio)
-			if i == 0 {
-				mid = lo // first bucket also holds values below min
+			est := lo * math.Sqrt(h.ratio)
+			switch i {
+			case 0:
+				est = h.minSeen // holds everything clamped below min
+			case len(h.counts) - 1:
+				est = h.maxSeen // holds everything clamped above max
 			}
-			return time.Duration(mid * float64(time.Second))
+			if est < h.minSeen {
+				est = h.minSeen
+			}
+			if est > h.maxSeen {
+				est = h.maxSeen
+			}
+			return time.Duration(est * float64(time.Second))
 		}
 	}
 	return time.Duration(h.maxSeen * float64(time.Second))
+}
+
+// Buckets iterates the histogram's buckets in ascending order, calling fn
+// with each bucket's inclusive upper bound in seconds (+Inf for the last,
+// which absorbs over-range observations) and the cumulative observation
+// count up to it — the Prometheus cumulative-bucket convention. It returns
+// the total count and the sum of all observations in seconds. fn must not
+// call back into the histogram.
+func (h *Histogram) Buckets(fn func(upperSeconds float64, cumulative uint64)) (count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		le := math.Exp(h.logMin + float64(i+1)*h.logStep)
+		if i == len(h.counts)-1 {
+			le = math.Inf(1)
+		}
+		fn(le, cum)
+	}
+	return h.total, h.sum
 }
 
 // Reset clears all recorded observations.

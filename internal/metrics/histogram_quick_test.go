@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestHistogramQuantilePropertyQuick checks, over random observation sets,
+// the two estimator invariants the exposition layer depends on: Quantile is
+// monotonically non-decreasing in q, and every estimate lies within the
+// observed [Min(), Max()] range — including observations clamped into the
+// edge buckets, whose geometric midpoints lie outside any real sample.
+func TestHistogramQuantilePropertyQuick(t *testing.T) {
+	property := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(time.Millisecond, time.Second, 30)
+		for _, v := range raw {
+			// Spread samples well beyond [min, max] to exercise clamping.
+			h.Observe(time.Duration(v) * time.Microsecond)
+		}
+		qs := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+		prev := time.Duration(0)
+		for _, q := range qs {
+			est := h.Quantile(q)
+			if est < prev {
+				t.Logf("Quantile(%v)=%v < previous %v", q, est, prev)
+				return false
+			}
+			if est < h.Min() || est > h.Max() {
+				t.Logf("Quantile(%v)=%v outside [%v, %v]", q, est, h.Min(), h.Max())
+				return false
+			}
+			prev = est
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramQuantileEdgeBucketsReportExtremes pins the clamping fix: with
+// every sample outside the configured range, the estimates must report the
+// observed extremes, not bucket midpoints.
+func TestHistogramQuantileEdgeBucketsReportExtremes(t *testing.T) {
+	h := NewHistogram(10*time.Millisecond, 100*time.Millisecond, 10)
+	h.Observe(time.Microsecond)  // below min → first bucket
+	h.Observe(100 * time.Second) // above max → last bucket
+	if got := h.Quantile(0.25); got != h.Min() {
+		t.Fatalf("low quantile = %v, want %v (minSeen)", got, h.Min())
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Fatalf("high quantile = %v, want %v (maxSeen)", got, h.Max())
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewAdminMux builds the node/balancer admin HTTP handler:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       "ok" (200) once the process serves traffic
+//	/statusz       JSON from status (plan version, counts, hot channels, …)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// status may be nil (/statusz then serves {}). The handlers hold no state of
+// their own; everything renders on request.
+func NewAdminMux(reg *Registry, status func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Render(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var v any = struct{}{}
+		if status != nil {
+			v = status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	// Explicit pprof routes: importing net/http/pprof only for its handler
+	// funcs keeps the DefaultServeMux untouched.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves the admin mux in a background goroutine.
+// It returns the bound listener (addr ":0" picks a free port — read
+// ln.Addr()) and the server for shutdown. Serving errors after Close are
+// swallowed; the admin plane must never take the data plane down.
+func Serve(addr string, mux *http.ServeMux) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln, nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestAdminMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("admin_test_total", "x.", func() uint64 { return 7 })
+	status := func() any { return map[string]int{"sessions": 2} }
+	srv := httptest.NewServer(NewAdminMux(reg, status))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "admin_test_total 7\n") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+	if _, err := ValidateExposition(body); err != nil {
+		t.Errorf("/metrics invalid: %v", err)
+	}
+
+	code, body, _ = get(t, srv, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get(t, srv, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status = %d", code)
+	}
+	var doc map[string]int
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if doc["sessions"] != 2 {
+		t.Fatalf("/statusz doc = %v", doc)
+	}
+
+	code, body, _ = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestAdminMuxNilStatus(t *testing.T) {
+	srv := httptest.NewServer(NewAdminMux(NewRegistry(), nil))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/statusz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("/statusz with nil status = %d %q", code, body)
+	}
+}
+
+func TestServePicksFreePort(t *testing.T) {
+	srv, ln, err := Serve("127.0.0.1:0", NewAdminMux(NewRegistry(), nil))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/metrics"
+)
+
+func TestRegistryRenderCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	var pubs atomic.Uint64
+	pubs.Store(42)
+	r.Counter("test_published_total", "Publications.", pubs.Load)
+	r.Gauge("test_sessions", "Sessions.", func() float64 { return 3 })
+
+	out := r.String()
+	for _, want := range []string{
+		"# HELP test_published_total Publications.\n",
+		"# TYPE test_published_total counter\n",
+		"test_published_total 42\n",
+		"# TYPE test_sessions gauge\n",
+		"test_sessions 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ValidateExposition(out); err != nil {
+		t.Fatalf("own exposition invalid: %v", err)
+	}
+}
+
+func TestRegistryGaugeVecSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("test_util", "Utilization.", "server", func() []Sample {
+		return []Sample{
+			{Label: "pub2", Value: 0.5},
+			{Label: `pub"1`, Value: 0.25}, // quote must be escaped
+		}
+	})
+	out := r.String()
+	i1 := strings.Index(out, `test_util{server="pub\"1"} 0.25`)
+	i2 := strings.Index(out, `test_util{server="pub2"} 0.5`)
+	if i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Fatalf("vec samples missing or unsorted:\n%s", out)
+	}
+	if _, err := ValidateExposition(out); err != nil {
+		t.Fatalf("own exposition invalid: %v", err)
+	}
+}
+
+func TestRegistryHistogramBridge(t *testing.T) {
+	h := metrics.NewHistogram(time.Millisecond, time.Second, 20)
+	for _, d := range []time.Duration{5 * time.Millisecond, 50 * time.Millisecond, 500 * time.Millisecond} {
+		h.Observe(d)
+	}
+	r := NewRegistry()
+	r.Histogram("test_latency_seconds", "Latency.", h, 0.5, 0.99)
+
+	out := r.String()
+	if !strings.Contains(out, "# TYPE test_latency_seconds histogram\n") {
+		t.Fatalf("missing histogram TYPE:\n%s", out)
+	}
+	if !strings.Contains(out, `test_latency_seconds_bucket{le="+Inf"} 3`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "test_latency_seconds_count 3\n") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, `test_latency_seconds_quantile{quantile="0.99"}`) {
+		t.Errorf("missing quantile gauge:\n%s", out)
+	}
+	fams, err := ValidateExposition(out)
+	if err != nil {
+		t.Fatalf("own exposition invalid: %v", err)
+	}
+	if fams["test_latency_seconds"] != "histogram" {
+		t.Fatalf("family types = %v", fams)
+	}
+
+	// Cumulative buckets must be non-decreasing and end at the count.
+	var last uint64
+	count, _ := h.Buckets(func(_ float64, cum uint64) {
+		if cum < last {
+			t.Fatalf("cumulative bucket decreased: %d -> %d", last, cum)
+		}
+		last = cum
+	})
+	if last != count {
+		t.Fatalf("last cumulative %d != count %d", last, count)
+	}
+}
+
+func TestRegistryPanicsOnBadRegistration(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "x.", func() uint64 { return 0 })
+	mustPanic("duplicate", func() { r.Counter("dup_total", "x.", func() uint64 { return 0 }) })
+	mustPanic("bad name", func() { r.Gauge("bad-name", "x.", func() float64 { return 0 }) })
+	mustPanic("bad label", func() { r.GaugeVec("ok_name", "x.", "bad-label", func() []Sample { return nil }) })
+}
+
+func TestRegistryConcurrentRender(t *testing.T) {
+	r := NewRegistry()
+	var n atomic.Uint64
+	r.Counter("race_total", "x.", n.Load)
+	h := metrics.NewHistogram(time.Millisecond, time.Second, 10)
+	r.Histogram("race_seconds", "x.", h, 0.5)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				n.Add(1)
+				h.Observe(time.Millisecond)
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := ValidateExposition(r.String()); err != nil {
+					t.Errorf("scrape %d invalid: %v", j, err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "no_type_metric 1\n",
+		"unknown type":         "# TYPE m wat\nm 1\n",
+		"bad value":            "# TYPE m gauge\nm xyzzy\n",
+		"unquoted label":       "# TYPE m gauge\nm{l=v} 1\n",
+		"unterminated label":   "# TYPE m gauge\nm{l=\"v} 1\n",
+		"bad metric name":      "# TYPE m gauge\n1m 1\n",
+		"duplicate TYPE":       "# TYPE m gauge\n# TYPE m counter\nm 1\n",
+		"histogram w/o family": "# TYPE m gauge\nother_bucket{le=\"1\"} 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: expected error for %q", name, text)
+		}
+	}
+	// Histogram suffixes resolve to their declared family.
+	ok := "# TYPE m histogram\nm_bucket{le=\"+Inf\"} 1\nm_sum 0.5\nm_count 1\n"
+	if _, err := ValidateExposition(ok); err != nil {
+		t.Errorf("valid histogram rejected: %v", err)
+	}
+}

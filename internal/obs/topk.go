@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSampleShift makes the tracker count every 16th publication: a
+// compromise between rate fidelity on hot channels (the ones top-K exists to
+// surface) and per-publish cost on the fan-out path.
+const DefaultSampleShift = 4
+
+// TopK tracks the hottest channels by publish rate with sampled counting.
+// Record is safe on the publish hot path: it is one atomic add plus, on the
+// sampled subset, one lock-free sync.Map lookup and counter increment — no
+// allocation once a channel has been seen, no locking ever.
+//
+// It implements the broker Observer shape (OnPublish/OnSubscribe/
+// OnUnsubscribe) so it can be attached with broker.AddObserver without obs
+// importing broker.
+type TopK struct {
+	shift uint64 // count every 2^shift-th publication
+	n     atomic.Uint64
+	// counts maps channel → *atomic.Uint64 sampled publication count.
+	counts sync.Map
+
+	// snapMu guards the previous snapshot used to turn cumulative counts
+	// into rates between consecutive Top calls.
+	snapMu   sync.Mutex
+	lastSnap map[string]uint64
+	lastTime time.Time
+	now      func() time.Time
+}
+
+// NewTopK creates a tracker sampling every 2^sampleShift-th publication
+// (DefaultSampleShift when negative). now supplies time for rate windows
+// (nil = wall clock).
+func NewTopK(sampleShift int, now func() time.Time) *TopK {
+	if sampleShift < 0 {
+		sampleShift = DefaultSampleShift
+	}
+	if now == nil {
+		now = time.Now
+	}
+	t := &TopK{shift: uint64(sampleShift), now: now, lastSnap: make(map[string]uint64)}
+	t.lastTime = now()
+	return t
+}
+
+// Record notes one publication on channel (sampled).
+func (t *TopK) Record(channel string) {
+	n := t.n.Add(1)
+	if n&(1<<t.shift-1) != 0 {
+		return
+	}
+	if c, ok := t.counts.Load(channel); ok {
+		c.(*atomic.Uint64).Add(1)
+		return
+	}
+	c, _ := t.counts.LoadOrStore(channel, new(atomic.Uint64))
+	c.(*atomic.Uint64).Add(1)
+}
+
+// OnPublish implements the broker observer hook.
+func (t *TopK) OnPublish(channel string, _ []byte, _ int) { t.Record(channel) }
+
+// OnSubscribe implements the broker observer hook (ignored).
+func (t *TopK) OnSubscribe(string, string, int) {}
+
+// OnUnsubscribe implements the broker observer hook (ignored).
+func (t *TopK) OnUnsubscribe(string, string, int) {}
+
+// ChannelRate is one channel's estimated publish rate.
+type ChannelRate struct {
+	Channel string  `json:"channel"`
+	Rate    float64 `json:"publishesPerSec"` // estimated publications/second
+}
+
+// Top returns up to k channels ordered by publish rate since the previous
+// Top call (rate since tracker start on the first call). Sampled counts are
+// scaled back up by the sampling factor. Channels idle for a full window are
+// dropped from the tracker so a long top-K scrape loop cannot grow without
+// bound.
+func (t *TopK) Top(k int) []ChannelRate {
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	now := t.now()
+	elapsed := now.Sub(t.lastTime).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	scale := float64(uint64(1) << t.shift)
+	next := make(map[string]uint64)
+	var rates []ChannelRate
+	t.counts.Range(func(key, val any) bool {
+		ch := key.(string)
+		cum := val.(*atomic.Uint64).Load()
+		next[ch] = cum
+		delta := cum - t.lastSnap[ch]
+		if delta == 0 {
+			// Idle for the whole window: forget the channel. A publication
+			// racing this delete just re-creates the entry.
+			t.counts.Delete(ch)
+			delete(next, ch)
+			return true
+		}
+		rates = append(rates, ChannelRate{Channel: ch, Rate: float64(delta) * scale / elapsed})
+		return true
+	})
+	t.lastSnap = next
+	t.lastTime = now
+	sort.Slice(rates, func(i, j int) bool {
+		if rates[i].Rate != rates[j].Rate {
+			return rates[i].Rate > rates[j].Rate
+		}
+		return rates[i].Channel < rates[j].Channel
+	})
+	if len(rates) > k {
+		rates = rates[:k]
+	}
+	return rates
+}

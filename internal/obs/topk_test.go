@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTopKRanksHotChannels(t *testing.T) {
+	now := time.Unix(0, 0)
+	tk := NewTopK(0, func() time.Time { return now }) // shift 0: count everything
+
+	for i := 0; i < 1000; i++ {
+		tk.Record("hot")
+	}
+	for i := 0; i < 100; i++ {
+		tk.Record("warm")
+	}
+	tk.Record("cold")
+
+	now = now.Add(time.Second)
+	top := tk.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %+v, want 2 entries", top)
+	}
+	if top[0].Channel != "hot" || top[1].Channel != "warm" {
+		t.Fatalf("order = %+v", top)
+	}
+	if top[0].Rate < 999 || top[0].Rate > 1001 {
+		t.Fatalf("hot rate = %v, want ~1000/s", top[0].Rate)
+	}
+}
+
+func TestTopKSamplingScalesRates(t *testing.T) {
+	now := time.Unix(0, 0)
+	tk := NewTopK(4, func() time.Time { return now }) // every 16th
+	for i := 0; i < 1600; i++ {
+		tk.Record("ch")
+	}
+	now = now.Add(time.Second)
+	top := tk.Top(1)
+	if len(top) != 1 {
+		t.Fatalf("top = %+v", top)
+	}
+	// 1600 publishes sampled 1/16 → 100 counted → scaled back to 1600/s.
+	if top[0].Rate != 1600 {
+		t.Fatalf("rate = %v, want 1600", top[0].Rate)
+	}
+}
+
+func TestTopKDropsIdleChannels(t *testing.T) {
+	now := time.Unix(0, 0)
+	tk := NewTopK(0, func() time.Time { return now })
+	tk.Record("once")
+	now = now.Add(time.Second)
+	if top := tk.Top(10); len(top) != 1 {
+		t.Fatalf("first window top = %+v", top)
+	}
+	// Idle for a full window: evicted, not reported at rate 0.
+	now = now.Add(time.Second)
+	if top := tk.Top(10); len(top) != 0 {
+		t.Fatalf("idle channel still reported: %+v", top)
+	}
+}
+
+func TestTopKConcurrent(t *testing.T) {
+	tk := NewTopK(-1, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ch := fmt.Sprintf("ch%d", g%4)
+			for i := 0; i < 10000; i++ {
+				tk.Record(ch)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tk.Top(3)
+		}
+	}()
+	wg.Wait()
+	<-done
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/metrics"
+	"github.com/dynamoth/dynamoth/internal/obs"
+)
+
+// E2E latency histogram range: 100 µs floor (loopback broker hop) to 30 s
+// ceiling (anything slower is an outage, clamped to the edge bucket), 160
+// log buckets ≈ 8% resolution — enough to place a p99 within one bucket of
+// the paper's Figure 8 CDF axis.
+const (
+	e2eLatencyMin     = 100 * time.Microsecond
+	e2eLatencyMax     = 30 * time.Second
+	e2eLatencyBuckets = 160
+)
+
+func newE2EHistogram() *metrics.Histogram {
+	return metrics.NewHistogram(e2eLatencyMin, e2eLatencyMax, e2eLatencyBuckets)
+}
+
+// latencyObserver measures publish→deliver latency at the broker: every
+// stamped data envelope's age at the moment its fan-out was queued. It sits
+// on the publish hot path, so it peeks only the envelope header — no
+// decoding, no allocation.
+type latencyObserver struct {
+	clk  clock.Clock
+	hist *metrics.Histogram
+}
+
+// OnPublish implements broker.Observer.
+func (o *latencyObserver) OnPublish(_ string, payload []byte, _ int) {
+	t, stamp, ok := message.PeekStamp(payload)
+	if !ok || stamp == 0 {
+		return
+	}
+	if t != message.TypeData && t != message.TypeForwarded {
+		return
+	}
+	// Observe clamps negative durations (clock skew across real machines).
+	o.hist.Observe(time.Duration(o.clk.Now().UnixNano() - stamp))
+}
+
+// OnSubscribe implements broker.Observer (ignored).
+func (o *latencyObserver) OnSubscribe(string, string, int) {}
+
+// OnUnsubscribe implements broker.Observer (ignored).
+func (o *latencyObserver) OnUnsubscribe(string, string, int) {}
+
+// Registry returns the node's metric registry, served by the admin
+// endpoint's /metrics and the cluster scrape helpers.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// E2ELatency returns the node's publish→deliver latency histogram (stamped
+// at client publish, observed at broker fan-out).
+func (n *Node) E2ELatency() *metrics.Histogram { return n.e2e }
+
+// Status is the node's /statusz document.
+type Status struct {
+	Server      string            `json:"server"`
+	PlanVersion uint64            `json:"planVersion"`
+	Sessions    int               `json:"sessions"`
+	Channels    int               `json:"channels"`
+	Published   uint64            `json:"published"`
+	Delivered   uint64            `json:"delivered"`
+	Dropped     uint64            `json:"dropped"`
+	HotChannels []obs.ChannelRate `json:"hotChannels"`
+	E2ELatency  LatencySummary    `json:"e2eLatency"`
+}
+
+// LatencySummary is a JSON-friendly histogram digest (milliseconds).
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	P50ms  float64 `json:"p50Ms"`
+	P99ms  float64 `json:"p99Ms"`
+	P999ms float64 `json:"p999Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+func summarize(h *metrics.Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		P50ms:  float64(h.Quantile(0.5)) / float64(time.Millisecond),
+		P99ms:  float64(h.Quantile(0.99)) / float64(time.Millisecond),
+		P999ms: float64(h.Quantile(0.999)) / float64(time.Millisecond),
+		MaxMs:  float64(h.Max()) / float64(time.Millisecond),
+	}
+}
+
+// Status snapshots the node for /statusz. The hot-channel rates are computed
+// over the window since the previous Status call.
+func (n *Node) Status() any {
+	st := n.Broker.Stats()
+	return Status{
+		Server:      string(n.ID),
+		PlanVersion: n.Dispatcher.Plan().Version,
+		Sessions:    st.Sessions,
+		Channels:    st.Channels,
+		Published:   st.Published,
+		Delivered:   st.Delivered,
+		Dropped:     st.Dropped,
+		HotChannels: n.topk.Top(10),
+		E2ELatency:  summarize(n.e2e),
+	}
+}
+
+// buildRegistry registers the node's exported metric families. All reads
+// happen on scrape; nothing here touches the publish path.
+func (n *Node) buildRegistry() {
+	r := obs.NewRegistry()
+	r.Counter("dynamoth_broker_published_total",
+		"Publications accepted by this broker.",
+		func() uint64 { return n.Broker.Stats().Published })
+	r.Counter("dynamoth_broker_delivered_total",
+		"Per-subscriber deliveries queued by this broker.",
+		func() uint64 { return n.Broker.Stats().Delivered })
+	r.Counter("dynamoth_broker_dropped_total",
+		"Sessions disconnected for slow consumption (output buffer overflow).",
+		func() uint64 { return n.Broker.Stats().Dropped })
+	r.Gauge("dynamoth_broker_sessions",
+		"Live sessions connected to this broker.",
+		func() float64 { return float64(n.Broker.Stats().Sessions) })
+	r.Gauge("dynamoth_broker_channels",
+		"Channels with at least one subscriber.",
+		func() float64 { return float64(n.Broker.Stats().Channels) })
+	r.Gauge("dynamoth_plan_version",
+		"Plan version this node's dispatcher is executing.",
+		func() float64 { return float64(n.Dispatcher.Plan().Version) })
+	r.Histogram("dynamoth_e2e_latency_seconds",
+		"Publish-to-deliver latency: stamped at client publish, observed at broker fan-out.",
+		n.e2e, 0.5, 0.99, 0.999)
+	n.reg = r
+}

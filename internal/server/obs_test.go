@@ -1,0 +1,132 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/obs"
+)
+
+type dropSink struct{}
+
+func (dropSink) Deliver(string, []byte) {}
+func (dropSink) Closed(error)           {}
+
+// TestNodeMetricsScrapeUnderPublishStorm hammers the broker from several
+// publishers while scraping /metrics concurrently: every exposition must be
+// well-formed, and the registry reads must not race the hot path (the test
+// is meaningful under -race).
+func TestNodeMetricsScrapeUnderPublishStorm(t *testing.T) {
+	n := newNode(t, clock.NewReal())
+
+	sess, err := n.Broker.Connect("sub", dropSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Subscribe("storm"); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := message.NewGenerator(0x77)
+	var wg sync.WaitGroup
+	const perPublisher = 2000
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				env := message.Envelope{
+					Type:    message.TypeData,
+					ID:      gen.Next(),
+					Channel: "storm",
+					Payload: []byte("payload"),
+					Stamp:   time.Now().UnixNano(),
+				}
+				n.Broker.Publish("storm", env.Marshal())
+			}
+		}()
+	}
+
+	// Scrape concurrently with the storm; every exposition must parse.
+	for i := 0; i < 50; i++ {
+		out := n.Registry().String()
+		if _, err := obs.ValidateExposition(out); err != nil {
+			t.Fatalf("scrape %d malformed: %v\n%s", i, err, out)
+		}
+		if _, ok := n.Status().(Status); !ok {
+			t.Fatalf("Status() returned %T", n.Status())
+		}
+	}
+	wg.Wait()
+
+	// A final burst after the last in-loop Status call, so the hot-channel
+	// window (rates since the previous Top call) has fresh activity.
+	for i := 0; i < 100; i++ {
+		env := message.Envelope{
+			Type:    message.TypeData,
+			ID:      gen.Next(),
+			Channel: "storm",
+			Payload: []byte("payload"),
+			Stamp:   time.Now().UnixNano(),
+		}
+		n.Broker.Publish("storm", env.Marshal())
+	}
+
+	out := n.Registry().String()
+	for _, fam := range []string{
+		"dynamoth_broker_published_total",
+		"dynamoth_broker_delivered_total",
+		"dynamoth_broker_dropped_total",
+		"dynamoth_broker_sessions",
+		"dynamoth_broker_channels",
+		"dynamoth_plan_version",
+		"dynamoth_e2e_latency_seconds_bucket",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("exposition missing %s:\n%s", fam, out)
+		}
+	}
+	if n.E2ELatency().Count() == 0 {
+		t.Error("stamped publications observed no end-to-end latency")
+	}
+	st := n.Status().(Status)
+	if st.Published == 0 || st.Delivered == 0 {
+		t.Errorf("status counters empty: %+v", st)
+	}
+	if len(st.HotChannels) == 0 || st.HotChannels[0].Channel != "storm" {
+		t.Errorf("hot channels = %+v, want storm ranked", st.HotChannels)
+	}
+}
+
+// TestLatencyObserverSkipsUnstampedAndControl checks the broker-side
+// observer only measures stamped data traffic.
+func TestLatencyObserverSkipsUnstampedAndControl(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	n := newNode(t, clk)
+
+	unstamped := message.Envelope{Type: message.TypeData, ID: message.ID{Node: 1, Seq: 1}, Channel: "c"}
+	n.Broker.Publish("c", unstamped.Marshal())
+	control := message.Envelope{Type: message.TypePlan, ID: message.ID{Node: 1, Seq: 2}, Channel: "c", Stamp: epoch.UnixNano()}
+	n.Broker.Publish("c", control.Marshal())
+	n.Broker.Publish("c", []byte("not an envelope"))
+	if got := n.E2ELatency().Count(); got != 0 {
+		t.Fatalf("observed %d latencies from unstamped/control traffic", got)
+	}
+
+	clk.Advance(50 * time.Millisecond)
+	stamped := message.Envelope{Type: message.TypeData, ID: message.ID{Node: 1, Seq: 3}, Channel: "c", Stamp: epoch.UnixNano()}
+	n.Broker.Publish("c", stamped.Marshal())
+	if got := n.E2ELatency().Count(); got != 1 {
+		t.Fatalf("observed %d latencies, want 1", got)
+	}
+	// 50 ms of manual-clock age, within one log bucket (~8%).
+	p := n.E2ELatency().Quantile(0.5)
+	if p < 45*time.Millisecond || p > 56*time.Millisecond {
+		t.Fatalf("observed latency %v, want ~50ms", p)
+	}
+}

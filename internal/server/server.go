@@ -14,6 +14,8 @@ import (
 	"github.com/dynamoth/dynamoth/internal/dispatcher"
 	"github.com/dynamoth/dynamoth/internal/lla"
 	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/metrics"
+	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 )
 
@@ -43,12 +45,18 @@ type Options struct {
 	PublishReports bool
 }
 
-// Node is one pub/sub server machine: broker + LLA + dispatcher.
+// Node is one pub/sub server machine: broker + LLA + dispatcher, plus the
+// observability surface (metric registry, hot-channel tracker, end-to-end
+// latency histogram) the admin endpoint exposes.
 type Node struct {
 	ID         plan.ServerID
 	Broker     *broker.Broker
 	LLA        *lla.Analyzer
 	Dispatcher *dispatcher.Dispatcher
+
+	reg  *obs.Registry
+	topk *obs.TopK
+	e2e  *metrics.Histogram
 
 	gen  *message.Generator
 	stop chan struct{}
@@ -94,10 +102,17 @@ func New(opts Options) (*Node, error) {
 		Broker:     b,
 		LLA:        analyzer,
 		Dispatcher: disp,
+		topk:       obs.NewTopK(-1, opts.Clock.Now),
+		e2e:        newE2EHistogram(),
 		gen:        message.NewGenerator(opts.NodeNum),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	// Observability observers: both are allocation-free in steady state (the
+	// latency observer peeks the envelope header; the top-K tracker samples).
+	b.AddObserver(n.topk)
+	b.AddObserver(&latencyObserver{clk: opts.Clock, hist: n.e2e})
+	n.buildRegistry()
 	go n.pumpReports(opts.PublishReports)
 	return n, nil
 }

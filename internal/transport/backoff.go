@@ -1,7 +1,7 @@
 package transport
 
 import (
-	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,9 +15,44 @@ type Backoff struct {
 	Min time.Duration
 	// Max caps the exponential growth (default 5 s).
 	Max time.Duration
-	// Rand supplies jitter in [0,1); nil uses math/rand's global source.
-	// Tests inject a deterministic source.
+	// Rand supplies jitter in [0,1); use NewJitter for a deterministic
+	// per-instance source. Nil falls back to a lock-free package-level
+	// generator — never the global math/rand source, whose mutex every
+	// redialling client would contend on during a reconnect storm (the
+	// exact moment backoff matters).
 	Rand func() float64
+}
+
+// NewJitter returns a deterministic jitter source for Backoff.Rand, seeded
+// from seed (a zero seed selects a fixed non-zero constant). The returned
+// function is not safe for concurrent use; give each client its own and call
+// it under whatever lock serializes that client's redials.
+func NewJitter(seed int64) func() float64 {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s>>11) / (1 << 53)
+	}
+}
+
+// fallbackState drives the nil-Rand jitter: a splitmix64 counter stream,
+// advanced with one atomic add per draw so concurrent clients never share a
+// lock.
+var fallbackState atomic.Uint64
+
+func fallbackJitter() float64 {
+	x := fallbackState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
 }
 
 // Delay returns the wait before redial attempt n (0-based). Negative
@@ -43,7 +78,7 @@ func (b Backoff) Delay(attempt int) time.Duration {
 	}
 	r := b.Rand
 	if r == nil {
-		r = rand.Float64
+		r = fallbackJitter
 	}
 	half := d / 2
 	return half + time.Duration(r()*float64(d-half))

@@ -37,6 +37,64 @@ func TestBackoffDeterministicRand(t *testing.T) {
 	}
 }
 
+func TestNewJitterDeterministicPerSeed(t *testing.T) {
+	a, b := NewJitter(7), NewJitter(7)
+	other := NewJitter(8)
+	var diverged bool
+	for i := 0; i < 1000; i++ {
+		va, vb, vo := a(), b(), other()
+		if va != vb {
+			t.Fatalf("same seed diverged at draw %d: %v != %v", i, va, vb)
+		}
+		if va < 0 || va >= 1 {
+			t.Fatalf("draw %d out of [0,1): %v", i, va)
+		}
+		if va != vo {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 produced identical sequences")
+	}
+}
+
+func TestNewJitterZeroSeed(t *testing.T) {
+	// Zero is the unset-config case; xorshift64 state must never be zero or
+	// the generator gets stuck at 0 forever.
+	j := NewJitter(0)
+	first := j()
+	var moved bool
+	for i := 0; i < 100; i++ {
+		v := j()
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw out of [0,1): %v", v)
+		}
+		if v != first {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("zero-seed jitter is constant")
+	}
+}
+
+func TestBackoffNilRandFallbackJitters(t *testing.T) {
+	// Without an explicit Rand the delay still spreads over [d/2, d] —
+	// clients redialing a crashed broker must not stampede in lockstep.
+	b := Backoff{Min: 100 * time.Millisecond, Max: time.Second}
+	seen := make(map[time.Duration]struct{})
+	for i := 0; i < 200; i++ {
+		d := b.Delay(0)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("fallback delay %v outside [50ms, 100ms]", d)
+		}
+		seen[d] = struct{}{}
+	}
+	if len(seen) < 10 {
+		t.Fatalf("fallback produced only %d distinct delays in 200 draws", len(seen))
+	}
+}
+
 func TestBackoffCapAndDefaults(t *testing.T) {
 	b := Backoff{Min: 50 * time.Millisecond, Max: 300 * time.Millisecond, Rand: func() float64 { return 0 }}
 	// Growth: 50, 100, 200, 300 (capped), 300, ...

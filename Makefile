@@ -29,9 +29,11 @@ chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Fail|Crash' ./...
 
 # Observability suite: exposition/registry/admin unit tests, the scrape
-# cross-checks, and the exec-based dynamoth-node admin endpoint test.
+# cross-checks, the flight-recorder (trace) package under the race
+# detector, and the exec-based dynamoth-node admin endpoint test.
 obs:
-	$(GO) test -race -run 'Obs|Metrics|Scrape|Admin|TopK|Exposition|Stamp|Quantile' ./...
+	$(GO) test -race -run 'Obs|Metrics|Scrape|Admin|TopK|Exposition|Stamp|Quantile|Trace|Events|Timeline|Tail' ./...
+	$(GO) test -race ./internal/trace/
 	$(GO) test -run TestAdminEndpointIntegration ./cmd/dynamoth-node/
 
 # Reduced-scale figure benches + substrate microbenches.

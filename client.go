@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/metrics"
 	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/trace"
 	"github.com/dynamoth/dynamoth/internal/transport"
 )
 
@@ -59,6 +61,13 @@ type Config struct {
 	// repairs fail over to its ring successor instead of redialing it.
 	RedialMin time.Duration
 	RedialMax time.Duration
+	// Recorder receives the client's reconfiguration events (switch
+	// receipts, migrations, dedup windows, redials, substitutions). Nil
+	// records nothing; the publish and delivery hot paths are untouched
+	// either way.
+	Recorder *trace.Recorder
+	// Logger receives structured client logs. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() error {
@@ -102,13 +111,17 @@ var (
 
 // Stats are client-side counters.
 type Stats struct {
-	Published    uint64 // publications sent (per target server)
-	Received     uint64 // data messages delivered to the application
-	Duplicates   uint64 // messages suppressed by deduplication
-	Dropped      uint64 // messages dropped on full subscription buffers
-	Redirects    uint64 // wrong-server/switch notifications processed
-	DialFailures uint64 // failed dial attempts (each arms redial backoff)
-	Redials      uint64 // successful reconnections after a failure or disconnect
+	Published  uint64 // publications sent (per target server)
+	Received   uint64 // data messages delivered to the application
+	Duplicates uint64 // messages suppressed by deduplication
+	// DuplicatesSuppressed counts duplicates absorbed inside an open dedup
+	// window (a migration's overlap period) — the subset of Duplicates that
+	// the reconfiguration machinery predicted and accounted to a rebalance.
+	DuplicatesSuppressed uint64
+	Dropped              uint64 // messages dropped on full subscription buffers
+	Redirects            uint64 // wrong-server/switch notifications processed
+	DialFailures         uint64 // failed dial attempts (each arms redial backoff)
+	Redials              uint64 // successful reconnections after a failure or disconnect
 }
 
 // Client is a Dynamoth pub/sub client: a standard publish/subscribe API
@@ -136,20 +149,25 @@ type Client struct {
 	// per-server failure state that gates connLocked.
 	backoff transport.Backoff
 
-	mu     sync.Mutex
-	local  *localplan.Store
-	conns  map[plan.ServerID]*clientConn
-	dials  map[plan.ServerID]*dialBackoff
-	subs   map[string]*subscription
-	closed bool
+	mu      sync.Mutex
+	local   *localplan.Store
+	conns   map[plan.ServerID]*clientConn
+	dials   map[plan.ServerID]*dialBackoff
+	subs    map[string]*subscription
+	windows map[string]*dedupWindow // open dedup windows by channel
+	closed  bool
 
 	published    atomic.Uint64
 	received     atomic.Uint64
 	duplicates   atomic.Uint64
+	suppressed   atomic.Uint64 // duplicates absorbed inside a dedup window
 	dropped      atomic.Uint64
 	redirects    atomic.Uint64
 	dialFailures atomic.Uint64
 	redials      atomic.Uint64
+
+	rec *trace.Recorder
+	log *slog.Logger
 
 	// e2e observes publish→deliver latency: publications are stamped in
 	// sendToConns and the stamp is read back on every data delivery. This is
@@ -162,6 +180,18 @@ type Client struct {
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// dedupWindow tracks one channel's duplicate-suppression window: opened when
+// a migration creates delivery overlap (a switch-driven resubscribe or a
+// failover repair), closed by the sweep once the overlap has aged out. The
+// counters feed the per-rebalance timeline, matching the total suppressed
+// duplicates against the client's counter. Guarded by Client.mu; duplicates
+// are rare, so the lock never sits on the steady-state delivery path.
+type dedupWindow struct {
+	openedAt   time.Time
+	plan       uint64 // plan version that triggered the window (0 = failover)
+	suppressed int64
 }
 
 // dialBackoff is the sticky "server dead" state for one server: while
@@ -256,6 +286,9 @@ func ConnectWithDialer(dialer transport.Dialer, servers []string, cfg Config) (*
 		conns:      make(map[plan.ServerID]*clientConn),
 		dials:      make(map[plan.ServerID]*dialBackoff),
 		subs:       make(map[string]*subscription),
+		windows:    make(map[string]*dedupWindow),
+		rec:        cfg.Recorder,
+		log:        trace.Component(cfg.Logger, "client"),
 		e2e:        metrics.NewHistogram(100*time.Microsecond, 30*time.Second, 160),
 		repairKick: make(chan struct{}, 1),
 		stop:       make(chan struct{}),
@@ -295,13 +328,14 @@ func (c *Client) NodeID() uint32 { return c.cfg.NodeID }
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Published:    c.published.Load(),
-		Received:     c.received.Load(),
-		Duplicates:   c.duplicates.Load(),
-		Dropped:      c.dropped.Load(),
-		Redirects:    c.redirects.Load(),
-		DialFailures: c.dialFailures.Load(),
-		Redials:      c.redials.Load(),
+		Published:            c.published.Load(),
+		Received:             c.received.Load(),
+		Duplicates:           c.duplicates.Load(),
+		DuplicatesSuppressed: c.suppressed.Load(),
+		Dropped:              c.dropped.Load(),
+		Redirects:            c.redirects.Load(),
+		DialFailures:         c.dialFailures.Load(),
+		Redials:              c.redials.Load(),
 	}
 }
 
@@ -323,6 +357,9 @@ func (c *Client) RegisterMetrics(r *obs.Registry) {
 	r.Counter("dynamoth_client_duplicates_total",
 		"Messages suppressed by deduplication.",
 		c.duplicates.Load)
+	r.Counter("dynamoth_client_duplicates_suppressed_total",
+		"Duplicates absorbed inside an open dedup window (a migration's overlap period).",
+		c.suppressed.Load)
 	r.Counter("dynamoth_client_dropped_total",
 		"Messages dropped on full subscription buffers.",
 		c.dropped.Load)
@@ -526,6 +563,12 @@ func (c *Client) Close() error {
 		sub.closeOut()
 		delete(c.subs, ch)
 	}
+	// Flush open dedup windows so their suppressed counts reach the flight
+	// recorder (timeline sums stay equal to the suppressed counter).
+	now := c.cfg.Clock.Now()
+	for ch, w := range c.windows {
+		c.closeWindowLocked(ch, w, now)
+	}
 	c.rebuildRouteLocked()
 	c.mu.Unlock()
 
@@ -606,6 +649,11 @@ func (c *Client) resolveConnLocked(channel string, target plan.ServerID) (*clien
 			continue
 		}
 		if conn, cerr := c.connLocked(cand); cerr == nil {
+			c.rec.Record(trace.KindSubstitute, 0, cand, channel, 0, 0)
+			c.log.Info("substituted ring successor",
+				slog.String("channel", channel),
+				slog.String("for", target),
+				slog.String("server", cand))
 			return conn, nil
 		}
 	}
@@ -630,11 +678,17 @@ func (c *Client) connLocked(server plan.ServerID) (*clientConn, error) {
 	if err != nil {
 		c.dialFailures.Add(1)
 		c.armBackoffLocked(server, err)
+		// The detail stays static so the recorder's intern table cannot grow
+		// with error text; the log twin carries the specific error.
+		c.rec.Record(trace.KindDialFail, 0, server, "dial", 0, 0)
+		c.log.Warn("dial failed", slog.String("server", server), slog.Any("err", err))
 		return nil, err
 	}
 	if ds != nil {
 		delete(c.dials, server)
 		c.redials.Add(1)
+		c.rec.Record(trace.KindRedial, 0, server, "", int64(ds.attempts), 0)
+		c.log.Info("reconnected", slog.String("server", server), slog.Int("attempts", ds.attempts))
 	}
 	cc.conn = conn
 	if nr, ok := conn.(transport.NonRetaining); ok && nr.PublishNonRetaining() {
@@ -692,6 +746,7 @@ func (c *Client) handleMessage(channel string, payload []byte) {
 	case message.TypeData, message.TypeForwarded:
 		if c.dedup.Observe(env.ID) {
 			c.duplicates.Add(1)
+			c.noteDuplicate(channel)
 			return
 		}
 		if env.Stamp != 0 {
@@ -702,6 +757,7 @@ func (c *Client) handleMessage(channel string, payload []byte) {
 		c.deliver(channel, env)
 	case message.TypeSwitch:
 		c.redirects.Add(1)
+		c.rec.Record(trace.KindSwitchRecv, env.PlanVersion, env.Channel, "", 0, int64(len(env.Servers)))
 		c.updateRing(env)
 		c.applyEntryUpdate(env.Channel, env, true)
 	case message.TypeWrongServer:
@@ -799,8 +855,53 @@ func (c *Client) applyEntryUpdate(channel string, env *message.Envelope, resubsc
 			_ = conn.conn.Unsubscribe(channel) // best effort
 		}
 	}
+	// The overlap between the old and new subscriptions can deliver the same
+	// message twice; the dedup window accounts those suppressions to this
+	// migration until the sweep closes it.
+	c.openWindowLocked(channel, env.PlanVersion, "switch")
 	c.rebuildRouteLocked()
 	c.mu.Unlock()
+	c.rec.Record(trace.KindMigrate, env.PlanVersion, channel, "switch", 1, int64(len(newTargets)))
+	c.log.Info("subscription migrated",
+		slog.String("channel", channel),
+		slog.Uint64("plan", env.PlanVersion),
+		slog.Int("targets", len(newTargets)))
+}
+
+// noteDuplicate attributes one suppressed duplicate to the channel's open
+// dedup window. Duplicates only occur during migration overlap, so taking
+// the client lock here never touches the steady-state delivery path.
+func (c *Client) noteDuplicate(channel string) {
+	c.mu.Lock()
+	if w := c.windows[channel]; w != nil {
+		w.suppressed++
+		c.suppressed.Add(1)
+	}
+	c.mu.Unlock()
+	c.rec.Record(trace.KindDuplicate, 0, channel, "", 1, 0)
+}
+
+// openWindowLocked opens (or rolls over) the channel's dedup window. A
+// window already tracking the same plan version keeps accumulating; a new
+// plan version closes the previous window first so each rebalance gets its
+// own suppressed count.
+func (c *Client) openWindowLocked(channel string, planVersion uint64, detail string) {
+	now := c.cfg.Clock.Now()
+	if w := c.windows[channel]; w != nil {
+		if w.plan == planVersion {
+			return
+		}
+		c.closeWindowLocked(channel, w, now)
+	}
+	c.windows[channel] = &dedupWindow{openedAt: now, plan: planVersion}
+	c.rec.Record(trace.KindDedupOpen, planVersion, channel, detail, 0, 0)
+}
+
+// closeWindowLocked closes a dedup window, recording how many duplicates it
+// absorbed (Value) and how long it was open (Aux, nanoseconds).
+func (c *Client) closeWindowLocked(channel string, w *dedupWindow, now time.Time) {
+	delete(c.windows, channel)
+	c.rec.Record(trace.KindDedupClose, w.plan, channel, "", w.suppressed, now.Sub(w.openedAt).Nanoseconds())
 }
 
 // errConnLost is the backoff cause when a connection died without a more
@@ -896,14 +997,21 @@ func (c *Client) repairInbox() {
 	c.rebuildRouteLocked()
 }
 
-// maintain runs the entry-timer sweep (§IV-A5) and subscription repair.
-func (c *Client) maintain() {
-	defer close(c.done)
+// sweepInterval is the maintenance cadence: entry-timer sweeps, repair, and
+// dedup-window expiry all run on it. It also bounds how long a dedup window
+// stays open past its migration.
+func (c *Client) sweepInterval() time.Duration {
 	interval := c.cfg.EntryTimeout / 4
 	if interval < time.Second {
 		interval = time.Second
 	}
-	ticker := c.cfg.Clock.NewTicker(interval)
+	return interval
+}
+
+// maintain runs the entry-timer sweep (§IV-A5) and subscription repair.
+func (c *Client) maintain() {
+	defer close(c.done)
+	ticker := c.cfg.Clock.NewTicker(c.sweepInterval())
 	defer ticker.Stop()
 	for {
 		select {
@@ -938,6 +1046,22 @@ func (c *Client) sweep() {
 		sub.servers = append([]plan.ServerID(nil), targets...)
 		if err := c.subscribeOnLocked(ch, targets); err != nil {
 			sub.broken = true // retry next sweep
+			continue
+		}
+		// Failover re-homing can overlap with the old server's tail or the
+		// repaired plan's forwarding: open a dedup window for the transition
+		// (plan 0 — the timeline attributes it to the enclosing repair).
+		c.openWindowLocked(ch, 0, "failover")
+		c.rec.Record(trace.KindMigrate, 0, ch, "failover", 1, int64(len(targets)))
+		c.log.Info("subscription repaired",
+			slog.String("channel", ch),
+			slog.Int("targets", len(targets)))
+	}
+	// Expire dedup windows whose migration overlap has aged out.
+	windowTTL := c.sweepInterval()
+	for ch, w := range c.windows {
+		if now.Sub(w.openedAt) >= windowTTL {
+			c.closeWindowLocked(ch, w, now)
 		}
 	}
 	if swept > 0 || len(repairs) > 0 {

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/server"
+	"github.com/dynamoth/dynamoth/internal/trace"
 	"github.com/dynamoth/dynamoth/internal/transport"
 )
 
@@ -86,6 +88,12 @@ type Options struct {
 	// ReplaceFailedServers asks the cloud for a replacement node after
 	// each failure evacuation (default: the pool just shrinks).
 	ReplaceFailedServers bool
+	// Logger receives structured logs from every component (balancer,
+	// servers, clients), component-tagged. Nil discards.
+	Logger *slog.Logger
+	// TraceCapacity sizes the shared flight recorder's ring (<= 0 selects
+	// trace.DefaultCapacity).
+	TraceCapacity int
 }
 
 // Cluster is a running deployment.
@@ -103,6 +111,7 @@ type Cluster struct {
 	reports  chan *lla.Report
 	orch     *balancer.Orchestrator
 	provider *cloud.Simulator
+	rec      *trace.Recorder // shared flight recorder (every component appends)
 
 	// lbReg is the balancer's scrape registry, built lazily by
 	// BalancerRegistry (the orchestrator is optional).
@@ -147,6 +156,15 @@ func Start(opts Options) (*Cluster, error) {
 		nodes:   make(map[plan.ServerID]*server.Node),
 		watched: make(map[plan.ServerID]*watcher),
 		reports: make(chan *lla.Report, 256),
+	}
+
+	// One shared flight recorder for the whole deployment: every component
+	// appends into the same ring, so the timeline view sees a rebalance
+	// end-to-end (trigger on the balancer through migration on the clients).
+	c.rec = trace.NewRecorder(opts.TraceCapacity)
+	c.rec.SetNow(c.clk.Now)
+	if opts.Logger != nil {
+		c.rec.SetLogger(trace.Component(opts.Logger, "reconfig"))
 	}
 
 	c.faults = netsim.NewFaults(opts.Seed)
@@ -210,6 +228,8 @@ func Start(opts Options) (*Cluster, error) {
 			Cloud:         clusterCloud{c},
 			Clock:         opts.Clock,
 			DefaultMaxBps: opts.MaxOutgoingBps,
+			Recorder:      c.rec,
+			Logger:        opts.Logger,
 		}
 		if !opts.DisableFailureDetection {
 			reportEvery := opts.ReportEvery
@@ -248,6 +268,12 @@ func (c *Cluster) NewClient(cfg dynamoth.Config) (*dynamoth.Client, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = c.clk
 	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = c.rec
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = c.opts.Logger
+	}
 	return dynamoth.ConnectWithDialer(c.dialer, servers, cfg)
 }
 
@@ -282,6 +308,22 @@ func (c *Cluster) Rebalances() int {
 		return 0
 	}
 	return c.orch.Rebalances()
+}
+
+// Recorder returns the cluster's shared flight recorder: every component
+// (balancer, dispatchers, clients) appends reconfiguration events into it.
+func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
+
+// Events returns the flight-recorder events with Seq > since still held in
+// the ring, oldest first — the programmatic twin of /debug/events.
+func (c *Cluster) Events(since uint64) []trace.Event {
+	return c.rec.Events(since)
+}
+
+// Timelines groups the recorded events into per-rebalance phase timelines —
+// the programmatic twin of /debug/rebalances.
+func (c *Cluster) Timelines() []trace.Rebalance {
+	return c.rec.Timelines()
 }
 
 // Failures returns how many servers the balancer's failure detector
@@ -447,6 +489,8 @@ func (c *Cluster) startNode(id plan.ServerID, initial *plan.Plan) error {
 		ReportEvery:    c.opts.ReportEvery,
 		OutputBuffer:   c.opts.OutputBuffer,
 		PublishReports: true,
+		Recorder:       c.rec,
+		Logger:         c.opts.Logger,
 	})
 	if err != nil {
 		return fmt.Errorf("cluster: starting node %s: %w", id, err)
@@ -492,7 +536,9 @@ func (c *Cluster) publishPlan(p *plan.Plan) {
 	}
 	c.mu.Unlock()
 	for _, n := range nodes {
+		push := c.rec.StartSpan(trace.KindPlanPush, p.Version, string(n.ID))
 		n.Broker.Publish(plan.PlanChannel, payload)
+		push.End("", int64(len(nodes)))
 	}
 }
 

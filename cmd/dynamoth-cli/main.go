@@ -1,19 +1,28 @@
 // Command dynamoth-cli is a command-line Dynamoth client for poking at a
-// deployment: publish messages, subscribe to channels, or run a quick
-// round-trip latency probe.
+// deployment: publish messages, subscribe to channels, run a quick
+// round-trip latency probe, or tail a node's reconfiguration flight
+// recorder.
 //
 // Usage:
 //
 //	dynamoth-cli -server pub1=localhost:6379 sub room.lobby
 //	dynamoth-cli -server pub1=localhost:6379 pub room.lobby "hello world"
 //	dynamoth-cli -server pub1=localhost:6379 ping room.lobby
+//	dynamoth-cli events http://localhost:8080
+//
+// events needs no -server: it talks to the admin HTTP endpoint
+// (-admin-addr on dynamoth-node / dynamoth-lb), polling /debug/events with
+// a ?since= cursor so each reconfiguration event prints exactly once.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -39,12 +48,20 @@ func run() error {
 		return nil
 	})
 	count := flag.Int("n", 10, "ping: number of probes")
+	interval := flag.Duration("poll", time.Second, "events: poll interval")
+	follow := flag.Bool("follow", true, "events: keep polling (false = one snapshot)")
 	flag.Parse()
 
+	args := flag.Args()
+	if len(args) >= 1 && args[0] == "events" {
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dynamoth-cli events <admin-url>")
+		}
+		return tailEvents(args[1], *interval, *follow, os.Stdout)
+	}
 	if len(servers) == 0 {
 		return fmt.Errorf("at least one -server required")
 	}
-	args := flag.Args()
 	if len(args) < 2 {
 		return fmt.Errorf("usage: dynamoth-cli -server id=addr {sub|pub|ping} <channel> [payload]")
 	}
@@ -117,6 +134,50 @@ func run() error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want sub, pub or ping)", cmd)
+		return fmt.Errorf("unknown command %q (want sub, pub, ping or events)", cmd)
+	}
+}
+
+// tailEvents polls an admin endpoint's /debug/events with a ?since= cursor,
+// printing each JSONL event exactly once. The cursor advances from the
+// X-Trace-Seq response header, so a wrapped-around ring resumes at the oldest
+// retained event instead of re-printing.
+func tailEvents(target string, interval time.Duration, follow bool, out io.Writer) error {
+	if !strings.Contains(target, "://") {
+		target = "http://" + target
+	}
+	if !strings.Contains(target, "/debug/events") {
+		target = strings.TrimRight(target, "/") + "/debug/events"
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	var cursor uint64
+	for {
+		resp, err := http.Get(target + "?since=" + strconv.FormatUint(cursor, 10))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return fmt.Errorf("%s: %s: %s", target, resp.Status, strings.TrimSpace(string(body)))
+		}
+		if _, err := io.Copy(out, resp.Body); err != nil {
+			resp.Body.Close()
+			return err
+		}
+		next, err := strconv.ParseUint(resp.Header.Get("X-Trace-Seq"), 10, 64)
+		resp.Body.Close()
+		if err == nil && next > cursor {
+			cursor = next
+		}
+		if !follow {
+			return nil
+		}
+		select {
+		case <-sigc:
+			return nil
+		case <-time.After(interval):
+		}
 	}
 }

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/trace"
 	"github.com/dynamoth/dynamoth/internal/transport"
 )
 
@@ -67,13 +69,22 @@ func run() error {
 		detect     = flag.Bool("detect", true, "detect node failures (PING probes + report staleness) and repair the plan")
 		probeEvery = flag.Duration("probe-interval", 2*time.Second, "liveness probe interval")
 		staleAfter = flag.Duration("stale-after", 12*time.Second, "report silence that marks a node dead")
-		admin      = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (empty = disabled)")
+		admin      = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof, /debug/events, /debug/rebalances (empty = disabled)")
+		logLvl     = flag.String("log-level", "info", "structured log level on stderr (debug, info, warn, error)")
 	)
 	flag.Var(nodes, "node", "pub/sub node as id=host:port (repeatable)")
 	flag.Parse()
 	if len(nodes) == 0 {
 		return fmt.Errorf("at least one -node required")
 	}
+
+	level, err := trace.ParseLevel(*logLvl)
+	if err != nil {
+		return fmt.Errorf("parsing -log-level: %w", err)
+	}
+	logger := trace.NewStderrLogger(level)
+	log := trace.Component(logger, "lb")
+	rec := trace.NewRecorder(0)
 
 	ids := make([]string, 0, len(nodes))
 	addrs := make(map[plan.ServerID]string, len(nodes))
@@ -94,7 +105,7 @@ func run() error {
 	var connsMu sync.Mutex
 	conns := make(map[plan.ServerID]transport.Conn, len(ids))
 	for _, id := range ids {
-		conn, err := dialer.Dial(id, reportHandler{reports: reports})
+		conn, err := dialer.Dial(id, reportHandler{reports: reports, log: log})
 		if err != nil {
 			return fmt.Errorf("connecting to node %s: %w", id, err)
 		}
@@ -127,12 +138,18 @@ func run() error {
 		payload := env.Marshal()
 		connsMu.Lock()
 		for id, conn := range conns {
+			push := rec.StartSpan(trace.KindPlanPush, p.Version, id)
 			if err := conn.Publish(plan.PlanChannel, payload); err != nil {
-				fmt.Fprintf(os.Stderr, "publishing plan v%d to %s: %v\n", p.Version, id, err)
+				push.End("error", 0)
+				log.Warn("plan publish failed",
+					slog.Uint64("plan", p.Version), slog.String("node", id), slog.Any("err", err))
+				continue
 			}
+			push.End("", 0)
 		}
 		connsMu.Unlock()
-		fmt.Printf("published plan v%d (%d explicit channels)\n", p.Version, len(p.Channels))
+		log.Info("plan published",
+			slog.Uint64("plan", p.Version), slog.Int("channels", len(p.Channels)))
 	}
 
 	orchOpts := balancer.OrchestratorOptions{
@@ -142,6 +159,8 @@ func run() error {
 		Reports:       reports,
 		PublishPlan:   publishPlan,
 		DefaultMaxBps: *maxBps,
+		Recorder:      rec,
+		Logger:        logger,
 	}
 	if *detect {
 		orchOpts.Detect = &lla.DetectorConfig{StaleAfter: *staleAfter, ProbeMisses: 3}
@@ -150,7 +169,7 @@ func run() error {
 		}
 		orchOpts.ProbeInterval = *probeEvery
 		orchOpts.OnServerDead = func(id plan.ServerID) {
-			fmt.Fprintf(os.Stderr, "node %s declared dead; plan repaired\n", id)
+			log.Warn("node fenced", slog.String("node", id))
 			connsMu.Lock()
 			if conn, ok := conns[id]; ok {
 				conn.Close()
@@ -166,7 +185,9 @@ func run() error {
 	if *admin != "" {
 		reg := obs.NewRegistry()
 		orch.RegisterMetrics(reg)
-		srv, aln, err := obs.Serve(*admin, obs.NewAdminMux(reg, orch.Status))
+		srv, aln, err := obs.Serve(*admin, obs.NewAdminMux(reg, orch.Status,
+			obs.Route{Pattern: "/debug/events", Handler: rec.EventsHandler()},
+			obs.Route{Pattern: "/debug/rebalances", Handler: rec.RebalancesHandler()}))
 		if err != nil {
 			return fmt.Errorf("admin listen %s: %w", *admin, err)
 		}
@@ -184,6 +205,7 @@ func run() error {
 // reportHandler feeds LLA reports into the orchestrator.
 type reportHandler struct {
 	reports chan<- *lla.Report
+	log     *slog.Logger
 }
 
 func (h reportHandler) OnMessage(_ string, payload []byte) {
@@ -202,5 +224,5 @@ func (h reportHandler) OnMessage(_ string, payload []byte) {
 }
 
 func (h reportHandler) OnDisconnect(err error) {
-	fmt.Fprintf(os.Stderr, "node connection lost: %v\n", err)
+	h.log.Warn("node connection lost", slog.Any("err", err))
 }

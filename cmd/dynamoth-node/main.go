@@ -26,6 +26,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/server"
+	"github.com/dynamoth/dynamoth/internal/trace"
 	"github.com/dynamoth/dynamoth/internal/transport"
 )
 
@@ -64,10 +65,18 @@ func run() error {
 		nodeNum = flag.Uint("node", 0xD001, "unique numeric node ID for control envelopes")
 		maxBps  = flag.Float64("max-bps", 1.25e6, "theoretical max outgoing bandwidth T_i (bytes/s)")
 		dialTO  = flag.Duration("dial-timeout", 5*time.Second, "deadline for dialing peer nodes (forwarding)")
-		admin   = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (empty = disabled)")
+		admin   = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof, /debug/events, /debug/rebalances (empty = disabled)")
+		logLvl  = flag.String("log-level", "warn", "structured log level on stderr (debug, info, warn, error)")
 	)
 	flag.Var(peers, "peer", "peer node as id=host:port (repeatable)")
 	flag.Parse()
+
+	level, err := trace.ParseLevel(*logLvl)
+	if err != nil {
+		return fmt.Errorf("parsing -log-level: %w", err)
+	}
+	logger := trace.NewStderrLogger(level)
+	rec := trace.NewRecorder(0)
 
 	bootstrap := strings.Split(*servers, ",")
 	initial := plan.New(bootstrap...)
@@ -88,6 +97,8 @@ func run() error {
 		Forwarder:      fwd,
 		MaxOutgoingBps: *maxBps,
 		PublishReports: true,
+		Recorder:       rec,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
@@ -101,7 +112,9 @@ func run() error {
 	fmt.Printf("dynamoth-node %s serving RESP on %s (peers: %s)\n", *id, ln.Addr(), peers.String())
 
 	if *admin != "" {
-		srv, aln, err := obs.Serve(*admin, obs.NewAdminMux(n.Registry(), n.Status))
+		srv, aln, err := obs.Serve(*admin, obs.NewAdminMux(n.Registry(), n.Status,
+			obs.Route{Pattern: "/debug/events", Handler: rec.EventsHandler()},
+			obs.Route{Pattern: "/debug/rebalances", Handler: rec.RebalancesHandler()}))
 		if err != nil {
 			ln.Close()
 			return fmt.Errorf("admin listen %s: %w", *admin, err)

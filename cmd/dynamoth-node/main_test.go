@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/obs"
+	"github.com/dynamoth/dynamoth/internal/trace"
 )
 
 // TestAdminEndpointIntegration builds the real dynamoth-node binary, boots it
@@ -99,6 +100,7 @@ func TestAdminEndpointIntegration(t *testing.T) {
 		"dynamoth_broker_sessions",
 		"dynamoth_plan_version",
 		"dynamoth_e2e_latency_seconds",
+		"dynamoth_reconfig_plan_applies_total",
 	} {
 		if _, ok := fams[want]; !ok {
 			t.Errorf("/metrics missing family %s (got %v)", want, fams)
@@ -108,5 +110,28 @@ func TestAdminEndpointIntegration(t *testing.T) {
 	code, body = get("/statusz")
 	if code != http.StatusOK || !strings.Contains(body, `"planVersion"`) {
 		t.Fatalf("/statusz = %d %q", code, body)
+	}
+
+	// The flight-recorder endpoints: a freshly booted node has few (possibly
+	// zero) events, but the stream must already be schema-valid JSONL and the
+	// timeline document a JSON array.
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/events", addr))
+	if err != nil {
+		t.Fatalf("GET /debug/events: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/jsonl") {
+		t.Errorf("/debug/events Content-Type = %q", ct)
+	}
+	if _, err := trace.ValidateJSONL(resp.Body); err != nil {
+		t.Errorf("/debug/events stream invalid: %v", err)
+	}
+	resp.Body.Close()
+
+	code, body = get("/debug/rebalances")
+	if code != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Fatalf("/debug/rebalances = %d %q", code, body)
 	}
 }

@@ -10,8 +10,9 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -27,9 +28,15 @@ const (
 )
 
 func main() {
-	c, err := cluster.Start(cluster.Options{InitialServers: 2})
+	// The cluster's structured logs (component-tagged reconfiguration events)
+	// share this logger; warnings and errors surface on stderr while the
+	// demo's own narration stays on stdout.
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+
+	c, err := cluster.Start(cluster.Options{InitialServers: 2, Logger: logger})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("cluster start failed", slog.Any("err", err))
+		os.Exit(1)
 	}
 	defer c.Stop()
 
@@ -46,7 +53,8 @@ func main() {
 	for i := 0; i < players; i++ {
 		client, err := c.NewClient(dynamoth.Config{NodeID: uint32(1000 + i)})
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("client connect failed", slog.Any("err", err))
+			os.Exit(1)
 		}
 		defer client.Close()
 
@@ -58,7 +66,8 @@ func main() {
 			defer wg.Done()
 			msgs, err := client.Subscribe(avatar.Tile())
 			if err != nil {
-				log.Println("subscribe:", err)
+				logger.Warn("subscribe failed",
+					slog.String("tile", avatar.Tile()), slog.Any("err", err))
 				return
 			}
 			// Reader: time our own updates coming back (publish→notify).
@@ -106,7 +115,8 @@ func main() {
 	mu.Lock()
 	defer mu.Unlock()
 	if rttCount == 0 {
-		log.Fatal("no round trips measured")
+		logger.Error("no round trips measured")
+		os.Exit(1)
 	}
 	fmt.Printf("measured %d publish→notify round trips, mean %v\n",
 		rttCount, (rttSum / time.Duration(rttCount)).Round(time.Microsecond))

@@ -105,4 +105,7 @@ func (o *Orchestrator) RegisterMetrics(r *obs.Registry) {
 			}
 			return out
 		})
+	// The flight recorder's derived dynamoth_reconfig_* families ride on the
+	// same registry (no-op when the orchestrator has no recorder).
+	o.rec.RegisterMetrics(r)
 }

@@ -2,12 +2,14 @@ package balancer
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/clock"
 	"github.com/dynamoth/dynamoth/internal/lla"
 	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/trace"
 )
 
 // PlanGenerator is the planning strategy: the Dynamoth Planner or the
@@ -72,6 +74,13 @@ type OrchestratorOptions struct {
 	// ReplaceFailed, when true and Cloud is set, spawns a replacement
 	// server after each failure evacuation.
 	ReplaceFailed bool
+
+	// Recorder receives control-plane flight-recorder events (triggers,
+	// plan computation, pushes, repairs, spawns). Nil records nothing.
+	Recorder *trace.Recorder
+	// Logger receives structured balancer logs (component-tagged). Nil
+	// discards.
+	Logger *slog.Logger
 }
 
 // Orchestrator runs the live load-balancer loop: it folds LLA reports into
@@ -81,6 +90,8 @@ type Orchestrator struct {
 	opts     OrchestratorOptions
 	state    *State
 	detector *lla.Detector // nil when detection is disabled
+	rec      *trace.Recorder
+	log      *slog.Logger
 
 	mu           sync.Mutex
 	current      *plan.Plan
@@ -112,6 +123,8 @@ func NewOrchestrator(opts OrchestratorOptions) *Orchestrator {
 	o := &Orchestrator{
 		opts:  opts,
 		state: NewState(opts.Config.Window),
+		rec:   opts.Recorder,
+		log:   trace.Component(opts.Logger, "balancer"),
 		// Publishing plan 0 is unnecessary: every component boots with it.
 		current: opts.Initial,
 		stop:    make(chan struct{}),
@@ -198,12 +211,40 @@ func (o *Orchestrator) maybeRebalance() {
 	o.mu.Unlock()
 
 	loads := o.loadsFor(current)
+	compute := o.rec.StartSpan(trace.KindPlanCompute, 0, "")
 	decision := o.opts.Planner.GeneratePlan(current, loads)
 	if !decision.Changed() {
 		return
 	}
+	nextVersion := current.Version
+	if decision.Plan != nil {
+		nextVersion = decision.Plan.Version
+	}
+	compute.EndAt(nextVersion, decision.Reason, int64(len(loads)))
+
+	// The trigger carries the planner's reason and the worst load ratio it
+	// saw; each LLA reading behind the decision is recorded alongside (ratio
+	// in millionths, measured bytes/sec in Aux).
+	var lrMax float64
+	for _, l := range loads {
+		r := l.RatioCPUAware()
+		if r > lrMax {
+			lrMax = r
+		}
+		o.rec.Record(trace.KindLoad, nextVersion, l.Server, "", int64(r*1e6), int64(l.MeasuredBps))
+	}
+	o.rec.Record(trace.KindTrigger, nextVersion, "", decision.Reason, int64(lrMax*1e6), int64(len(loads)))
+	o.log.Info("rebalance triggered",
+		slog.String("reason", decision.Reason),
+		slog.Uint64("plan", nextVersion),
+		slog.Float64("lrMax", lrMax),
+		slog.Int("servers", len(loads)))
 
 	o.mu.Lock()
+	var sinceLast time.Duration
+	if !o.lastPlanTime.IsZero() {
+		sinceLast = now.Sub(o.lastPlanTime)
+	}
 	o.lastPlanTime = now
 	o.rebalances++
 	if decision.Plan != nil {
@@ -215,6 +256,9 @@ func (o *Orchestrator) maybeRebalance() {
 	}
 	o.mu.Unlock()
 
+	if sinceLast > 0 {
+		o.rec.Record(trace.KindTWait, nextVersion, "", "", sinceLast.Nanoseconds(), 0)
+	}
 	if decision.Plan != nil && o.opts.PublishPlan != nil {
 		o.opts.PublishPlan(decision.Plan)
 	}
@@ -223,6 +267,8 @@ func (o *Orchestrator) maybeRebalance() {
 		go o.spawnOne()
 	}
 	if decision.Release != "" {
+		o.rec.Record(trace.KindRelease, nextVersion, string(decision.Release), "graceful", 0, 0)
+		o.log.Info("releasing server", slog.String("server", string(decision.Release)))
 		o.state.Forget(decision.Release)
 		if o.detector != nil {
 			// Gracefully released — its silence is not a failure.
@@ -274,12 +320,14 @@ func (o *Orchestrator) spawnOne() {
 		}
 	}()
 
+	boot := o.rec.StartSpan(trace.KindSpawn, 0, "")
 	id, err := o.opts.Cloud.Spawn(ctx)
 
 	o.mu.Lock()
 	o.spawning = false
 	if err != nil {
 		o.mu.Unlock()
+		o.log.Warn("spawn failed", slog.Any("err", err))
 		return
 	}
 	next := o.current.Clone()
@@ -293,6 +341,9 @@ func (o *Orchestrator) spawnOne() {
 	o.lastPlanTime = o.opts.Clock.Now()
 	o.mu.Unlock()
 
+	boot.SetSubject(string(id))
+	boot.EndAt(next.Version, "ready", 0)
+	o.log.Info("server spawned", slog.String("server", string(id)), slog.Uint64("plan", next.Version))
 	if o.opts.OnServerReady != nil {
 		o.opts.OnServerReady(id)
 	}
@@ -333,8 +384,20 @@ func (o *Orchestrator) detectLoop() {
 			}
 			pw.Wait()
 		}
-		for _, dead := range o.detector.Dead(o.opts.Clock.Now()) {
-			o.repairFailure(dead)
+		verdictAt := o.opts.Clock.Now()
+		deadServers := o.detector.Dead(verdictAt)
+		if len(deadServers) == 0 {
+			continue
+		}
+		// Snapshot the verdict evidence (consecutive probe misses, report
+		// staleness) before repair forgets the server.
+		evidence := make(map[string]lla.ServerStatus, len(deadServers))
+		for _, st := range o.detector.Status() {
+			evidence[st.Server] = st
+		}
+		for _, dead := range deadServers {
+			st := evidence[dead]
+			o.repairFailure(dead, st.Misses, verdictAt.Sub(st.LastReport))
 		}
 	}
 }
@@ -344,8 +407,20 @@ func (o *Orchestrator) detectLoop() {
 // via OnServerDead, and optionally spawns a replacement. Repair is exempt
 // from the T_wait throttle — recovery latency, not plan churn, dominates
 // tail latency during failures.
-func (o *Orchestrator) repairFailure(dead plan.ServerID) {
+func (o *Orchestrator) repairFailure(dead plan.ServerID, probeMisses int, staleness time.Duration) {
+	repair := o.rec.StartSpan(trace.KindRepair, 0, dead)
 	o.mu.Lock()
+	// Count the channels the repair will evacuate before the plan is
+	// rewritten — the timeline's "evacuation set" evidence.
+	evacuated := 0
+	for _, e := range o.current.Channels {
+		for _, s := range e.Servers {
+			if s == dead {
+				evacuated++
+				break
+			}
+		}
+	}
 	next, changed := RepairPlan(o.current, dead)
 	if !changed {
 		o.mu.Unlock()
@@ -362,6 +437,14 @@ func (o *Orchestrator) repairFailure(dead plan.ServerID) {
 	}
 	o.mu.Unlock()
 
+	o.rec.Record(trace.KindDetect, next.Version, dead, "verdict:dead", int64(probeMisses), staleness.Nanoseconds())
+	o.log.Warn("server declared dead",
+		slog.String("server", dead),
+		slog.Int("probeMisses", probeMisses),
+		slog.Duration("staleness", staleness),
+		slog.Uint64("repairPlan", next.Version),
+		slog.Int("evacuatedChannels", evacuated))
+
 	o.state.Forget(dead)
 	o.detector.Forget(dead)
 	if o.opts.OnServerDead != nil {
@@ -370,6 +453,7 @@ func (o *Orchestrator) repairFailure(dead plan.ServerID) {
 	if o.opts.PublishPlan != nil {
 		o.opts.PublishPlan(next)
 	}
+	repair.EndAt(next.Version, "evacuated", int64(evacuated))
 	if wantReplacement {
 		o.wg.Add(1)
 		go o.spawnOne()

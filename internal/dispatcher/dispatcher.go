@@ -1,6 +1,7 @@
 package dispatcher
 
 import (
+	"log/slog"
 	"sync"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/clock"
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/trace"
 )
 
 // Forwarder publishes a payload on a channel of a remote pub/sub server.
@@ -33,6 +35,9 @@ type Dispatcher struct {
 	localBroker *broker.Broker
 	fwd         Forwarder
 	clk         clock.Clock
+	self        plan.ServerID
+	rec         *trace.Recorder
+	log         *slog.Logger
 
 	mu   sync.Mutex
 	core *Core
@@ -61,6 +66,12 @@ type Options struct {
 	Clock clock.Clock
 	// DrainTimeout bounds transition lifetime (default 30s).
 	DrainTimeout time.Duration
+	// Recorder receives reconfiguration events (plan applies, SWITCH sends,
+	// drains). Nil records nothing; the publish hot path is untouched either
+	// way — only control actions are recorded.
+	Recorder *trace.Recorder
+	// Logger receives structured dispatcher logs. Nil discards.
+	Logger *slog.Logger
 }
 
 // New creates and starts a dispatcher: it registers as a broker observer and
@@ -73,6 +84,9 @@ func New(opts Options) (*Dispatcher, error) {
 		localBroker: opts.Broker,
 		fwd:         opts.Forwarder,
 		clk:         opts.Clock,
+		self:        opts.Self,
+		rec:         opts.Recorder,
+		log:         trace.Component(opts.Logger, "dispatcher"),
 		core:        NewCore(opts.Self, opts.Node, opts.Initial, opts.DrainTimeout),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
@@ -106,6 +120,8 @@ func (d *Dispatcher) ApplyPlan(p *plan.Plan) {
 	d.mu.Lock()
 	actions := d.core.OnPlan(p, d.clk.Now())
 	d.mu.Unlock()
+	d.rec.Record(trace.KindPlanApply, p.Version, d.self, "", 0, int64(len(actions)))
+	d.log.Info("plan applied", slog.Uint64("plan", p.Version), slog.Int("actions", len(actions)))
 	d.execute(actions)
 }
 
@@ -191,6 +207,15 @@ func isOwnSession(session string) bool {
 
 func (d *Dispatcher) execute(actions []Action) {
 	for _, a := range actions {
+		// Record the control-plane actions only: SWITCH notifications and
+		// drain handoffs. Forwarded data publications stay untouched — they
+		// are the hot path.
+		switch a.Env.Type {
+		case message.TypeSwitch:
+			d.rec.Record(trace.KindSwitchSend, a.Env.PlanVersion, a.Channel, "", 0, int64(len(a.Env.Servers)))
+		case message.TypeDrained:
+			d.rec.Record(trace.KindDrained, a.Env.PlanVersion, a.Channel, "", 0, 0)
+		}
 		payload := a.Env.Marshal()
 		switch a.Kind {
 		case ActionPublishLocal:

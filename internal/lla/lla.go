@@ -19,6 +19,7 @@ package lla
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/broker"
 	"github.com/dynamoth/dynamoth/internal/clock"
 	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/trace"
 )
 
 // ChannelStats is one channel's load during one time unit.
@@ -220,6 +222,9 @@ type Config struct {
 	ReportEvery time.Duration
 	// Clock provides time (default: real clock).
 	Clock clock.Clock
+	// Logger receives structured LLA logs (one debug line per emitted
+	// report). Nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -242,6 +247,7 @@ func (c *Config) fillDefaults() {
 type Analyzer struct {
 	cfg   Config
 	accum *Accumulator
+	log   *slog.Logger
 
 	mu         sync.Mutex
 	pending    []UnitStats
@@ -274,6 +280,7 @@ func NewAnalyzer(cfg Config) *Analyzer {
 	return &Analyzer{
 		cfg:          cfg,
 		accum:        NewAccumulator(),
+		log:          trace.Component(cfg.Logger, "lla"),
 		windowStart:  cfg.Clock.Now(),
 		unitTicker:   cfg.Clock.NewTicker(cfg.Unit),
 		reportTicker: cfg.Clock.NewTicker(cfg.ReportEvery),
@@ -397,5 +404,11 @@ func (an *Analyzer) buildReport() *Report {
 	if an.cfg.MaxDeliveriesPerSec > 0 {
 		r.CPUUtilization = float64(deliveries) / window / an.cfg.MaxDeliveriesPerSec
 	}
+	an.log.Debug("load report",
+		slog.String("server", an.cfg.Server),
+		slog.Uint64("seq", seq),
+		slog.Int("units", len(units)),
+		slog.Float64("measuredBps", r.MeasuredOutgoingBps),
+		slog.Float64("maxBps", r.MaxOutgoingBps))
 	return r
 }

@@ -7,6 +7,13 @@ import (
 	"net/http/pprof"
 )
 
+// Route is an extra admin endpoint mounted by NewAdminMux (e.g. the flight
+// recorder's /debug/events and /debug/rebalances).
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // NewAdminMux builds the node/balancer admin HTTP handler:
 //
 //	/metrics       Prometheus text exposition of reg
@@ -14,9 +21,10 @@ import (
 //	/statusz       JSON from status (plan version, counts, hot channels, …)
 //	/debug/pprof/  the standard Go profiling endpoints
 //
-// status may be nil (/statusz then serves {}). The handlers hold no state of
-// their own; everything renders on request.
-func NewAdminMux(reg *Registry, status func() any) *http.ServeMux {
+// status may be nil (/statusz then serves {}). Extra routes are mounted
+// verbatim after the built-ins. The handlers hold no state of their own;
+// everything renders on request.
+func NewAdminMux(reg *Registry, status func() any, extra ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -45,6 +53,9 @@ func NewAdminMux(reg *Registry, status func() any) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	return mux
 }
 

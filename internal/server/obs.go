@@ -7,6 +7,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/metrics"
 	"github.com/dynamoth/dynamoth/internal/obs"
+	"github.com/dynamoth/dynamoth/internal/trace"
 )
 
 // E2E latency histogram range: 100 µs floor (loopback broker hop) to 30 s
@@ -55,6 +56,11 @@ func (o *latencyObserver) OnUnsubscribe(string, string, int) {}
 // endpoint's /metrics and the cluster scrape helpers.
 func (n *Node) Registry() *obs.Registry { return n.reg }
 
+// Recorder returns the node's flight recorder (nil when the node runs
+// without one), backing the admin /debug/events and /debug/rebalances
+// endpoints.
+func (n *Node) Recorder() *trace.Recorder { return n.rec }
+
 // E2ELatency returns the node's publish→deliver latency histogram (stamped
 // at client publish, observed at broker fan-out).
 func (n *Node) E2ELatency() *metrics.Histogram { return n.e2e }
@@ -63,6 +69,7 @@ func (n *Node) E2ELatency() *metrics.Histogram { return n.e2e }
 type Status struct {
 	Server      string            `json:"server"`
 	PlanVersion uint64            `json:"planVersion"`
+	PlanServers []string          `json:"planServers"`
 	Sessions    int               `json:"sessions"`
 	Channels    int               `json:"channels"`
 	Published   uint64            `json:"published"`
@@ -95,9 +102,15 @@ func summarize(h *metrics.Histogram) LatencySummary {
 // over the window since the previous Status call.
 func (n *Node) Status() any {
 	st := n.Broker.Stats()
+	p := n.Dispatcher.Plan()
+	servers := make([]string, 0, len(p.Servers))
+	for _, s := range p.Servers {
+		servers = append(servers, string(s))
+	}
 	return Status{
 		Server:      string(n.ID),
-		PlanVersion: n.Dispatcher.Plan().Version,
+		PlanVersion: p.Version,
+		PlanServers: servers,
 		Sessions:    st.Sessions,
 		Channels:    st.Channels,
 		Published:   st.Published,
@@ -133,5 +146,8 @@ func (n *Node) buildRegistry() {
 	r.Histogram("dynamoth_e2e_latency_seconds",
 		"Publish-to-deliver latency: stamped at client publish, observed at broker fan-out.",
 		n.e2e, 0.5, 0.99, 0.999)
+	// Derived reconfiguration families from the node's flight recorder
+	// (no-op when the node runs without one).
+	n.rec.RegisterMetrics(r)
 	n.reg = r
 }

@@ -6,6 +6,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/metrics"
 	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/trace"
 )
 
 // Options configures a Node.
@@ -43,6 +45,13 @@ type Options struct {
 	// PublishReports, when true (the default for cluster nodes), pumps
 	// LLA reports onto the local ReportChannel for the load balancer.
 	PublishReports bool
+	// Recorder receives the node's reconfiguration events (plan applies,
+	// SWITCH sends, drains) and backs its /debug/events endpoint. Nil
+	// records nothing.
+	Recorder *trace.Recorder
+	// Logger receives structured node logs (component-tagged per
+	// subsystem). Nil discards.
+	Logger *slog.Logger
 }
 
 // Node is one pub/sub server machine: broker + LLA + dispatcher, plus the
@@ -57,6 +66,8 @@ type Node struct {
 	reg  *obs.Registry
 	topk *obs.TopK
 	e2e  *metrics.Histogram
+	rec  *trace.Recorder
+	log  *slog.Logger
 
 	gen  *message.Generator
 	stop chan struct{}
@@ -78,6 +89,7 @@ func New(opts Options) (*Node, error) {
 		Unit:           opts.Unit,
 		ReportEvery:    opts.ReportEvery,
 		Clock:          opts.Clock,
+		Logger:         opts.Logger,
 	})
 	b.AddObserver(analyzer)
 	analyzer.Start()
@@ -90,6 +102,8 @@ func New(opts Options) (*Node, error) {
 		Forwarder:    opts.Forwarder,
 		Clock:        opts.Clock,
 		DrainTimeout: opts.DrainTimeout,
+		Recorder:     opts.Recorder,
+		Logger:       opts.Logger,
 	})
 	if err != nil {
 		analyzer.Stop()
@@ -104,6 +118,8 @@ func New(opts Options) (*Node, error) {
 		Dispatcher: disp,
 		topk:       obs.NewTopK(-1, opts.Clock.Now),
 		e2e:        newE2EHistogram(),
+		rec:        opts.Recorder,
+		log:        trace.Component(opts.Logger, "server"),
 		gen:        message.NewGenerator(opts.NodeNum),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+	"os"
+)
+
+// nopHandler is a slog handler that drops everything. (slog.DiscardHandler
+// arrived in Go 1.24; this module targets 1.22.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var discard = slog.New(nopHandler{})
+
+// DiscardLogger returns a logger that drops all records. Components use it
+// as the default so instrumentation never needs nil checks.
+func DiscardLogger() *slog.Logger { return discard }
+
+// Component tags a logger with its emitting component. A nil base returns
+// the discard logger, so callers can pass options through unchecked.
+func Component(base *slog.Logger, name string) *slog.Logger {
+	if base == nil {
+		return discard
+	}
+	return base.With(slog.String("component", name))
+}
+
+// ParseLevel parses a -log-level flag value ("debug", "info", "warn",
+// "error", or slog's LEVEL±offset forms).
+func ParseLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	err := lvl.UnmarshalText([]byte(s))
+	return lvl, err
+}
+
+// NewStderrLogger builds the binaries' standard logger: text-formatted
+// slog on stderr at the given level.
+func NewStderrLogger(level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+}

@@ -2,12 +2,14 @@ package dynamoth_test
 
 import (
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	dynamoth "github.com/dynamoth/dynamoth"
 	"github.com/dynamoth/dynamoth/internal/broker"
 	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 )
 
@@ -111,6 +113,17 @@ func TestClientPipelineSwitchOverlapDedup(t *testing.T) {
 		case <-quiet:
 			if d := c.Stats().Duplicates; d != 1 {
 				t.Fatalf("Duplicates=%d, want 1", d)
+			}
+			// The switch opened a dedup window, so the duplicate is not just
+			// dropped — it is accounted to the migration, both in Stats and in
+			// the exported dynamoth_client_duplicates_suppressed_total family.
+			if s := c.Stats().DuplicatesSuppressed; s != 1 {
+				t.Fatalf("DuplicatesSuppressed=%d, want 1", s)
+			}
+			reg := obs.NewRegistry()
+			c.RegisterMetrics(reg)
+			if text := reg.String(); !strings.Contains(text, "dynamoth_client_duplicates_suppressed_total 1") {
+				t.Fatalf("exposition missing suppressed counter:\n%s", text)
 			}
 			return
 		}

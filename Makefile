@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos obs bench experiments examples vet clean
+.PHONY: all build test test-short race chaos obs conns bench experiments examples vet clean
 
 all: vet test
 
@@ -35,6 +35,16 @@ obs:
 	$(GO) test -race -run 'Obs|Metrics|Scrape|Admin|TopK|Exposition|Stamp|Quantile|Trace|Events|Timeline|Tail' ./...
 	$(GO) test -race ./internal/trace/
 	$(GO) test -run TestAdminEndpointIntegration ./cmd/dynamoth-node/
+
+# Connection-scale suite: both connection cores' protocol/churn/shutdown
+# tests under the race detector, then a reduced-scale run of the C100k
+# harness (real dynamoth-node subprocess, multiplexed epoll load driver;
+# writes BENCH_conns.json). Linux-only — the reactor runs are skipped
+# elsewhere. CONNS overrides the target count.
+CONNS ?= 5000
+conns:
+	$(GO) test -race -run 'ConnCore|Reactor|FDTable|ConnBench' ./internal/broker/ ./internal/workload/
+	$(GO) run ./cmd/experiments -run conns -conns $(CONNS)
 
 # Reduced-scale figure benches + substrate microbenches.
 bench:

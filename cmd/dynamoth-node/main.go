@@ -16,13 +16,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"github.com/dynamoth/dynamoth/internal/broker"
 	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/server"
@@ -67,6 +67,8 @@ func run() error {
 		dialTO  = flag.Duration("dial-timeout", 5*time.Second, "deadline for dialing peer nodes (forwarding)")
 		admin   = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof, /debug/events, /debug/rebalances (empty = disabled)")
 		logLvl  = flag.String("log-level", "warn", "structured log level on stderr (debug, info, warn, error)")
+		ccore   = flag.String("conn-core", "auto", "connection core: auto (reactor where available), goroutine, or reactor")
+		reuse   = flag.Bool("reuseport", false, "set SO_REUSEPORT on the RESP listener (linux; lets several nodes share one address)")
 	)
 	flag.Var(peers, "peer", "peer node as id=host:port (repeatable)")
 	flag.Parse()
@@ -75,6 +77,13 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("parsing -log-level: %w", err)
 	}
+	core, err := broker.ParseConnCore(*ccore)
+	if err != nil {
+		return fmt.Errorf("parsing -conn-core: %w", err)
+	}
+	// Best-effort: lift the fd soft limit toward the hard limit so the
+	// reactor's connection budget is the machine's, not the shell's default.
+	transport.RaiseFDLimit(0) //nolint:errcheck
 	logger := trace.NewStderrLogger(level)
 	rec := trace.NewRecorder(0)
 
@@ -99,17 +108,19 @@ func run() error {
 		PublishReports: true,
 		Recorder:       rec,
 		Logger:         logger,
+		ConnCore:       core,
 	})
 	if err != nil {
 		return err
 	}
 	defer n.Close()
 
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := transport.Listen(*listen, transport.ListenConfig{ReusePort: *reuse})
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *listen, err)
 	}
-	fmt.Printf("dynamoth-node %s serving RESP on %s (peers: %s)\n", *id, ln.Addr(), peers.String())
+	fmt.Printf("dynamoth-node %s serving RESP on %s (conn-core: %s, peers: %s)\n",
+		*id, ln.Addr(), n.ConnCore(), peers.String())
 
 	if *admin != "" {
 		srv, aln, err := obs.Serve(*admin, obs.NewAdminMux(n.Registry(), n.Status,

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/workload"
+)
+
+// runConns is the C100k harness: it boots a real dynamoth-node subprocess,
+// rams it with multiplexed connections from this process's epoll driver, and
+// writes BENCH_conns.json comparing the reactor core at the largest
+// achievable scale against the goroutine core at 10k. Connection counts are
+// capped by RLIMIT_NOFILE on both sides of the socket (driver and server are
+// separate processes, each paying one fd per connection); the JSON reports
+// target vs achieved vs the fd limit so a capped run is never mistaken for a
+// sustained one.
+func runConns(target int) error {
+	fmt.Println("=== C100k — connection-scale harness (reactor vs goroutine core) ===")
+	fmt.Printf("target %d connections; driver and server fd limits cap the achievable count\n\n", target)
+
+	binDir, err := os.MkdirTemp("", "dynamoth-conns-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(binDir)
+	nodeBin := filepath.Join(binDir, "dynamoth-node")
+	build := exec.Command("go", "build", "-o", nodeBin, "./cmd/dynamoth-node")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building dynamoth-node: %w", err)
+	}
+
+	reactor, err := runConnsCore(nodeBin, "reactor", target)
+	if err != nil {
+		return fmt.Errorf("reactor run: %w", err)
+	}
+	goroutineTarget := min(10_000, target)
+	goroutine, err := runConnsCore(nodeBin, "goroutine", goroutineTarget)
+	if err != nil {
+		return fmt.Errorf("goroutine run: %w", err)
+	}
+
+	out := map[string]any{
+		"description": "Connection-scale harness: a multiplexed epoll load driver (one process, " +
+			"fd-indexed sockets, pipelined nonblocking connects) holds subscriber connections " +
+			"against a real dynamoth-node subprocess under publish traffic and subscription churn. " +
+			"'reactor' is the sharded epoll connection core at the largest fd-budget-achievable " +
+			"scale; 'goroutine' is the portable goroutine-per-connection core at 10k for the " +
+			"per-connection memory contrast. bytesPerConn is server RSS growth divided by held " +
+			"connections; deliveryP99Us is publish-stamp-to-driver-receipt during churn.",
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"environment": map[string]any{
+			"note": "fd-limited container: RLIMIT_NOFILE hard cap bounds both processes; " +
+				"achieved < target means the fd budget, not the broker, was the ceiling",
+		},
+		"reactor":   reactor,
+		"goroutine": goroutine,
+	}
+	if reactor.Driver.Achieved > 0 && goroutine.Driver.Achieved > 0 &&
+		goroutine.BytesPerConn > 0 && reactor.BytesPerConn > 0 {
+		out["bytesPerConnRatio"] = goroutine.BytesPerConn / reactor.BytesPerConn
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_conns.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_conns.json")
+	return nil
+}
+
+// connsCoreResult is one core's harness outcome.
+type connsCoreResult struct {
+	Core   string                    `json:"core"`
+	Driver *workload.ConnBenchResult `json:"driver"`
+	// Server-side figures: RSS before the ramp, at full connection count,
+	// and the growth divided across connections.
+	ServerRSSBaseKB int64   `json:"serverRssBaseKb"`
+	ServerRSSPeakKB int64   `json:"serverRssPeakKb"`
+	BytesPerConn    float64 `json:"bytesPerConn"`
+	// Scraped broker counters: MetricsAtPeak with every connection still
+	// held (the conns gauge is meaningful there), Metrics after the window
+	// and driver teardown (the counters' final values; epoll families are
+	// 0 on the goroutine core).
+	MetricsAtPeak map[string]float64 `json:"metricsAtPeak"`
+	Metrics       map[string]float64 `json:"metrics"`
+}
+
+// runConnsCore boots one node with the given core and drives it.
+func runConnsCore(nodeBin, core string, target int) (*connsCoreResult, error) {
+	fmt.Printf("--- core=%s target=%d ---\n", core, target)
+	// The bootstrap plan's server set must contain the node's own ID:
+	// otherwise every bench.* subscribe is "wrong" under the plan and the
+	// dispatcher floods subscribers with SWITCH envelopes.
+	cmd := exec.Command(nodeBin,
+		"-id", "bench",
+		"-servers", "bench",
+		"-listen", "127.0.0.1:0",
+		"-admin-addr", "127.0.0.1:0",
+		"-conn-core", core,
+		"-log-level", "error")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+	}()
+
+	respAddr, adminAddr, err := parseNodeBanner(stdout)
+	if err != nil {
+		return nil, err
+	}
+	go io.Copy(io.Discard, stdout) //nolint:errcheck // keep the pipe drained
+
+	res := &connsCoreResult{Core: core}
+	res.ServerRSSBaseKB = readRSSKB(cmd.Process.Pid)
+
+	// Spread client sockets over extra loopback IPs past the ~28k
+	// ephemeral-port ceiling of a single (src,dst) pair.
+	var srcs []string
+	for i := 0; i <= target/20_000; i++ {
+		srcs = append(srcs, fmt.Sprintf("127.0.0.%d", i+2))
+	}
+
+	res.Driver, err = workload.RunConnBench(workload.ConnBenchOptions{
+		Addr:      respAddr,
+		SourceIPs: srcs,
+		Conns:     target,
+		OnEstablished: func(achieved int) {
+			res.ServerRSSPeakKB = readRSSKB(cmd.Process.Pid)
+			res.MetricsAtPeak = scrapeConnMetrics(adminAddr)
+			fmt.Printf("established %d conns; server RSS %d KB → %d KB\n",
+				achieved, res.ServerRSSBaseKB, res.ServerRSSPeakKB)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Driver.Achieved > 0 && res.ServerRSSPeakKB > res.ServerRSSBaseKB {
+		res.BytesPerConn = float64(res.ServerRSSPeakKB-res.ServerRSSBaseKB) * 1024 / float64(res.Driver.Achieved)
+	}
+	res.Metrics = scrapeConnMetrics(adminAddr)
+
+	fmt.Printf("achieved=%d (fd limit %d)  connect=%.0f conns/s  delivered=%d  churn=%d  p50=%.0fµs p99=%.0fµs  bytes/conn=%.0f\n\n",
+		res.Driver.Achieved, res.Driver.FDLimit, res.Driver.ConnsPerSec,
+		res.Driver.Delivered, res.Driver.ChurnOps,
+		res.Driver.DeliveryP50us, res.Driver.DeliveryP99us, res.BytesPerConn)
+	return res, nil
+}
+
+// parseNodeBanner extracts the RESP and admin addresses from the node's
+// startup lines.
+func parseNodeBanner(r io.Reader) (resp, admin string, err error) {
+	sc := bufio.NewScanner(r)
+	deadline := time.Now().Add(15 * time.Second)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "serving RESP on "); i >= 0 {
+			rest := line[i+len("serving RESP on "):]
+			resp = strings.Fields(rest)[0]
+		}
+		if i := strings.Index(line, "admin http on "); i >= 0 {
+			admin = strings.TrimSpace(line[i+len("admin http on "):])
+		}
+		if resp != "" && admin != "" {
+			return resp, admin, nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	return "", "", fmt.Errorf("node banner not found (resp=%q admin=%q)", resp, admin)
+}
+
+// readRSSKB reads VmRSS from /proc/<pid>/status (0 if unavailable).
+func readRSSKB(pid int) int64 {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmRSS:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				kb, _ := strconv.ParseInt(fields[0], 10, 64)
+				return kb
+			}
+		}
+	}
+	return 0
+}
+
+// scrapeConnMetrics pulls the connection-layer families off /metrics.
+func scrapeConnMetrics(adminAddr string) map[string]float64 {
+	out := map[string]float64{}
+	resp, err := http.Get("http://" + adminAddr + "/metrics")
+	if err != nil {
+		return out
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "dynamoth_broker_conn") &&
+			!strings.HasPrefix(line, "dynamoth_broker_epoll") &&
+			!strings.HasPrefix(line, "dynamoth_broker_bytes") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			out[fields[0]] = v
+		}
+	}
+	return out
+}

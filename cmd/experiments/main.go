@@ -28,9 +28,10 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "fig4a|fig4b|fig5|fig6|fig7|all")
+		run   = flag.String("run", "all", "fig4a|fig4b|fig5|fig6|fig7|conns|all")
 		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
+		conns = flag.Int("conns", 100_000, "target connection count for -run conns")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 4 {
@@ -52,6 +53,11 @@ func main() {
 		runFig7(*scale, *seed)
 	case "ablation":
 		runAblations(*seed)
+	case "conns":
+		if err := runConns(*conns); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: conns:", err)
+			os.Exit(1)
+		}
 	case "all":
 		runFig4a(*scale, *seed)
 		runFig4b(*scale, *seed)

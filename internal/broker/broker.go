@@ -61,6 +61,22 @@ type BatchSink interface {
 	FlushDeliveries()
 }
 
+// EnqueueSink is implemented by sinks that do their own output queueing and
+// flushing — the event-loop connection core's sessions, whose pending bytes
+// live in a per-connection write buffer flushed by a shard goroutine.
+// Sessions whose sink implements EnqueueSink get NO writer goroutine: Publish
+// enqueues straight into the sink, so per-session cost is one buffer, not a
+// parked goroutine plus a channel. Enqueue must not block; returning false
+// signals the session's buffer is full (slow consumer) and the broker
+// disconnects it, exactly like an output-channel overflow.
+type EnqueueSink interface {
+	Sink
+	// Enqueue queues one delivery without blocking. pattern is non-empty
+	// for pattern-subscription matches. It reports false when the session's
+	// output buffer is over its limit.
+	Enqueue(channel, pattern string, payload []byte) bool
+}
+
 // Observer sees broker events. Used by the local load analyzer. Callbacks
 // run synchronously on the publishing/subscribing goroutine and must be
 // cheap and non-blocking.
@@ -235,10 +251,16 @@ func (b *Broker) Connect(name string, sink Sink) (*Session, error) {
 		name:   name,
 		sink:   sink,
 		batch:  b.writeBatch,
-		out:    make(chan delivery, b.outBuffer),
 		done:   make(chan struct{}),
 		subs:   make(map[string]struct{}),
 		psubs:  make(map[string]struct{}),
+	}
+	if es, ok := sink.(EnqueueSink); ok {
+		// Event-loop session: the sink buffers and a shard flushes; no
+		// output channel, no writer goroutine.
+		s.enq = es
+	} else {
+		s.out = make(chan delivery, b.outBuffer)
 	}
 	b.mu.Lock()
 	if b.closed.Load() {
@@ -247,7 +269,9 @@ func (b *Broker) Connect(name string, sink Sink) (*Session, error) {
 	}
 	b.sessions[s] = struct{}{}
 	b.mu.Unlock()
-	go s.writer()
+	if s.enq == nil {
+		go s.writer()
+	}
 	return s, nil
 }
 
@@ -312,6 +336,16 @@ func (b *Broker) Publish(channel string, payload []byte) int {
 		s := ts[i].s
 		if s.closed.Load() {
 			continue // session is gone; skip
+		}
+		if s.enq != nil {
+			// Event-loop session: enqueue straight into the sink's write
+			// buffer; the owning shard flushes coalesced.
+			if s.enq.Enqueue(channel, ts[i].pattern, payload) {
+				delivered++
+			} else {
+				overflowed = append(overflowed, s)
+			}
+			continue
 		}
 		d.pattern = ts[i].pattern
 		select {
@@ -464,7 +498,8 @@ type Session struct {
 	name   string
 	sink   Sink
 	batch  int
-	out    chan delivery
+	out    chan delivery // nil for EnqueueSink sessions
+	enq    EnqueueSink   // non-nil when the sink queues for itself
 
 	mu    sync.Mutex
 	subs  map[string]struct{}
@@ -672,6 +707,17 @@ func (s *Session) Subscriptions() []string {
 
 // Close terminates the session gracefully.
 func (s *Session) Close() { s.close(ErrSessionClosed) }
+
+// CloseReason returns why the session ended (ErrSlowConsumer,
+// ErrBrokerClosed, ErrSessionClosed, …), or nil while it is still open.
+func (s *Session) CloseReason() error {
+	select {
+	case <-s.done:
+		return s.reason
+	default:
+		return nil
+	}
+}
 
 func (s *Session) close(reason error) {
 	first := false

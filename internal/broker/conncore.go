@@ -1,0 +1,281 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ConnCore selects the broker's connection-serving implementation.
+//
+// The goroutine core is the portable baseline: one reader goroutine plus one
+// session-writer goroutine and a buffered output channel per connection. It
+// is simple and fast at thousands of connections but its per-connection
+// memory (two goroutine stacks, two 16 KiB bufio buffers, an output channel)
+// tops out far below the subscriber populations a single Dynamoth broker is
+// supposed to absorb before the LB rebalances.
+//
+// The reactor core (linux) replaces all of that with N event-loop shards:
+// each shard owns an epoll instance, an fd-indexed session table, a shared
+// read buffer feeding the incremental RESP parser, and a write-flush cycle
+// that coalesces deliveries per shard pass — so memory and wakeups scale
+// with *active* sockets, not total sockets.
+type ConnCore uint8
+
+const (
+	// CoreAuto selects CoreReactor where available (linux) and falls back
+	// to CoreGoroutine elsewhere.
+	CoreAuto ConnCore = iota
+	// CoreGoroutine is the portable goroutine-per-connection core — the
+	// default on non-Linux builds.
+	CoreGoroutine
+	// CoreReactor is the sharded epoll event-loop core (Linux only).
+	CoreReactor
+)
+
+// ErrReactorUnavailable is returned by Serve when CoreReactor is requested
+// on a platform without epoll support.
+var ErrReactorUnavailable = errors.New("broker: reactor core unavailable on this platform")
+
+// String names the core ("auto", "goroutine", "reactor").
+func (c ConnCore) String() string {
+	switch c {
+	case CoreGoroutine:
+		return "goroutine"
+	case CoreReactor:
+		return "reactor"
+	default:
+		return "auto"
+	}
+}
+
+// ParseConnCore resolves a core name as accepted by the -conn-core flag.
+func ParseConnCore(s string) (ConnCore, error) {
+	switch s {
+	case "auto", "":
+		return CoreAuto, nil
+	case "goroutine":
+		return CoreGoroutine, nil
+	case "reactor":
+		return CoreReactor, nil
+	default:
+		return CoreAuto, fmt.Errorf("broker: unknown connection core %q (want auto, goroutine, or reactor)", s)
+	}
+}
+
+// ConnObserver sees connection-layer events. Callbacks run on hot paths
+// (accept loop, publish fan-out) and must be cheap and non-blocking; the
+// server layer uses one to emit flight-recorder events.
+type ConnObserver interface {
+	// OnAccept fires when a connection is accepted; addr is the remote.
+	OnAccept(addr string)
+	// OnConnClose fires when a connection is torn down. reason is nil for
+	// an ordinary peer disconnect.
+	OnConnClose(addr string, reason error)
+	// OnBackpressure fires when a session is about to be disconnected
+	// because its output buffer is over its limit; buffered is the pending
+	// byte count (-1 when the core tracks messages, not bytes).
+	OnBackpressure(addr string, buffered int)
+}
+
+// Serving defaults.
+const (
+	// DefaultReadBuffer is the per-shard read buffer: big enough to drain
+	// a burst of pipelined commands in one syscall.
+	DefaultReadBuffer = 64 << 10
+	// DefaultWriteBufferLimit is the per-session pending-output cap in
+	// bytes for the reactor core; a session exceeding it is disconnected
+	// as a slow consumer (client-output-buffer-limit behavior).
+	DefaultWriteBufferLimit = 1 << 20
+	// wbufRetain is the largest write-buffer capacity a reactor session
+	// keeps after a full flush; larger bursts release their memory so idle
+	// connections return to a small footprint.
+	wbufRetain = 64 << 10
+)
+
+// ServeOptions configures a ConnServer.
+type ServeOptions struct {
+	// Core selects the connection implementation (default CoreAuto).
+	Core ConnCore
+	// Shards is the reactor's event-loop count; non-positive selects
+	// GOMAXPROCS.
+	Shards int
+	// ReadBuffer is the per-shard read buffer size in bytes; non-positive
+	// selects DefaultReadBuffer.
+	ReadBuffer int
+	// WriteBufferLimit is the reactor's per-session pending-output cap in
+	// bytes; non-positive selects DefaultWriteBufferLimit.
+	WriteBufferLimit int
+	// Observer receives connection lifecycle events (may be nil).
+	Observer ConnObserver
+}
+
+// ConnStats is a snapshot of connection-layer counters.
+type ConnStats struct {
+	// Core is the resolved core name.
+	Core string
+	// Conns is the number of currently open connections.
+	Conns int64
+	// Accepts and Closes count connection lifecycle events.
+	Accepts, Closes uint64
+	// Backpressure counts sessions disconnected for output overflow.
+	Backpressure uint64
+	// BytesIn and BytesOut count wire bytes.
+	BytesIn, BytesOut uint64
+	// EpollWakeups counts epoll_wait returns across shards (reactor only).
+	EpollWakeups uint64
+	// EpollEvents counts epoll events dispatched (reactor only).
+	EpollEvents uint64
+	// EpollWrites counts flush write syscalls (reactor only); deliveries
+	// divided by this is the write-coalescing factor.
+	EpollWrites uint64
+}
+
+// ConnServer serves a broker's RESP protocol over TCP with a selectable
+// connection core. One ConnServer serves one listener; Stats exposes the
+// counters the node exports as dynamoth_broker_conn_*/epoll_* metrics.
+type ConnServer struct {
+	b    *Broker
+	opts ServeOptions
+	core ConnCore // resolved: CoreGoroutine or CoreReactor
+
+	conns        atomic.Int64
+	accepts      atomic.Uint64
+	closes       atomic.Uint64
+	backpressure atomic.Uint64
+	bytesIn      atomic.Uint64
+	bytesOut     atomic.Uint64
+	epollWakeups atomic.Uint64
+	epollEvents  atomic.Uint64
+	epollWrites  atomic.Uint64
+}
+
+// NewConnServer builds a connection server for b. CoreAuto resolves to the
+// reactor where available.
+func NewConnServer(b *Broker, opts ServeOptions) *ConnServer {
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.ReadBuffer <= 0 {
+		opts.ReadBuffer = DefaultReadBuffer
+	}
+	if opts.WriteBufferLimit <= 0 {
+		opts.WriteBufferLimit = DefaultWriteBufferLimit
+	}
+	core := opts.Core
+	if core == CoreAuto {
+		if ReactorAvailable() {
+			core = CoreReactor
+		} else {
+			core = CoreGoroutine
+		}
+	}
+	return &ConnServer{b: b, opts: opts, core: core}
+}
+
+// Core returns the resolved connection core.
+func (cs *ConnServer) Core() ConnCore { return cs.core }
+
+// Stats snapshots the connection counters.
+func (cs *ConnServer) Stats() ConnStats {
+	return ConnStats{
+		Core:         cs.core.String(),
+		Conns:        cs.conns.Load(),
+		Accepts:      cs.accepts.Load(),
+		Closes:       cs.closes.Load(),
+		Backpressure: cs.backpressure.Load(),
+		BytesIn:      cs.bytesIn.Load(),
+		BytesOut:     cs.bytesOut.Load(),
+		EpollWakeups: cs.epollWakeups.Load(),
+		EpollEvents:  cs.epollEvents.Load(),
+		EpollWrites:  cs.epollWrites.Load(),
+	}
+}
+
+// Serve accepts and serves connections on ln until the listener is closed.
+// It returns the accept error (wrapping net.ErrClosed on clean shutdown).
+// With the reactor core, any connections still open when the listener closes
+// are torn down before Serve returns; the goroutine core, like the previous
+// per-connection implementation, leaves them to the broker's Close.
+func (cs *ConnServer) Serve(ln net.Listener) error {
+	if cs.core == CoreReactor {
+		return cs.serveReactor(ln)
+	}
+	return cs.serveGoroutine(ln)
+}
+
+// serveGoroutine is the portable goroutine-per-connection core.
+func (cs *ConnServer) serveGoroutine(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("broker: accept: %w", err)
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			// Explicit, even though Go defaults to it: delivery latency
+			// must never ride on Nagle coalescing (the broker already
+			// batches writes itself).
+			tc.SetNoDelay(true) //nolint:errcheck // best-effort
+		}
+		addr := conn.RemoteAddr().String()
+		cs.accepts.Add(1)
+		cs.conns.Add(1)
+		if cs.opts.Observer != nil {
+			cs.opts.Observer.OnAccept(addr)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reason := serveConn(&countingConn{Conn: conn, in: &cs.bytesIn, out: &cs.bytesOut}, cs.b)
+			cs.conns.Add(-1)
+			cs.closes.Add(1)
+			if errors.Is(reason, ErrSlowConsumer) {
+				cs.backpressure.Add(1)
+				if cs.opts.Observer != nil {
+					cs.opts.Observer.OnBackpressure(addr, -1)
+				}
+			}
+			if cs.opts.Observer != nil {
+				cs.opts.Observer.OnConnClose(addr, reason)
+			}
+		}()
+	}
+}
+
+// countingConn counts wire bytes around a net.Conn.
+type countingConn struct {
+	net.Conn
+	in, out *atomic.Uint64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(uint64(n))
+	return n, err
+}
+
+// Serve accepts connections on ln and serves the Redis pub/sub protocol
+// against b until the listener is closed or the broker shuts down, using the
+// portable goroutine-per-connection core. It returns the listener's accept
+// error (net.ErrClosed on clean shutdown). Use NewConnServer to select the
+// event-loop reactor core instead.
+//
+// Supported commands: SUBSCRIBE, UNSUBSCRIBE, PSUBSCRIBE, PUNSUBSCRIBE,
+// PUBLISH, PING, ECHO, INFO, QUIT. Push messages use the standard
+// ["message", channel, payload] and ["pmessage", pattern, channel, payload]
+// frames, subscription confirmations ["subscribe"/"unsubscribe"/
+// "psubscribe"/"punsubscribe", name, count].
+func Serve(ln net.Listener, b *Broker) error {
+	return NewConnServer(b, ServeOptions{Core: CoreGoroutine}).Serve(ln)
+}

@@ -1,0 +1,411 @@
+package broker
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/resp"
+)
+
+// testCores lists the connection cores to exercise on this platform.
+func testCores() []ConnCore {
+	cores := []ConnCore{CoreGoroutine}
+	if ReactorAvailable() {
+		cores = append(cores, CoreReactor)
+	}
+	return cores
+}
+
+// startCore serves a fresh broker on a loopback listener with the given
+// connection core and returns the address plus the live handles.
+func startCore(t *testing.T, bopts Options, sopts ServeOptions) (string, *Broker, *ConnServer) {
+	t.Helper()
+	if bopts.Name == "" {
+		bopts.Name = "core-test"
+	}
+	b := New(bopts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConnServer(b, sopts)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cs.Serve(ln) //nolint:errcheck // returns on listener close
+	}()
+	t.Cleanup(func() {
+		b.Close()
+		ln.Close()
+		<-done
+	})
+	return ln.Addr().String(), b, cs
+}
+
+// TestConnCoresProtocol runs the full command surface against every core so
+// the reactor and goroutine paths stay wire-identical.
+func TestConnCoresProtocol(t *testing.T) {
+	for _, core := range testCores() {
+		t.Run(core.String(), func(t *testing.T) {
+			addr, _, cs := startCore(t, Options{}, ServeOptions{Core: core})
+			if cs.Core() != core {
+				t.Fatalf("resolved core %v, want %v", cs.Core(), core)
+			}
+
+			c := dialRESP(t, addr)
+			if v := c.cmd(t, "PING"); v.Kind != resp.KindSimpleString || string(v.Str) != "PONG" {
+				t.Fatalf("PING => %+v", v)
+			}
+			if v := c.cmd(t, "ECHO", "hello"); v.Kind != resp.KindBulkString || string(v.Str) != "hello" {
+				t.Fatalf("ECHO => %+v", v)
+			}
+			if v := c.cmd(t, "NOPE"); v.Kind != resp.KindError || !strings.Contains(string(v.Str), "unknown command") {
+				t.Fatalf("unknown => %+v", v)
+			}
+
+			sub := dialRESP(t, addr)
+			ack := sub.cmd(t, "SUBSCRIBE", "news")
+			if ack.Kind != resp.KindArray || string(ack.Array[0].Str) != "subscribe" || ack.Array[2].Int != 1 {
+				t.Fatalf("subscribe ack %+v", ack)
+			}
+			pack := sub.cmd(t, "PSUBSCRIBE", "sport.*")
+			if string(pack.Array[0].Str) != "psubscribe" || pack.Array[2].Int != 2 {
+				t.Fatalf("psubscribe ack %+v", pack)
+			}
+
+			if v := c.cmd(t, "PUBLISH", "news", "breaking"); v.Int != 1 {
+				t.Fatalf("PUBLISH news => %+v", v)
+			}
+			msg := sub.read(t)
+			if string(msg.Array[0].Str) != "message" || string(msg.Array[1].Str) != "news" || string(msg.Array[2].Str) != "breaking" {
+				t.Fatalf("message frame %+v", msg)
+			}
+			if v := c.cmd(t, "PUBLISH", "sport.f1", "lights out"); v.Int != 1 {
+				t.Fatalf("PUBLISH sport.f1 => %+v", v)
+			}
+			pmsg := sub.read(t)
+			if string(pmsg.Array[0].Str) != "pmessage" || string(pmsg.Array[1].Str) != "sport.*" ||
+				string(pmsg.Array[2].Str) != "sport.f1" || string(pmsg.Array[3].Str) != "lights out" {
+				t.Fatalf("pmessage frame %+v", pmsg)
+			}
+
+			if v := sub.cmd(t, "UNSUBSCRIBE", "news"); string(v.Array[0].Str) != "unsubscribe" || v.Array[2].Int != 1 {
+				t.Fatalf("unsubscribe ack %+v", v)
+			}
+			if v := sub.cmd(t, "PUNSUBSCRIBE", "sport.*"); string(v.Array[0].Str) != "punsubscribe" || v.Array[2].Int != 0 {
+				t.Fatalf("punsubscribe ack %+v", v)
+			}
+
+			info := c.cmd(t, "INFO")
+			if info.Kind != resp.KindBulkString || !strings.Contains(string(info.Str), "sessions:") {
+				t.Fatalf("INFO => %+v", info)
+			}
+			if v := c.cmd(t, "QUIT"); string(v.Str) != "OK" {
+				t.Fatalf("QUIT => %+v", v)
+			}
+
+			st := cs.Stats()
+			if st.Core != core.String() || st.Accepts < 2 || st.BytesIn == 0 || st.BytesOut == 0 {
+				t.Fatalf("stats %+v", st)
+			}
+		})
+	}
+}
+
+// TestConnCoresPipelined sends a pipelined burst in one TCP segment and
+// expects every reply — the reactor must parse multiple commands out of one
+// read and coalesce the replies.
+func TestConnCoresPipelined(t *testing.T) {
+	for _, core := range testCores() {
+		t.Run(core.String(), func(t *testing.T) {
+			addr, _, _ := startCore(t, Options{}, ServeOptions{Core: core})
+			c := dialRESP(t, addr)
+
+			const n = 200
+			var burst []byte
+			for i := 0; i < n; i++ {
+				burst = resp.AppendCommandStrings(burst, "ECHO", fmt.Sprintf("m%d", i))
+			}
+			if _, err := c.conn.Write(burst); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				v := c.read(t)
+				if want := fmt.Sprintf("m%d", i); string(v.Str) != want {
+					t.Fatalf("reply %d = %q, want %q", i, v.Str, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConnCoresShutdownNoGoroutineLeak holds live (and subscribed)
+// connections open, shuts the server down, and verifies the goroutine count
+// returns to baseline — the regression guard for writer/reader/shard
+// goroutines outliving the broker.
+func TestConnCoresShutdownNoGoroutineLeak(t *testing.T) {
+	for _, core := range testCores() {
+		t.Run(core.String(), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+
+			b := New(Options{Name: "leak-test"})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := NewConnServer(b, ServeOptions{Core: core})
+			served := make(chan struct{})
+			go func() {
+				defer close(served)
+				cs.Serve(ln) //nolint:errcheck
+			}()
+
+			const conns = 32
+			clients := make([]net.Conn, 0, conns)
+			for i := 0; i < conns; i++ {
+				c := dialRESP(t, ln.Addr().String())
+				if i%2 == 0 {
+					c.cmd(t, "SUBSCRIBE", fmt.Sprintf("ch%d", i))
+				} else {
+					c.cmd(t, "PING")
+				}
+				clients = append(clients, c.conn)
+			}
+
+			// Tear down with clients still connected. Broker close ends every
+			// session; listener close ends the accept/shard loops.
+			b.Close()
+			ln.Close()
+			select {
+			case <-served:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Serve did not return after listener close")
+			}
+			for _, c := range clients {
+				c.Close() //nolint:errcheck
+			}
+
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				runtime.GC()
+				if n := runtime.NumGoroutine(); n <= before+2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					buf := make([]byte, 1<<20)
+					t.Fatalf("goroutines %d > baseline %d after shutdown\n%s",
+						runtime.NumGoroutine(), before, buf[:runtime.Stack(buf, true)])
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestConnCoresSlowConsumer verifies that a subscriber that never reads is
+// disconnected (output overflow) instead of wedging the publisher, and that
+// the backpressure counter records it.
+func TestConnCoresSlowConsumer(t *testing.T) {
+	for _, core := range testCores() {
+		t.Run(core.String(), func(t *testing.T) {
+			// Tiny limits so the overflow trips fast: 16 queued messages for
+			// the goroutine core, 4 KiB pending bytes for the reactor.
+			addr, b, cs := startCore(t,
+				Options{OutputBuffer: 16},
+				ServeOptions{Core: core, WriteBufferLimit: 4 << 10})
+
+			sub := dialRESP(t, addr)
+			sub.cmd(t, "SUBSCRIBE", "firehose")
+			// Stop reading: deliveries pile up server-side.
+
+			payload := make([]byte, 1024)
+			deadline := time.Now().Add(5 * time.Second)
+			for b.Stats().Sessions > 0 {
+				b.Publish("firehose", payload)
+				if time.Now().After(deadline) {
+					t.Fatal("slow consumer was never disconnected")
+				}
+			}
+			if core == CoreReactor && cs.Stats().Backpressure == 0 {
+				t.Fatal("backpressure counter not incremented")
+			}
+		})
+	}
+}
+
+// TestConnCoresObserver checks accept/close observer plumbing on both cores.
+func TestConnCoresObserver(t *testing.T) {
+	for _, core := range testCores() {
+		t.Run(core.String(), func(t *testing.T) {
+			obs := &countingObserver{}
+			addr, _, _ := startCore(t, Options{}, ServeOptions{Core: core, Observer: obs})
+			c := dialRESP(t, addr)
+			c.cmd(t, "PING")
+			c.conn.Close()
+
+			deadline := time.Now().Add(2 * time.Second)
+			for obs.closes.Load() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("observer: accepts=%d closes=%d", obs.accepts.Load(), obs.closes.Load())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if obs.accepts.Load() != 1 {
+				t.Fatalf("accepts = %d, want 1", obs.accepts.Load())
+			}
+		})
+	}
+}
+
+type countingObserver struct {
+	accepts, closes, backpressure atomic.Int64
+}
+
+func (o *countingObserver) OnAccept(string)            { o.accepts.Add(1) }
+func (o *countingObserver) OnConnClose(string, error)  { o.closes.Add(1) }
+func (o *countingObserver) OnBackpressure(string, int) { o.backpressure.Add(1) }
+
+// TestReactorLargeFanout pushes payloads big enough to overrun the kernel
+// socket buffer, exercising the partial-write + EPOLLOUT re-arm path.
+func TestReactorLargeFanout(t *testing.T) {
+	if !ReactorAvailable() {
+		t.Skip("reactor core unavailable")
+	}
+	addr, b, _ := startCore(t, Options{}, ServeOptions{Core: CoreReactor, WriteBufferLimit: 64 << 20})
+
+	sub := dialRESP(t, addr)
+	sub.cmd(t, "SUBSCRIBE", "big")
+
+	payload := make([]byte, 512<<10)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	const msgs = 8
+	go func() {
+		for i := 0; i < msgs; i++ {
+			b.Publish("big", payload)
+		}
+	}()
+	for i := 0; i < msgs; i++ {
+		sub.conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+		v, err := sub.r.ReadValue()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if string(v.Array[0].Str) != "message" || len(v.Array[2].Str) != len(payload) {
+			t.Fatalf("message %d: kind=%s len=%d", i, v.Array[0].Str, len(v.Array[2].Str))
+		}
+		if string(v.Array[2].Str) != string(payload) {
+			t.Fatalf("message %d payload corrupted", i)
+		}
+	}
+}
+
+// TestReactorChurn hammers the reactor with connections subscribing,
+// publishing, and vanishing concurrently.
+func TestReactorChurn(t *testing.T) {
+	if !ReactorAvailable() {
+		t.Skip("reactor core unavailable")
+	}
+	addr, _, cs := startCore(t, Options{}, ServeOptions{Core: CoreReactor})
+
+	const workers = 16
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+				if err != nil {
+					continue
+				}
+				cl := &respClient{conn: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}
+				ch := fmt.Sprintf("churn%d", w%4)
+				cl.cmd(t, "SUBSCRIBE", ch)
+				cl.cmd(t, "PUBLISH", ch, "x") //nolint:errcheck // may race own delivery
+				if i%3 == 0 {
+					cl.w.WriteCommand([]byte("QUIT")) //nolint:errcheck
+					cl.w.Flush()                      //nolint:errcheck
+				}
+				conn.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for cs.Stats().Conns > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("conns stuck at %d after churn", cs.Stats().Conns)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestInfoAppendNoAlloc guards the pooled INFO path: rendering into a
+// pre-grown scratch must not allocate.
+func TestInfoAppendNoAlloc(t *testing.T) {
+	st := Stats{Sessions: 12, Channels: 34, Published: 56, Delivered: 78, Dropped: 9}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = appendInfo(buf[:0], "bench", st)
+	})
+	if allocs != 0 {
+		t.Fatalf("appendInfo allocs = %v, want 0", allocs)
+	}
+	want := "# Server\r\nname:bench\r\n# Stats\r\nsessions:12\r\nchannels:34\r\npublished:56\r\ndelivered:78\r\ndropped:9\r\n"
+	if string(buf) != want {
+		t.Fatalf("appendInfo body:\n%q\nwant:\n%q", buf, want)
+	}
+}
+
+func TestFDTable(t *testing.T) {
+	var tbl fdTable[int]
+	if tbl.get(5) != nil || tbl.get(-1) != nil {
+		t.Fatal("empty table returned entry")
+	}
+	a, b, c := 1, 2, 3
+	tbl.put(5, &a)
+	tbl.put(700, &b)
+	tbl.put(0, &c)
+	if tbl.get(5) != &a || tbl.get(700) != &b || tbl.get(0) != &c {
+		t.Fatal("lookup mismatch")
+	}
+	if tbl.size() != 3 {
+		t.Fatalf("size = %d, want 3", tbl.size())
+	}
+	seen := map[int]bool{}
+	tbl.each(func(fd int, _ *int) { seen[fd] = true })
+	if !seen[5] || !seen[700] || !seen[0] || len(seen) != 3 {
+		t.Fatalf("each visited %v", seen)
+	}
+	tbl.del(5)
+	tbl.del(9999) // no-op
+	if tbl.get(5) != nil || tbl.size() != 2 {
+		t.Fatal("del failed")
+	}
+}
+
+func TestParseConnCore(t *testing.T) {
+	cases := map[string]ConnCore{"": CoreAuto, "auto": CoreAuto, "goroutine": CoreGoroutine, "reactor": CoreReactor}
+	for in, want := range cases {
+		got, err := ParseConnCore(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseConnCore(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseConnCore("bogus"); err == nil {
+		t.Fatal("ParseConnCore accepted bogus")
+	}
+}

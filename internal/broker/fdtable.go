@@ -1,0 +1,60 @@
+package broker
+
+// fdTable is a dense file-descriptor-indexed lookup table — the reactor's
+// replacement for a map[int]*session on the event hot path. File descriptors
+// are small, densely allocated integers, so a flat slice gives O(1) lookups
+// with no hashing and no bucket chasing; it grows geometrically to the
+// highest fd seen and is only ever touched by its owning shard goroutine, so
+// it needs no locking.
+type fdTable[T any] struct {
+	slots []*T
+}
+
+// get returns the entry for fd, or nil when none is registered.
+func (t *fdTable[T]) get(fd int) *T {
+	if fd < 0 || fd >= len(t.slots) {
+		return nil
+	}
+	return t.slots[fd]
+}
+
+// put registers v under fd, growing the table as needed.
+func (t *fdTable[T]) put(fd int, v *T) {
+	if fd >= len(t.slots) {
+		n := len(t.slots)*2 + 64
+		if n <= fd {
+			n = fd + 1
+		}
+		grown := make([]*T, n)
+		copy(grown, t.slots)
+		t.slots = grown
+	}
+	t.slots[fd] = v
+}
+
+// del removes the entry for fd (no-op when absent).
+func (t *fdTable[T]) del(fd int) {
+	if fd >= 0 && fd < len(t.slots) {
+		t.slots[fd] = nil
+	}
+}
+
+// each calls f for every registered entry.
+func (t *fdTable[T]) each(f func(fd int, v *T)) {
+	for fd, v := range t.slots {
+		if v != nil {
+			f(fd, v)
+		}
+	}
+}
+
+// size counts registered entries.
+func (t *fdTable[T]) size() int {
+	n := 0
+	for _, v := range t.slots {
+		if v != nil {
+			n++
+		}
+	}
+	return n
+}

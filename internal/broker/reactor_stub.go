@@ -1,0 +1,13 @@
+//go:build !linux
+
+package broker
+
+import "net"
+
+// ReactorAvailable reports whether the epoll reactor core can run on this
+// platform. Non-Linux builds fall back to the goroutine core.
+func ReactorAvailable() bool { return false }
+
+func (cs *ConnServer) serveReactor(net.Listener) error {
+	return ErrReactorUnavailable
+}

@@ -2,38 +2,25 @@ package broker
 
 import (
 	"errors"
-	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 
 	"github.com/dynamoth/dynamoth/internal/resp"
 )
 
-// Serve accepts connections on ln and serves the Redis pub/sub protocol
-// against b until the listener is closed or the broker shuts down. It
-// returns the listener's accept error (net.ErrClosed on clean shutdown).
-//
-// Supported commands: SUBSCRIBE, UNSUBSCRIBE, PSUBSCRIBE, PUNSUBSCRIBE,
-// PUBLISH, PING, ECHO, INFO, QUIT. Push messages use the standard
-// ["message", channel, payload] and ["pmessage", pattern, channel, payload]
-// frames, subscription confirmations ["subscribe"/"unsubscribe"/
-// "psubscribe"/"punsubscribe", name, count].
-func Serve(ln net.Listener, b *Broker) error {
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return fmt.Errorf("broker: accept: %w", err)
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			serveConn(conn, b)
-		}()
-	}
+// replySink is the command-reply surface shared by both connection cores.
+// The goroutine core's respSink flushes each reply through a per-connection
+// bufio writer; the reactor core's session appends to its pending write
+// buffer and lets the shard flush cycle push it out.
+type replySink interface {
+	writeAck(kind, channel string, count int) error
+	writeSimple(v string) error
+	writeErr(msg string) error
+	writeInt(n int64) error
+	writeBulk(b []byte) error
 }
 
 // respSink bridges broker deliveries onto a RESP connection. Deliver and
@@ -122,13 +109,15 @@ func (s *respSink) Closed(error) {
 	s.conn.Close() //nolint:errcheck // teardown
 }
 
-func serveConn(conn net.Conn, b *Broker) {
+// serveConn runs one goroutine-core connection to completion and returns the
+// reason the session ended (nil for a plain peer disconnect).
+func serveConn(conn net.Conn, b *Broker) error {
 	defer conn.Close() //nolint:errcheck // teardown
 	sink := &respSink{w: resp.NewWriter(conn), conn: conn}
 	session, err := b.Connect(conn.RemoteAddr().String(), sink)
 	if err != nil {
 		sink.writeErr("ERR broker unavailable") //nolint:errcheck
-		return
+		return err
 	}
 	defer session.Close()
 
@@ -136,20 +125,49 @@ func serveConn(conn net.Conn, b *Broker) {
 	for {
 		args, err := r.ReadCommand()
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				sink.writeErr("ERR protocol error") //nolint:errcheck
+			if reason := session.CloseReason(); reason != nil {
+				// The broker ended the session (slow consumer, shutdown);
+				// the read error is just the closed socket.
+				return reason
 			}
-			return
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			sink.writeErr("ERR protocol error") //nolint:errcheck
+			return err
 		}
 		if done := dispatch(b, session, sink, args); done {
-			return
+			return session.CloseReason()
 		}
 	}
 }
 
+// infoPool recycles the INFO reply scratch so admin polling does not
+// allocate on the broker.
+var infoPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// appendInfo renders the INFO body (same shape Redis gives it) into dst.
+func appendInfo(dst []byte, name string, st Stats) []byte {
+	dst = append(dst, "# Server\r\nname:"...)
+	dst = append(dst, name...)
+	dst = append(dst, "\r\n# Stats\r\nsessions:"...)
+	dst = strconv.AppendInt(dst, int64(st.Sessions), 10)
+	dst = append(dst, "\r\nchannels:"...)
+	dst = strconv.AppendInt(dst, int64(st.Channels), 10)
+	dst = append(dst, "\r\npublished:"...)
+	dst = strconv.AppendUint(dst, st.Published, 10)
+	dst = append(dst, "\r\ndelivered:"...)
+	dst = strconv.AppendUint(dst, st.Delivered, 10)
+	dst = append(dst, "\r\ndropped:"...)
+	dst = strconv.AppendUint(dst, st.Dropped, 10)
+	return append(dst, '\r', '\n')
+}
+
 // dispatch executes one command; it reports whether the connection should
-// close.
-func dispatch(b *Broker, session *Session, sink *respSink, args [][]byte) bool {
+// close. It is shared by both connection cores: args may alias a read buffer
+// that is reused after dispatch returns, so anything retained is copied here
+// (channel names through string conversion, the publish payload explicitly).
+func dispatch(b *Broker, session *Session, sink replySink, args [][]byte) bool {
 	cmd := strings.ToUpper(string(args[0]))
 	switch cmd {
 	case "SUBSCRIBE":
@@ -239,10 +257,12 @@ func dispatch(b *Broker, session *Session, sink *respSink, args [][]byte) bool {
 			return true
 		}
 	case "INFO":
-		st := b.Stats()
-		info := fmt.Sprintf("# Server\r\nname:%s\r\n# Stats\r\nsessions:%d\r\nchannels:%d\r\npublished:%d\r\ndelivered:%d\r\ndropped:%d\r\n",
-			b.Name(), st.Sessions, st.Channels, st.Published, st.Delivered, st.Dropped)
-		if err := sink.writeBulk([]byte(info)); err != nil {
+		bufp := infoPool.Get().(*[]byte)
+		info := appendInfo((*bufp)[:0], b.Name(), b.Stats())
+		err := sink.writeBulk(info)
+		*bufp = info
+		infoPool.Put(bufp)
+		if err != nil {
 			return true
 		}
 	case "QUIT":

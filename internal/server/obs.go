@@ -72,6 +72,8 @@ type Status struct {
 	PlanServers []string          `json:"planServers"`
 	Sessions    int               `json:"sessions"`
 	Channels    int               `json:"channels"`
+	ConnCore    string            `json:"connCore"`
+	Conns       int64             `json:"conns"`
 	Published   uint64            `json:"published"`
 	Delivered   uint64            `json:"delivered"`
 	Dropped     uint64            `json:"dropped"`
@@ -113,6 +115,8 @@ func (n *Node) Status() any {
 		PlanServers: servers,
 		Sessions:    st.Sessions,
 		Channels:    st.Channels,
+		ConnCore:    n.connSrv.Core().String(),
+		Conns:       n.connSrv.Stats().Conns,
 		Published:   st.Published,
 		Delivered:   st.Delivered,
 		Dropped:     st.Dropped,
@@ -140,6 +144,33 @@ func (n *Node) buildRegistry() {
 	r.Gauge("dynamoth_broker_channels",
 		"Channels with at least one subscriber.",
 		func() float64 { return float64(n.Broker.Stats().Channels) })
+	r.Gauge("dynamoth_broker_conns",
+		"TCP connections currently open on this broker.",
+		func() float64 { return float64(n.connSrv.Stats().Conns) })
+	r.Counter("dynamoth_broker_conn_accepts_total",
+		"TCP connections accepted by this broker.",
+		func() uint64 { return n.connSrv.Stats().Accepts })
+	r.Counter("dynamoth_broker_conn_closes_total",
+		"TCP connections closed on this broker.",
+		func() uint64 { return n.connSrv.Stats().Closes })
+	r.Counter("dynamoth_broker_conn_backpressure_total",
+		"Sessions disconnected by the connection layer for output overflow.",
+		func() uint64 { return n.connSrv.Stats().Backpressure })
+	r.Counter("dynamoth_broker_bytes_in_total",
+		"Wire bytes read from broker connections.",
+		func() uint64 { return n.connSrv.Stats().BytesIn })
+	r.Counter("dynamoth_broker_bytes_out_total",
+		"Wire bytes written to broker connections.",
+		func() uint64 { return n.connSrv.Stats().BytesOut })
+	r.Counter("dynamoth_broker_epoll_wakeups_total",
+		"epoll_wait returns across reactor shards (0 on the goroutine core).",
+		func() uint64 { return n.connSrv.Stats().EpollWakeups })
+	r.Counter("dynamoth_broker_epoll_events_total",
+		"epoll events dispatched across reactor shards (0 on the goroutine core).",
+		func() uint64 { return n.connSrv.Stats().EpollEvents })
+	r.Counter("dynamoth_broker_epoll_writes_total",
+		"Reactor flush write syscalls; deliveries per write is the coalescing factor.",
+		func() uint64 { return n.connSrv.Stats().EpollWrites })
 	r.Gauge("dynamoth_plan_version",
 		"Plan version this node's dispatcher is executing.",
 		func() float64 { return float64(n.Dispatcher.Plan().Version) })

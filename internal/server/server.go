@@ -40,6 +40,12 @@ type Options struct {
 	Unit, ReportEvery time.Duration
 	// OutputBuffer is the broker's per-session output limit.
 	OutputBuffer int
+	// ConnCore selects the broker's connection-serving implementation for
+	// ServeTCP (default broker.CoreAuto: the epoll reactor where
+	// available, goroutine-per-connection elsewhere).
+	ConnCore broker.ConnCore
+	// ConnShards is the reactor's event-loop count (default GOMAXPROCS).
+	ConnShards int
 	// DrainTimeout bounds dispatcher transitions.
 	DrainTimeout time.Duration
 	// PublishReports, when true (the default for cluster nodes), pumps
@@ -63,11 +69,12 @@ type Node struct {
 	LLA        *lla.Analyzer
 	Dispatcher *dispatcher.Dispatcher
 
-	reg  *obs.Registry
-	topk *obs.TopK
-	e2e  *metrics.Histogram
-	rec  *trace.Recorder
-	log  *slog.Logger
+	reg     *obs.Registry
+	topk    *obs.TopK
+	e2e     *metrics.Histogram
+	rec     *trace.Recorder
+	log     *slog.Logger
+	connSrv *broker.ConnServer
 
 	gen  *message.Generator
 	stop chan struct{}
@@ -124,6 +131,11 @@ func New(opts Options) (*Node, error) {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	n.connSrv = broker.NewConnServer(b, broker.ServeOptions{
+		Core:     opts.ConnCore,
+		Shards:   opts.ConnShards,
+		Observer: &connTracer{rec: opts.Recorder},
+	})
 	// Observability observers: both are allocation-free in steady state (the
 	// latency observer peeks the envelope header; the top-K tracker samples).
 	b.AddObserver(n.topk)
@@ -162,9 +174,38 @@ func (n *Node) pumpReports(publish bool) {
 	}
 }
 
-// ServeTCP serves the node's broker over RESP on ln (blocking).
+// ServeTCP serves the node's broker over RESP on ln (blocking), using the
+// connection core selected in Options.ConnCore.
 func (n *Node) ServeTCP(ln net.Listener) error {
-	return broker.Serve(ln, n.Broker)
+	return n.connSrv.Serve(ln)
+}
+
+// ConnCore returns the resolved connection core ServeTCP uses.
+func (n *Node) ConnCore() broker.ConnCore { return n.connSrv.Core() }
+
+// ConnStats snapshots the connection-layer counters.
+func (n *Node) ConnStats() broker.ConnStats { return n.connSrv.Stats() }
+
+// connTracer bridges connection lifecycle events into the flight recorder.
+// All three callbacks are nil-recorder safe and allocation-free.
+type connTracer struct {
+	rec *trace.Recorder
+}
+
+func (t *connTracer) OnAccept(addr string) {
+	t.rec.Record(trace.KindConnAccept, 0, addr, "", 0, 0)
+}
+
+func (t *connTracer) OnConnClose(addr string, reason error) {
+	detail := ""
+	if reason != nil {
+		detail = reason.Error()
+	}
+	t.rec.Record(trace.KindConnClose, 0, addr, detail, 0, 0)
+}
+
+func (t *connTracer) OnBackpressure(addr string, buffered int) {
+	t.rec.Record(trace.KindBackpressure, 0, addr, "", int64(buffered), 0)
 }
 
 // Close stops all node components.

@@ -85,6 +85,16 @@ func failurePath(k Kind) bool {
 	return false
 }
 
+// connLayer reports whether a kind belongs to the broker connection layer
+// rather than the reconfiguration control loop.
+func connLayer(k Kind) bool {
+	switch k {
+	case KindConnAccept, KindConnClose, KindBackpressure:
+		return true
+	}
+	return false
+}
+
 // BuildTimelines reconstructs per-rebalance timelines from a recorder event
 // stream. Events carrying a plan version are grouped by it; version-less
 // client events (migrations, dedup windows, redials, substitutions) are
@@ -157,7 +167,11 @@ func BuildTimelines(events []Event) []Rebalance {
 		return 0
 	}
 	for _, ev := range events {
-		if ev.Plan != 0 {
+		if ev.Plan != 0 || connLayer(ev.Kind) {
+			// Connection-layer events (accepts, closes, backpressure) are
+			// steady-state traffic, not reconfiguration steps; attributing
+			// them to whatever rebalance happened to precede them would
+			// pollute every timeline on a busy broker.
 			continue
 		}
 		start, _ := eventBounds(ev)

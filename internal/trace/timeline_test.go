@@ -166,3 +166,25 @@ func TestTimelineEmptyAndPlanless(t *testing.T) {
 		t.Fatalf("anchor-less events gave %v", tl)
 	}
 }
+
+func TestTimelineExcludesConnLayer(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	events := []Event{
+		mkEvent(1, ms(0), KindTrigger, 2, "", 0, 0),
+		mkEvent(2, ms(5), KindPlanCompute, 2, "", int64(ms(4)), 0),
+		// Steady-state connection churn after the rebalance started: must
+		// not show up as rebalance phases.
+		mkEvent(3, ms(6), KindConnAccept, 0, "10.0.0.1:5000", 0, 0),
+		mkEvent(4, ms(7), KindBackpressure, 0, "10.0.0.1:5000", 1<<20, 0),
+		mkEvent(5, ms(8), KindConnClose, 0, "10.0.0.1:5000", 0, 0),
+	}
+	timelines := BuildTimelines(events)
+	if len(timelines) != 1 {
+		t.Fatalf("got %d timelines, want 1", len(timelines))
+	}
+	for _, name := range []string{"conn_accept", "conn_close", "backpressure"} {
+		if timelines[0].Phase(name) != nil {
+			t.Fatalf("connection-layer phase %q leaked into timeline: %+v", name, timelines[0].Phases)
+		}
+	}
+}

@@ -86,6 +86,17 @@ const (
 	// KindDuplicate marks one duplicate suppressed by a client's deduper
 	// (Subject = channel).
 	KindDuplicate
+	// KindConnAccept marks one accepted broker connection (Subject =
+	// remote address). Connection-layer kinds carry no plan ID and are
+	// excluded from rebalance timeline attribution.
+	KindConnAccept
+	// KindConnClose marks one closed broker connection (Subject = remote
+	// address, Detail = close reason, "" for an ordinary disconnect).
+	KindConnClose
+	// KindBackpressure marks a session disconnected for output-buffer
+	// overflow (Subject = remote address, Value = buffered bytes, -1 when
+	// the core tracks messages rather than bytes).
+	KindBackpressure
 
 	kindCount // sentinel
 )
@@ -123,7 +134,10 @@ var kinds = [kindCount]kindInfo{
 	KindDialFail:    {name: "dial_fail", component: "client", level: slog.LevelWarn},
 	KindRedial:      {name: "redial", component: "client", level: slog.LevelInfo},
 	KindSubstitute:  {name: "substitute", component: "client", level: slog.LevelInfo},
-	KindDuplicate:   {name: "duplicate", component: "client", level: slog.LevelDebug},
+	KindDuplicate:    {name: "duplicate", component: "client", level: slog.LevelDebug},
+	KindConnAccept:   {name: "conn_accept", component: "broker", level: slog.LevelDebug, metric: "dynamoth_conn_accepts"},
+	KindConnClose:    {name: "conn_close", component: "broker", level: slog.LevelDebug, metric: "dynamoth_conn_closes"},
+	KindBackpressure: {name: "backpressure", component: "broker", level: slog.LevelWarn, metric: "dynamoth_conn_backpressure"},
 }
 
 // String returns the kind's JSON name.

@@ -1,0 +1,13 @@
+package transport
+
+// ListenConfig controls how a node's RESP listener socket is created.
+type ListenConfig struct {
+	// ReusePort sets SO_REUSEPORT on the listener (Linux only; opt-in).
+	// With it, several dynamoth-node processes can bind the same address
+	// and the kernel load-balances accepts across them — one cheap way to
+	// spread the accept storm of a mass reconnect over multiple cores
+	// without a front-end balancer. Off by default: silently sharing a
+	// port with an unrelated process is a misconfiguration we'd rather
+	// surface as "address already in use".
+	ReusePort bool
+}

@@ -1,0 +1,57 @@
+//go:build linux
+
+package transport
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, absent from the syscall package.
+const soReusePort = 0xf
+
+// Listen binds a TCP listener according to cfg. See ListenConfig.ReusePort.
+func Listen(addr string, cfg ListenConfig) (net.Listener, error) {
+	lc := net.ListenConfig{}
+	if cfg.ReusePort {
+		lc.Control = func(network, address string, c syscall.RawConn) error {
+			var serr error
+			cerr := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if cerr != nil {
+				return cerr
+			}
+			return serr
+		}
+	}
+	return lc.Listen(context.Background(), "tcp", addr)
+}
+
+// ReusePortAvailable reports whether SO_REUSEPORT is supported.
+func ReusePortAvailable() bool { return true }
+
+// RaiseFDLimit lifts RLIMIT_NOFILE's soft limit toward the hard limit (or
+// want, if smaller but non-zero) and returns the resulting soft limit. It is
+// best-effort: in containers without CAP_SYS_RESOURCE the hard limit is the
+// ceiling, so callers size connection budgets off the returned value rather
+// than assuming the raise worked.
+func RaiseFDLimit(want uint64) (uint64, error) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0, err
+	}
+	target := lim.Max
+	if want != 0 && want < target {
+		target = want
+	}
+	if lim.Cur >= target {
+		return lim.Cur, nil
+	}
+	newLim := syscall.Rlimit{Cur: target, Max: lim.Max}
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &newLim); err != nil {
+		return lim.Cur, err
+	}
+	return target, nil
+}

@@ -1,0 +1,27 @@
+//go:build !linux
+
+package transport
+
+import (
+	"errors"
+	"net"
+)
+
+// ErrReusePortUnsupported is returned by Listen when ListenConfig.ReusePort
+// is requested on a platform without SO_REUSEPORT support in this build.
+var ErrReusePortUnsupported = errors.New("transport: SO_REUSEPORT not supported on this platform")
+
+// Listen binds a TCP listener according to cfg.
+func Listen(addr string, cfg ListenConfig) (net.Listener, error) {
+	if cfg.ReusePort {
+		return nil, ErrReusePortUnsupported
+	}
+	return net.Listen("tcp", addr)
+}
+
+// ReusePortAvailable reports whether SO_REUSEPORT is supported.
+func ReusePortAvailable() bool { return false }
+
+// RaiseFDLimit is a no-op on this platform; it reports 0 and no error so
+// callers fall back to their configured defaults.
+func RaiseFDLimit(uint64) (uint64, error) { return 0, nil }

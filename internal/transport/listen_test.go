@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"net"
+	"testing"
+)
+
+func TestListenPlain(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", ListenConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Must be a real listener: a dial succeeds.
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestListenReusePort(t *testing.T) {
+	if !ReusePortAvailable() {
+		if _, err := Listen("127.0.0.1:0", ListenConfig{ReusePort: true}); err == nil {
+			t.Fatal("ReusePort accepted on unsupported platform")
+		}
+		t.Skip("SO_REUSEPORT unavailable")
+	}
+	ln1, err := Listen("127.0.0.1:0", ListenConfig{ReusePort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	// The whole point: a second listener binds the same address.
+	ln2, err := Listen(ln1.Addr().String(), ListenConfig{ReusePort: true})
+	if err != nil {
+		t.Fatalf("second REUSEPORT bind: %v", err)
+	}
+	defer ln2.Close()
+
+	// Without the flag, the same bind must fail.
+	if ln3, err := Listen(ln1.Addr().String(), ListenConfig{}); err == nil {
+		ln3.Close()
+		t.Fatal("plain bind of occupied address succeeded")
+	}
+}
+
+func TestRaiseFDLimit(t *testing.T) {
+	got, err := RaiseFDLimit(0)
+	if !ReusePortAvailable() { // non-linux stub
+		if got != 0 || err != nil {
+			t.Fatalf("stub RaiseFDLimit = %d, %v", got, err)
+		}
+		return
+	}
+	// Best-effort semantics: no error when already at/above the hard limit,
+	// and the returned soft limit is a usable budget.
+	if err != nil && got == 0 {
+		t.Fatalf("RaiseFDLimit gave no usable limit: %v", err)
+	}
+	if got == 0 {
+		t.Fatal("RaiseFDLimit returned 0 on linux")
+	}
+}

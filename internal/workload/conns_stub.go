@@ -1,0 +1,14 @@
+//go:build !linux
+
+package workload
+
+import "errors"
+
+// ErrConnBenchUnsupported is returned by RunConnBench off Linux: the driver
+// multiplexes its connections on a raw epoll loop.
+var ErrConnBenchUnsupported = errors.New("workload: connection bench requires linux (epoll)")
+
+// RunConnBench is unavailable on this platform.
+func RunConnBench(ConnBenchOptions) (*ConnBenchResult, error) {
+	return nil, ErrConnBenchUnsupported
+}

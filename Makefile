@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos obs conns bench experiments examples vet clean
+.PHONY: all build test test-short race chaos obs conns channels bench experiments examples vet clean
 
 all: vet test
 
@@ -45,6 +45,16 @@ CONNS ?= 5000
 conns:
 	$(GO) test -race -run 'ConnCore|Reactor|FDTable|ConnBench' ./internal/broker/ ./internal/workload/
 	$(GO) run ./cmd/experiments -run conns -conns $(CONNS)
+
+# Channel-scale suite: the bounded hot-state packages (cache, client local
+# plan, LLA accumulator) under the race detector, then the channel soak — a
+# real dynamoth-node subprocess taking one publication on each of CHANNELS
+# distinct channels; RSS on both sides must stay flat from CHANNELS/10 to
+# CHANNELS (writes BENCH_channels.json). CHANNELS overrides the target.
+CHANNELS ?= 1000000
+channels:
+	$(GO) test -race ./internal/hotstate/ ./internal/localplan/ ./internal/lla/
+	$(GO) run ./cmd/experiments -run channels -channels $(CHANNELS)
 
 # Reduced-scale figure benches + substrate microbenches.
 bench:

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/hotstate"
 	"github.com/dynamoth/dynamoth/internal/localplan"
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/metrics"
@@ -43,6 +44,16 @@ type Config struct {
 	// for this long (and not subscribed) revert to consistent hashing.
 	// Default 30 s.
 	EntryTimeout time.Duration
+	// LocalPlanCap bounds the learned-route cache: beyond it, cold entries
+	// are evicted and fall back to consistent hashing (subscribed channels
+	// are pinned and never evicted). 0 means localplan.DefaultCap; negative
+	// means unbounded.
+	LocalPlanCap int
+	// DedupWindowCap bounds concurrently open dedup windows. An evicted
+	// window is flushed — its suppressed count is recorded to the flight
+	// recorder — so exactly-once accounting survives eviction. 0 means
+	// DefaultDedupWindowCap; negative means unbounded.
+	DedupWindowCap int
 	// SubscribeBuffer is the per-subscription delivery buffer; when full,
 	// new messages are dropped (slow application). Default 256.
 	SubscribeBuffer int
@@ -70,9 +81,24 @@ type Config struct {
 	Logger *slog.Logger
 }
 
+// DefaultDedupWindowCap bounds concurrently open dedup windows when
+// Config.DedupWindowCap is 0. Windows exist only during migration overlap,
+// so the cap is generous; eviction flushes the window's accounting.
+const DefaultDedupWindowCap = 4096
+
 func (c *Config) fillDefaults() error {
 	if c.EntryTimeout <= 0 {
 		c.EntryTimeout = 30 * time.Second
+	}
+	if c.LocalPlanCap == 0 {
+		c.LocalPlanCap = localplan.DefaultCap
+	} else if c.LocalPlanCap < 0 {
+		c.LocalPlanCap = 0 // unbounded
+	}
+	if c.DedupWindowCap == 0 {
+		c.DedupWindowCap = DefaultDedupWindowCap
+	} else if c.DedupWindowCap < 0 {
+		c.DedupWindowCap = 0 // unbounded
 	}
 	if c.SubscribeBuffer <= 0 {
 		c.SubscribeBuffer = 256
@@ -149,12 +175,16 @@ type Client struct {
 	// per-server failure state that gates connLocked.
 	backoff transport.Backoff
 
-	mu      sync.Mutex
-	local   *localplan.Store
-	conns   map[plan.ServerID]*clientConn
-	dials   map[plan.ServerID]*dialBackoff
-	subs    map[string]*subscription
-	windows map[string]*dedupWindow // open dedup windows by channel
+	mu    sync.Mutex
+	local *localplan.Store
+	conns map[plan.ServerID]*clientConn
+	dials map[plan.ServerID]*dialBackoff
+	subs  map[string]*subscription
+	// windows holds open dedup windows by channel, capacity-bounded; its
+	// eviction callback flushes the evicted window's suppressed count to the
+	// recorder so exactly-once accounting survives eviction. All mutations
+	// happen under c.mu.
+	windows *hotstate.Cache[string, *dedupWindow]
 	closed  bool
 
 	published    atomic.Uint64
@@ -282,11 +312,10 @@ func ConnectWithDialer(dialer transport.Dialer, servers []string, cfg Config) (*
 		dialer:     dialer,
 		gen:        message.NewGenerator(cfg.NodeID),
 		dedup:      message.NewDeduper(0),
-		local:      localplan.New(servers, cfg.EntryTimeout),
+		local:      localplan.NewWithCap(servers, cfg.EntryTimeout, cfg.LocalPlanCap),
 		conns:      make(map[plan.ServerID]*clientConn),
 		dials:      make(map[plan.ServerID]*dialBackoff),
 		subs:       make(map[string]*subscription),
-		windows:    make(map[string]*dedupWindow),
 		rec:        cfg.Recorder,
 		log:        trace.Component(cfg.Logger, "client"),
 		e2e:        metrics.NewHistogram(100*time.Microsecond, 30*time.Second, 160),
@@ -294,6 +323,17 @@ func ConnectWithDialer(dialer transport.Dialer, servers []string, cfg Config) (*
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	// A window evicted under cap pressure flushes like a close: its
+	// suppressed count reaches the recorder, keeping timeline sums equal to
+	// the suppressed counter. The callback runs outside the cache's shard
+	// locks (and takes no client lock, so it is safe under c.mu).
+	c.windows = hotstate.New[string, *dedupWindow](hotstate.Config[string, *dedupWindow]{
+		Capacity: cfg.DedupWindowCap,
+		OnEvict: func(ch string, w *dedupWindow) {
+			now := cfg.Clock.Now()
+			c.rec.Record(trace.KindDedupClose, w.plan, ch, "evicted", w.suppressed, now.Sub(w.openedAt).Nanoseconds())
+		},
+	})
 	// Backoff jitter uses its own per-client seeded source (no global rand
 	// lock); Delay is only called under c.mu, so the unlocked source is safe.
 	c.backoff = transport.Backoff{Min: cfg.RedialMin, Max: cfg.RedialMax, Rand: transport.NewJitter(cfg.Seed)}
@@ -375,6 +415,10 @@ func (c *Client) RegisterMetrics(r *obs.Registry) {
 	r.Histogram("dynamoth_client_e2e_latency_seconds",
 		"Publish-to-deliver latency observed by this client.",
 		c.e2e, 0.5, 0.99, 0.999)
+	r.RegisterCaches("dynamoth_client",
+		hotstate.NamedStats{Name: "local_plan", Stats: c.local.CacheStats},
+		hotstate.NamedStats{Name: "dedup_windows", Stats: c.windows.Stats},
+	)
 }
 
 // Publish sends payload on channel, routed by the client's current plan
@@ -520,6 +564,9 @@ func (c *Client) Subscribe(channel string) (<-chan Message, error) {
 		c.rebuildRouteLocked() // subscribeOnLocked may have dialed
 		return nil, err
 	}
+	// Pin the channel's learned route (if any): §IV-A5 keeps subscribed
+	// channels, so they must survive capacity eviction too.
+	c.local.Pin(channel, true)
 	c.rebuildRouteLocked()
 	return sub.out, nil
 }
@@ -541,6 +588,7 @@ func (c *Client) Unsubscribe(channel string) error {
 			_ = conn.conn.Unsubscribe(channel) // best effort; conn may be dying
 		}
 	}
+	c.local.Pin(channel, false) // route ages out normally from here
 	c.rebuildRouteLocked()
 	sub.closeOut()
 	return nil
@@ -566,8 +614,10 @@ func (c *Client) Close() error {
 	// Flush open dedup windows so their suppressed counts reach the flight
 	// recorder (timeline sums stay equal to the suppressed counter).
 	now := c.cfg.Clock.Now()
-	for ch, w := range c.windows {
-		c.closeWindowLocked(ch, w, now)
+	for _, ch := range c.windows.AppendKeys(nil) {
+		if w, ok := c.windows.Peek(ch); ok {
+			c.closeWindowLocked(ch, w, now)
+		}
 	}
 	c.rebuildRouteLocked()
 	c.mu.Unlock()
@@ -839,6 +889,11 @@ func (c *Client) applyEntryUpdate(channel string, env *message.Envelope, resubsc
 		return // stale notification
 	}
 	sub := c.subs[channel]
+	if sub != nil {
+		// A fresh entry for a subscribed channel starts unpinned; re-pin so
+		// the learned route survives eviction as long as the subscription.
+		c.local.Pin(channel, true)
+	}
 	if sub == nil || !resubscribe {
 		c.rebuildRouteLocked()
 		c.mu.Unlock()
@@ -873,7 +928,9 @@ func (c *Client) applyEntryUpdate(channel string, env *message.Envelope, resubsc
 // the client lock here never touches the steady-state delivery path.
 func (c *Client) noteDuplicate(channel string) {
 	c.mu.Lock()
-	if w := c.windows[channel]; w != nil {
+	// Get (not Peek) marks the window recently used, so a window actively
+	// absorbing duplicates is the last candidate for capacity eviction.
+	if w, ok := c.windows.Get(channel); ok {
 		w.suppressed++
 		c.suppressed.Add(1)
 	}
@@ -887,20 +944,23 @@ func (c *Client) noteDuplicate(channel string) {
 // own suppressed count.
 func (c *Client) openWindowLocked(channel string, planVersion uint64, detail string) {
 	now := c.cfg.Clock.Now()
-	if w := c.windows[channel]; w != nil {
+	if w, ok := c.windows.Get(channel); ok {
 		if w.plan == planVersion {
 			return
 		}
 		c.closeWindowLocked(channel, w, now)
 	}
-	c.windows[channel] = &dedupWindow{openedAt: now, plan: planVersion}
+	// Put may evict a cold window at capacity; the cache's OnEvict flushes
+	// it to the recorder, so no suppressed count is ever silently dropped.
+	c.windows.Put(channel, &dedupWindow{openedAt: now, plan: planVersion})
 	c.rec.Record(trace.KindDedupOpen, planVersion, channel, detail, 0, 0)
 }
 
 // closeWindowLocked closes a dedup window, recording how many duplicates it
-// absorbed (Value) and how long it was open (Aux, nanoseconds).
+// absorbed (Value) and how long it was open (Aux, nanoseconds). Delete does
+// not fire OnEvict, so the window is recorded exactly once.
 func (c *Client) closeWindowLocked(channel string, w *dedupWindow, now time.Time) {
-	delete(c.windows, channel)
+	c.windows.Delete(channel)
 	c.rec.Record(trace.KindDedupClose, w.plan, channel, "", w.suppressed, now.Sub(w.openedAt).Nanoseconds())
 }
 
@@ -1057,12 +1117,23 @@ func (c *Client) sweep() {
 			slog.String("channel", ch),
 			slog.Int("targets", len(targets)))
 	}
-	// Expire dedup windows whose migration overlap has aged out.
+	// Expire dedup windows whose migration overlap has aged out. Expired
+	// windows are collected first (Range must not re-enter the cache), then
+	// closed so each flush is recorded.
 	windowTTL := c.sweepInterval()
-	for ch, w := range c.windows {
+	type expired struct {
+		ch string
+		w  *dedupWindow
+	}
+	var expiredWindows []expired
+	c.windows.Range(func(ch string, w *dedupWindow) bool {
 		if now.Sub(w.openedAt) >= windowTTL {
-			c.closeWindowLocked(ch, w, now)
+			expiredWindows = append(expiredWindows, expired{ch, w})
 		}
+		return true
+	})
+	for _, e := range expiredWindows {
+		c.closeWindowLocked(e.ch, e.w, now)
 	}
 	if swept > 0 || len(repairs) > 0 {
 		c.rebuildRouteLocked()

@@ -10,6 +10,7 @@ import (
 	"github.com/dynamoth/dynamoth/internal/broker"
 	"github.com/dynamoth/dynamoth/internal/dispatcher"
 	"github.com/dynamoth/dynamoth/internal/plan"
+	"github.com/dynamoth/dynamoth/internal/trace"
 	"github.com/dynamoth/dynamoth/internal/transport"
 )
 
@@ -546,5 +547,69 @@ func drainFor(ch <-chan Message, d time.Duration) {
 		case <-deadline:
 			return
 		}
+	}
+}
+
+// TestDedupWindowEvictionFlushesSuppressed pins down the chaos-suite
+// accounting invariant under a tiny window cap: every suppressed duplicate
+// must reach the flight recorder exactly once — through a normal close, a
+// capacity-eviction flush, or the Close flush — so the sum of
+// KindDedupClose event values always equals the DuplicatesSuppressed
+// counter even when windows are evicted mid-migration.
+func TestDedupWindowEvictionFlushesSuppressed(t *testing.T) {
+	d := newTestDeployment(t, "s1")
+	rec := trace.NewRecorder(4096)
+	c, err := ConnectWithDialer(d.dialer, d.servers, Config{
+		NodeID:         77,
+		DedupWindowCap: 16, // one window per shard: heavy eviction below
+		Recorder:       rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open far more windows than the cap and attribute duplicates to each
+	// immediately after opening (before the next open can evict it), so
+	// every suppressed duplicate lands in some window's count.
+	const chans = 64
+	var issued int64
+	for i := 0; i < chans; i++ {
+		ch := fmt.Sprintf("migrating-%d", i)
+		c.mu.Lock()
+		c.openWindowLocked(ch, 1, "switch")
+		c.mu.Unlock()
+		for j := 0; j <= i%3; j++ {
+			c.noteDuplicate(ch)
+			issued++
+		}
+	}
+
+	if ev := c.windows.Stats().Evictions; ev == 0 {
+		t.Fatalf("no window evictions with cap 16 and %d channels", chans)
+	}
+	// Capacity evictions must have flushed their windows to the recorder
+	// with the "evicted" annotation.
+	flushed := false
+	for _, e := range rec.Events(0) {
+		if e.Kind == trace.KindDedupClose && e.Detail == "evicted" {
+			flushed = true
+			break
+		}
+	}
+	if !flushed {
+		t.Error("no KindDedupClose event with detail \"evicted\" after capacity evictions")
+	}
+
+	// Close flushes the surviving windows; afterwards the timeline sum must
+	// equal the client counter — nothing double-counted, nothing dropped.
+	c.Close()
+	if got := c.suppressed.Load(); int64(got) != issued {
+		t.Fatalf("suppressed counter = %d, want %d (single-threaded opens cannot race eviction)", got, issued)
+	}
+	if got, want := rec.Sum(trace.KindDedupClose), issued; got != want {
+		t.Errorf("sum of KindDedupClose values = %d, want %d (suppressed counter)", got, want)
+	}
+	if opens, closes := rec.Count(trace.KindDedupOpen), rec.Count(trace.KindDedupClose); closes != opens {
+		t.Errorf("dedup closes = %d, opens = %d; every window must close exactly once", closes, opens)
 	}
 }

@@ -90,6 +90,27 @@ func TestClusterScrapeUnderLoad(t *testing.T) {
 		t.Errorf("plan_version = %v, want 1", got)
 	}
 
+	// Bounded hot-state caches: every per-channel map on the node must be
+	// scrapeable with its size and eviction counters.
+	for fam, kind := range map[string]string{
+		"dynamoth_node_hotstate_size":            "gauge",
+		"dynamoth_node_hotstate_capacity":        "gauge",
+		"dynamoth_node_hotstate_evictions_total": "counter",
+	} {
+		if fams[fam] != kind {
+			t.Errorf("node hotstate family %s = %q, want %q", fam, fams[fam], kind)
+		}
+	}
+	for _, cache := range []string{"lla_units", "lla_subscribers", "topk"} {
+		prefix := `dynamoth_node_hotstate_capacity{cache="` + cache + `"}`
+		if got := extractSample(t, out, prefix); got <= 0 {
+			t.Errorf("cache %s unbounded on a default node (capacity %v)", cache, got)
+		}
+	}
+	if got := extractSample(t, out, `dynamoth_node_hotstate_size{cache="topk"}`); got < 1 {
+		t.Errorf("topk cache empty after %d publishes", sent)
+	}
+
 	// Exported p99 vs in-process Quantile(0.99): same histogram, so they
 	// must agree within a bucket ratio (scrape races new observations).
 	h := c.E2ELatency("pub1")

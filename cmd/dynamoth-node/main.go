@@ -16,8 +16,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
@@ -69,6 +71,8 @@ func run() error {
 		logLvl  = flag.String("log-level", "warn", "structured log level on stderr (debug, info, warn, error)")
 		ccore   = flag.String("conn-core", "auto", "connection core: auto (reactor where available), goroutine, or reactor")
 		reuse   = flag.Bool("reuseport", false, "set SO_REUSEPORT on the RESP listener (linux; lets several nodes share one address)")
+		llaCap  = flag.Int("lla-channel-cap", 0, "distinct channels the LLA tracks per time unit; overflow folds into an aggregate bucket (0 = default, negative = unbounded)")
+		topkCap = flag.Int("topk-cap", 0, "channels held by the hot-channel tracker (0 = default, negative = unbounded)")
 	)
 	flag.Var(peers, "peer", "peer node as id=host:port (repeatable)")
 	flag.Parse()
@@ -105,6 +109,8 @@ func run() error {
 		Initial:        initial,
 		Forwarder:      fwd,
 		MaxOutgoingBps: *maxBps,
+		LLAChannelCap:  *llaCap,
+		TopKCap:        *topkCap,
 		PublishReports: true,
 		Recorder:       rec,
 		Logger:         logger,
@@ -125,7 +131,15 @@ func run() error {
 	if *admin != "" {
 		srv, aln, err := obs.Serve(*admin, obs.NewAdminMux(n.Registry(), n.Status,
 			obs.Route{Pattern: "/debug/events", Handler: rec.EventsHandler()},
-			obs.Route{Pattern: "/debug/rebalances", Handler: rec.RebalancesHandler()}))
+			obs.Route{Pattern: "/debug/rebalances", Handler: rec.RebalancesHandler()},
+			// Forces a GC and returns freed pages to the OS, so memory
+			// harnesses (the channel soak) can read a live-set RSS instead
+			// of the allocation high-water mark.
+			obs.Route{Pattern: "/debug/freemem", Handler: http.HandlerFunc(
+				func(w http.ResponseWriter, _ *http.Request) {
+					debug.FreeOSMemory()
+					fmt.Fprintln(w, "ok")
+				})}))
 		if err != nil {
 			ln.Close()
 			return fmt.Errorf("admin listen %s: %w", *admin, err)

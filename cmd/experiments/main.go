@@ -28,10 +28,11 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "fig4a|fig4b|fig5|fig6|fig7|conns|all")
-		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		conns = flag.Int("conns", 100_000, "target connection count for -run conns")
+		run      = flag.String("run", "all", "fig4a|fig4b|fig5|fig6|fig7|conns|channels|all")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		conns    = flag.Int("conns", 100_000, "target connection count for -run conns")
+		channels = flag.Int("channels", 1_000_000, "target distinct channel count for -run channels")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 4 {
@@ -56,6 +57,11 @@ func main() {
 	case "conns":
 		if err := runConns(*conns); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: conns:", err)
+			os.Exit(1)
+		}
+	case "channels":
+		if err := runChannels(*channels); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: channels:", err)
 			os.Exit(1)
 		}
 	case "all":

@@ -22,10 +22,12 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/broker"
 	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/hotstate"
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/trace"
 )
@@ -48,6 +50,12 @@ type UnitStats struct {
 	// Channels holds stats for every channel active during the unit,
 	// sorted by channel name for determinism.
 	Channels []ChannelStats `json:"channels"`
+	// Overflow aggregates publications on channels beyond the accumulator's
+	// per-unit channel cap (IoT-style topic-per-device floods). The traffic
+	// is still accounted — bytes, publications, deliveries — but without
+	// per-channel identity, so the balancer sees the load even when it
+	// cannot attribute it. Nil when the unit stayed under the cap.
+	Overflow *ChannelStats `json:"overflow,omitempty"`
 }
 
 // Report is the aggregate update message an LLA sends to the load balancer:
@@ -92,41 +100,9 @@ type channelAccum struct {
 	bytesOut     int64
 }
 
-// Accumulator gathers per-channel metrics for the current time unit and
-// seals units on demand. It is safe for concurrent use (the broker invokes
-// observer callbacks from many goroutines).
-type Accumulator struct {
-	mu          sync.Mutex
-	current     map[string]*channelAccum
-	subscribers map[string]int // live subscriber counts (persist across units)
-	unit        int64
-}
-
-// NewAccumulator creates an empty accumulator.
-func NewAccumulator() *Accumulator {
-	return &Accumulator{
-		current:     make(map[string]*channelAccum),
-		subscribers: make(map[string]int),
-	}
-}
-
-func (a *Accumulator) channel(ch string) *channelAccum {
-	c := a.current[ch]
-	if c == nil {
-		c = &channelAccum{publishers: make(map[uint32]struct{})}
-		a.current[ch] = c
-	}
-	return c
-}
-
-// OnPublish records one publication. publisher is the originating node ID
-// extracted from the envelope (0 if unknown), size the payload bytes,
-// receivers the fan-out count.
-func (a *Accumulator) OnPublish(ch string, publisher uint32, size, receivers int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	c := a.channel(ch)
-	if publisher != 0 {
+// add folds one publication into the accumulation.
+func (c *channelAccum) add(publisher uint32, size, receivers int) {
+	if publisher != 0 && c.publishers != nil {
 		c.publishers[publisher] = struct{}{}
 	}
 	c.publications++
@@ -135,74 +111,248 @@ func (a *Accumulator) OnPublish(ch string, publisher uint32, size, receivers int
 	c.bytesOut += int64(size) * int64(receivers)
 }
 
+// AccumStripes is the accumulator's stripe count (power of two). OnPublish
+// locks only the stripe its channel hashes to, so the broker's concurrent
+// fan-out goroutines stop serializing on one global mutex.
+const AccumStripes = 32
+
+// DefaultChannelCap bounds the distinct channels tracked per time unit (and
+// the persistent subscriber-count map) when no explicit cap is given. Under
+// normal workloads it is never reached; at IoT-style topic-per-device scale
+// it is what keeps the accumulator O(cap) instead of O(channels).
+const DefaultChannelCap = 65536
+
+// accumStripe is one lock stripe: a share of the per-unit channel map and of
+// the persistent subscriber-count map, plus the stripe-local overflow bucket
+// publications fold into once the unit's channel share is full.
+type accumStripe struct {
+	mu          sync.Mutex
+	current     map[string]*channelAccum
+	subscribers map[string]int
+	overflow    channelAccum // cap overflow (publishers not tracked)
+	hits        uint64       // publishes on channels already tracked this unit
+	misses      uint64       // channel-entry creations
+	folds       uint64       // publications folded into overflow
+	subEvicts   uint64       // subscriber-map entries displaced at cap
+}
+
+// Accumulator gathers per-channel metrics for the current time unit and
+// seals units on demand. It is safe for concurrent use (the broker invokes
+// observer callbacks from many goroutines); state is striped AccumStripes
+// ways by channel hash, and both per-channel maps are capacity-bounded.
+type Accumulator struct {
+	stripes      [AccumStripes]accumStripe
+	perStripeCap int // per-unit channel share per stripe (0 = unbounded)
+	channelCap   int
+
+	sealMu sync.Mutex // serializes Seal and guards unit
+	unit   int64
+}
+
+// NewAccumulator creates an accumulator with DefaultChannelCap.
+func NewAccumulator() *Accumulator { return NewAccumulatorWithCap(DefaultChannelCap) }
+
+// NewAccumulatorWithCap creates an accumulator tracking at most channelCap
+// distinct channels per unit (<=0 means unbounded). The same cap bounds the
+// persistent subscriber-count map.
+func NewAccumulatorWithCap(channelCap int) *Accumulator {
+	a := &Accumulator{channelCap: channelCap}
+	if channelCap > 0 {
+		a.perStripeCap = (channelCap + AccumStripes - 1) / AccumStripes
+		if a.perStripeCap < 1 {
+			a.perStripeCap = 1
+		}
+	}
+	for i := range a.stripes {
+		a.stripes[i].current = make(map[string]*channelAccum)
+		a.stripes[i].subscribers = make(map[string]int)
+	}
+	return a
+}
+
+func (a *Accumulator) stripe(ch string) *accumStripe {
+	return &a.stripes[hotstate.StringHash(ch)&(AccumStripes-1)]
+}
+
+// channelLocked returns the channel's accumulation, or nil when the stripe's
+// share of the per-unit cap is exhausted (the caller folds into overflow).
+// Caller holds st.mu.
+func (a *Accumulator) channelLocked(st *accumStripe, ch string) *channelAccum {
+	c := st.current[ch]
+	if c != nil {
+		return c
+	}
+	if a.perStripeCap > 0 && len(st.current) >= a.perStripeCap {
+		return nil
+	}
+	c = &channelAccum{publishers: make(map[uint32]struct{})}
+	st.current[ch] = c
+	st.misses++
+	return c
+}
+
+// OnPublish records one publication. publisher is the originating node ID
+// extracted from the envelope (0 if unknown), size the payload bytes,
+// receivers the fan-out count.
+func (a *Accumulator) OnPublish(ch string, publisher uint32, size, receivers int) {
+	st := a.stripe(ch)
+	st.mu.Lock()
+	if c := st.current[ch]; c != nil {
+		st.hits++
+		c.add(publisher, size, receivers)
+	} else if c := a.channelLocked(st, ch); c != nil {
+		c.add(publisher, size, receivers)
+	} else {
+		st.folds++
+		st.overflow.add(0, size, receivers)
+	}
+	st.mu.Unlock()
+}
+
 // OnSubscribe records a subscription; count is the channel's subscriber
-// count after the operation (as reported by the broker).
+// count after the operation (as reported by the broker). At the cap, a new
+// channel displaces an arbitrary tracked one: the broker re-reports counts
+// on every subscribe/unsubscribe, so displaced channels self-heal on their
+// next subscription event.
 func (a *Accumulator) OnSubscribe(ch string, count int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.subscribers[ch] = count
-	a.channel(ch) // make the channel visible even before traffic flows
+	st := a.stripe(ch)
+	st.mu.Lock()
+	if _, ok := st.subscribers[ch]; !ok && a.perStripeCap > 0 && len(st.subscribers) >= a.perStripeCap {
+		for victim := range st.subscribers {
+			delete(st.subscribers, victim)
+			st.subEvicts++
+			break
+		}
+	}
+	st.subscribers[ch] = count
+	a.channelLocked(st, ch) // make the channel visible even before traffic flows
+	st.mu.Unlock()
 }
 
 // OnUnsubscribe records an unsubscription.
 func (a *Accumulator) OnUnsubscribe(ch string, count int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	st := a.stripe(ch)
+	st.mu.Lock()
 	if count <= 0 {
-		delete(a.subscribers, ch)
-		return
+		delete(st.subscribers, ch)
+	} else {
+		st.subscribers[ch] = count
 	}
-	a.subscribers[ch] = count
+	st.mu.Unlock()
 }
 
-// Seal closes the current time unit and returns its stats. Channels with no
-// activity and no subscribers are omitted.
+// Seal closes the current time unit and returns its stats, merging all
+// stripes. Channels with no activity and no subscribers are omitted.
 func (a *Accumulator) Seal() UnitStats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.sealMu.Lock()
+	defer a.sealMu.Unlock()
 	u := UnitStats{Unit: a.unit}
 	a.unit++
-	names := make([]string, 0, len(a.current)+len(a.subscribers))
-	seen := make(map[string]struct{}, len(a.current)+len(a.subscribers))
-	for ch := range a.current {
+
+	// Drain every stripe under its own lock; channels are hash-partitioned
+	// so the per-stripe maps never overlap and merging is concatenation.
+	current := make(map[string]*channelAccum)
+	subs := make(map[string]int)
+	var overflow channelAccum
+	for i := range a.stripes {
+		st := &a.stripes[i]
+		st.mu.Lock()
+		cur := st.current
+		st.current = make(map[string]*channelAccum, len(cur))
+		overflow.publications += st.overflow.publications
+		overflow.messagesSent += st.overflow.messagesSent
+		overflow.bytesIn += st.overflow.bytesIn
+		overflow.bytesOut += st.overflow.bytesOut
+		st.overflow = channelAccum{}
+		for ch, n := range st.subscribers {
+			subs[ch] = n
+		}
+		st.mu.Unlock()
+		for ch, c := range cur {
+			current[ch] = c
+		}
+	}
+
+	names := make([]string, 0, len(current)+len(subs))
+	seen := make(map[string]struct{}, len(current)+len(subs))
+	for ch := range current {
 		names = append(names, ch)
 		seen[ch] = struct{}{}
 	}
-	for ch := range a.subscribers {
+	for ch := range subs {
 		if _, dup := seen[ch]; !dup {
 			names = append(names, ch)
 		}
 	}
 	sort.Strings(names)
 	for _, ch := range names {
-		c := a.current[ch]
-		subs := a.subscribers[ch]
+		c := current[ch]
+		nsubs := subs[ch]
 		if c == nil {
-			if subs == 0 {
+			if nsubs == 0 {
 				continue
 			}
-			u.Channels = append(u.Channels, ChannelStats{Channel: ch, Subscribers: subs})
+			u.Channels = append(u.Channels, ChannelStats{Channel: ch, Subscribers: nsubs})
 			continue
 		}
 		u.Channels = append(u.Channels, ChannelStats{
 			Channel:      ch,
 			Publishers:   len(c.publishers),
 			Publications: c.publications,
-			Subscribers:  subs,
+			Subscribers:  nsubs,
 			MessagesSent: c.messagesSent,
 			BytesIn:      c.bytesIn,
 			BytesOut:     c.bytesOut,
 		})
 	}
-	a.current = make(map[string]*channelAccum)
+	if overflow.publications > 0 {
+		u.Overflow = &ChannelStats{
+			Channel:      "+overflow",
+			Publications: overflow.publications,
+			MessagesSent: overflow.messagesSent,
+			BytesIn:      overflow.bytesIn,
+			BytesOut:     overflow.bytesOut,
+		}
+	}
 	return u
 }
 
 // Subscribers returns the live subscriber count for a channel.
 func (a *Accumulator) Subscribers(ch string) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.subscribers[ch]
+	st := a.stripe(ch)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.subscribers[ch]
+}
+
+// UnitCacheStats snapshots the per-unit channel map's bounded-cache counters
+// (Evictions = publications folded into the overflow bucket).
+func (a *Accumulator) UnitCacheStats() hotstate.Stats {
+	s := hotstate.Stats{Capacity: a.channelCap}
+	for i := range a.stripes {
+		st := &a.stripes[i]
+		st.mu.Lock()
+		s.Size += len(st.current)
+		s.Hits += st.hits
+		s.Misses += st.misses
+		s.Evictions += st.folds
+		st.mu.Unlock()
+	}
+	return s
+}
+
+// SubscriberCacheStats snapshots the subscriber-count map's bounded-cache
+// counters (Evictions = entries displaced at the cap).
+func (a *Accumulator) SubscriberCacheStats() hotstate.Stats {
+	s := hotstate.Stats{Capacity: a.channelCap}
+	for i := range a.stripes {
+		st := &a.stripes[i]
+		st.mu.Lock()
+		s.Size += len(st.subscribers)
+		s.Evictions += st.subEvicts
+		st.mu.Unlock()
+	}
+	return s
 }
 
 // Config configures an Analyzer.
@@ -220,6 +370,10 @@ type Config struct {
 	Unit time.Duration
 	// ReportEvery is the aggregate-update interval (default 3 units).
 	ReportEvery time.Duration
+	// ChannelCap bounds the distinct channels the accumulator tracks per
+	// time unit (and the persistent subscriber-count map). 0 means
+	// DefaultChannelCap; negative means unbounded.
+	ChannelCap int
 	// Clock provides time (default: real clock).
 	Clock clock.Clock
 	// Logger receives structured LLA logs (one debug line per emitted
@@ -240,6 +394,11 @@ func (c *Config) fillDefaults() {
 	if c.MaxOutgoingBps <= 0 {
 		c.MaxOutgoingBps = 1.25e6 // DESIGN.md §4 calibration
 	}
+	if c.ChannelCap == 0 {
+		c.ChannelCap = DefaultChannelCap
+	} else if c.ChannelCap < 0 {
+		c.ChannelCap = 0 // unbounded
+	}
 }
 
 // Analyzer is the live LLA: a broker observer plus a ticking loop that seals
@@ -249,11 +408,14 @@ type Analyzer struct {
 	accum *Accumulator
 	log   *slog.Logger
 
-	mu         sync.Mutex
-	pending    []UnitStats
-	seq        uint64
-	bytesOut   int64 // bytes sent during current report window
-	deliveries int64 // per-subscriber deliveries during current window
+	// bytesOut/deliveries are atomics, not mu-guarded: OnPublish is the
+	// broker's fan-out hot path and must not serialize on the report mutex.
+	bytesOut   atomic.Int64 // bytes sent during current report window
+	deliveries atomic.Int64 // per-subscriber deliveries during current window
+
+	mu      sync.Mutex
+	pending []UnitStats
+	seq     uint64
 	// windowStart stamps when the current report window opened so rates are
 	// divided by the time that actually elapsed, not the configured
 	// ReportEvery: a ticker firing late (CPU contention, coarse simulated
@@ -279,7 +441,7 @@ func NewAnalyzer(cfg Config) *Analyzer {
 	cfg.fillDefaults()
 	return &Analyzer{
 		cfg:          cfg,
-		accum:        NewAccumulator(),
+		accum:        NewAccumulatorWithCap(cfg.ChannelCap),
 		log:          trace.Component(cfg.Logger, "lla"),
 		windowStart:  cfg.Clock.Now(),
 		unitTicker:   cfg.Clock.NewTicker(cfg.Unit),
@@ -294,18 +456,19 @@ func NewAnalyzer(cfg Config) *Analyzer {
 func (an *Analyzer) Reports() <-chan *Report { return an.reports }
 
 // OnPublish implements broker.Observer. The publisher identity is recovered
-// from the Dynamoth envelope when the payload is one.
+// from the Dynamoth envelope header when the payload is one (PeekNode, not
+// Unmarshal: this runs on the broker's fan-out path for every publication
+// and must not allocate).
 func (an *Analyzer) OnPublish(ch string, payload []byte, receivers int) {
-	var publisher uint32
-	if env, err := message.Unmarshal(payload); err == nil {
-		publisher = env.ID.Node
-	}
+	publisher, _ := message.PeekNode(payload)
 	an.accum.OnPublish(ch, publisher, len(payload), receivers)
-	an.mu.Lock()
-	an.bytesOut += int64(len(payload)) * int64(receivers)
-	an.deliveries += int64(receivers)
-	an.mu.Unlock()
+	an.bytesOut.Add(int64(len(payload)) * int64(receivers))
+	an.deliveries.Add(int64(receivers))
 }
+
+// Accumulator exposes the analyzer's accumulation core (for cache-stat
+// scraping by the node's /metrics registry).
+func (an *Analyzer) Accumulator() *Accumulator { return an.accum }
 
 // OnSubscribe implements broker.Observer.
 func (an *Analyzer) OnSubscribe(ch, _ string, subscribers int) {
@@ -382,10 +545,8 @@ func (an *Analyzer) buildReport() *Report {
 	an.mu.Lock()
 	units := an.pending
 	an.pending = nil
-	bytes := an.bytesOut
-	an.bytesOut = 0
-	deliveries := an.deliveries
-	an.deliveries = 0
+	bytes := an.bytesOut.Swap(0)
+	deliveries := an.deliveries.Swap(0)
 	an.seq++
 	seq := an.seq
 	window := now.Sub(an.windowStart).Seconds()

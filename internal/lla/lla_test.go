@@ -1,6 +1,8 @@
 package lla
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -239,5 +241,157 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if c.Clock == nil || c.MaxOutgoingBps <= 0 {
 		t.Fatal("defaults missing")
+	}
+	if c.ChannelCap != DefaultChannelCap {
+		t.Fatalf("channelCap default=%d", c.ChannelCap)
+	}
+	c = Config{ChannelCap: -1}
+	c.fillDefaults()
+	if c.ChannelCap != 0 {
+		t.Fatalf("negative cap not mapped to unbounded: %d", c.ChannelCap)
+	}
+}
+
+func TestAccumulatorChannelCapFoldsIntoOverflow(t *testing.T) {
+	// Cap of AccumStripes gives each stripe exactly one channel slot, so the
+	// tracked-channel count is bounded regardless of how many distinct
+	// channels publish.
+	a := NewAccumulatorWithCap(AccumStripes)
+	for i := 0; i < 10_000; i++ {
+		a.OnPublish(fmt.Sprintf("dev-%d", i), 1, 10, 2)
+	}
+	if st := a.UnitCacheStats(); st.Size > AccumStripes {
+		t.Fatalf("tracked channels=%d exceed cap %d", st.Size, AccumStripes)
+	}
+	u := a.Seal()
+	if len(u.Channels) > AccumStripes {
+		t.Fatalf("sealed channels=%d exceed cap", len(u.Channels))
+	}
+	if u.Overflow == nil {
+		t.Fatal("overflow bucket missing")
+	}
+	// Conservation: tracked + overflow must account for every publication.
+	total := u.Overflow.Publications
+	var bytesIn int64 = u.Overflow.BytesIn
+	for _, c := range u.Channels {
+		total += c.Publications
+		bytesIn += c.BytesIn
+	}
+	if total != 10_000 || bytesIn != 100_000 {
+		t.Fatalf("publications=%d bytesIn=%d: overflow lost traffic", total, bytesIn)
+	}
+	// Next unit starts empty: channels that fit again are tracked again.
+	u2 := a.Seal()
+	if u2.Overflow != nil {
+		t.Fatalf("overflow leaked across units: %+v", u2.Overflow)
+	}
+}
+
+func TestAccumulatorSubscriberMapBounded(t *testing.T) {
+	a := NewAccumulatorWithCap(AccumStripes) // one subscriber slot per stripe
+	for i := 0; i < 5_000; i++ {
+		a.OnSubscribe(fmt.Sprintf("dev-%d", i), 1)
+	}
+	st := a.SubscriberCacheStats()
+	if st.Size > AccumStripes {
+		t.Fatalf("subscriber map size=%d exceeds cap", st.Size)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no displacement recorded despite cap pressure")
+	}
+	// Displaced channels self-heal on their next subscription event.
+	a.OnSubscribe("dev-0", 3)
+	if a.Subscribers("dev-0") != 3 {
+		t.Fatal("re-reported channel not tracked")
+	}
+}
+
+func TestAccumulatorOverflowRoundTripsJSON(t *testing.T) {
+	r := &Report{Units: []UnitStats{{
+		Overflow: &ChannelStats{Channel: "+overflow", Publications: 7, BytesIn: 70},
+	}}}
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Units[0].Overflow == nil || got.Units[0].Overflow.Publications != 7 {
+		t.Fatalf("overflow lost in transit: %+v", got.Units[0])
+	}
+}
+
+func TestAccumulatorConcurrentObserversRace(t *testing.T) {
+	a := NewAccumulatorWithCap(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2_000; i++ {
+				ch := fmt.Sprintf("ch-%d", (g*31+i)%512)
+				switch i % 4 {
+				case 0:
+					a.OnSubscribe(ch, i%8+1)
+				case 3:
+					a.OnUnsubscribe(ch, i%2)
+				default:
+					a.OnPublish(ch, uint32(g+1), 64, 3)
+				}
+			}
+		}(g)
+	}
+	sealed := 0
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			u := a.Seal()
+			_ = u
+			if sealed == 0 {
+				t.Log("no mid-run seal happened") // timing-dependent, not fatal
+			}
+			return
+		default:
+			a.Seal()
+			sealed++
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// BenchmarkAccumulatorParallel measures the striped OnPublish path under
+// parallel observers (the broker fan-out shape that serialized on the seed's
+// single Accumulator.mu). Run with -cpu 8 to exercise 8 goroutines.
+func BenchmarkAccumulatorParallel(b *testing.B) {
+	a := NewAccumulator()
+	channels := make([]string, 1024)
+	for i := range channels {
+		channels[i] = fmt.Sprintf("game-tile-%d", i)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			a.OnPublish(channels[i&1023], 7, 128, 4)
+			i++
+		}
+	})
+}
+
+// BenchmarkAccumulatorSerialBaseline is the same workload single-goroutine,
+// for comparing per-op cost against the parallel path.
+func BenchmarkAccumulatorSerialBaseline(b *testing.B) {
+	a := NewAccumulator()
+	channels := make([]string, 1024)
+	for i := range channels {
+		channels[i] = fmt.Sprintf("game-tile-%d", i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.OnPublish(channels[i&1023], 7, 128, 4)
 	}
 }

@@ -1,26 +1,41 @@
 // Package localplan implements the client-specific partial plan P(C) of the
-// paper (§II-C, §IV-A5): a small map of channel→servers entries learned
+// paper (§II-C, §IV-A5): a bounded cache of channel→servers entries learned
 // lazily from switch and wrong-server notifications, with per-entry timers
 // that return forgotten channels to consistent hashing.
 //
 // Both the live client library and the discrete-event simulator use this
 // exact state machine, so client routing behaves identically in both modes.
+//
+// The store is backed by a hotstate cache: learned entries are capped (a
+// channel evicted under capacity pressure simply falls back to consistent
+// hashing — the same behavior as its §IV-A5 timer firing), subscribed
+// channels are pinned so their learned routes survive any churn, and the
+// idle-entry sweep is incremental (a few shards per call) instead of the old
+// O(entries) full-map scan.
 package localplan
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/dynamoth/dynamoth/internal/hotstate"
 	"github.com/dynamoth/dynamoth/internal/plan"
 )
 
 // DefaultTimeout is the per-entry timer of §IV-A5.
 const DefaultTimeout = 30 * time.Second
 
+// DefaultCap bounds the learned-entry cache when no explicit cap is given.
+// A real client publishes/subscribes on far fewer channels than this; the cap
+// only bites for IoT-style clients touching an unbounded channel namespace,
+// where evicted channels transparently fall back to consistent hashing.
+const DefaultCap = 4096
+
 // Learned is one channel's learned mapping. The struct itself is immutable
 // after creation except for the entry timer, which is atomic so that holders
 // of a routing snapshot (the client's lock-free publish/delivery paths) can
-// touch it without the Store owner's lock.
+// touch it without coordinating with the store.
 type Learned struct {
 	e        plan.Entry
 	version  uint64
@@ -38,58 +53,75 @@ func (l *Learned) Version() uint64 { return l.version }
 // client sends or receives a publication"). Safe for concurrent use.
 func (l *Learned) Touch(now time.Time) { l.lastUsed.Store(now.UnixNano()) }
 
-// Store is a client's local plan. Mutations are not safe for concurrent
-// use; the owner serializes them (the live client under its mutex, the
-// simulator on its single thread). Learned entries handed out by Lookup or
-// Each may be touched concurrently.
+// Store is a client's local plan. It is safe for concurrent use: entries
+// live in a lock-striped bounded cache, and the fallback ring is swapped
+// atomically. Learned entries handed out by Lookup or Each may be touched
+// concurrently.
 type Store struct {
-	base        *plan.Plan
-	entries     map[string]*Learned
-	timeout     time.Duration
+	base    atomic.Pointer[plan.Plan]
+	entries *hotstate.Cache[string, *Learned]
+	timeout time.Duration
+
+	ringMu      sync.Mutex
 	ringVersion uint64
+	ringScratch map[plan.ServerID]struct{} // reused by sameMembers
 }
 
 // New creates a local plan over the bootstrap server set (the consistent-
-// hash fallback ring).
+// hash fallback ring) with DefaultCap learned entries.
 func New(bootstrap []plan.ServerID, timeout time.Duration) *Store {
+	return NewWithCap(bootstrap, timeout, DefaultCap)
+}
+
+// NewWithCap is New with an explicit learned-entry bound (<=0 = unbounded).
+func NewWithCap(bootstrap []plan.ServerID, timeout time.Duration, cap int) *Store {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Store{
-		base:    plan.New(bootstrap...),
-		entries: make(map[string]*Learned),
-		timeout: timeout,
+	s := &Store{
+		entries: hotstate.New[string, *Learned](hotstate.Config[string, *Learned]{
+			Capacity: cap,
+		}),
+		timeout:     timeout,
+		ringScratch: make(map[plan.ServerID]struct{}, len(bootstrap)),
 	}
+	s.base.Store(plan.New(bootstrap...))
+	return s
 }
 
 // Base returns the fallback plan (for Home lookups).
-func (s *Store) Base() *plan.Plan { return s.base }
+func (s *Store) Base() *plan.Plan { return s.base.Load() }
 
 // UpdateRing replaces the fallback ring membership if version is newer than
 // any ring update seen so far (clients learn the active server set from
 // switch/redirect notifications). It reports whether the ring changed.
 func (s *Store) UpdateRing(servers []plan.ServerID, version uint64) bool {
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
 	if version <= s.ringVersion || len(servers) == 0 {
 		return false
 	}
 	s.ringVersion = version
-	if sameMembers(s.base.RingServers, servers) {
+	if s.sameMembersLocked(s.base.Load().RingServers, servers) {
 		return false
 	}
-	s.base = plan.New(servers...)
+	s.base.Store(plan.New(servers...))
 	return true
 }
 
-func sameMembers(a, b []plan.ServerID) bool {
+// sameMembersLocked compares server sets ignoring order, reusing the store's
+// scratch map so ring-update storms (every switch notification carries the
+// ring) do not allocate. Caller holds ringMu.
+func (s *Store) sameMembersLocked(a, b []plan.ServerID) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	in := make(map[plan.ServerID]struct{}, len(a))
+	clear(s.ringScratch)
 	for _, x := range a {
-		in[x] = struct{}{}
+		s.ringScratch[x] = struct{}{}
 	}
 	for _, x := range b {
-		if _, ok := in[x]; !ok {
+		if _, ok := s.ringScratch[x]; !ok {
 			return false
 		}
 	}
@@ -100,39 +132,40 @@ func sameMembers(a, b []plan.ServerID) bool {
 // timer), otherwise the consistent-hash fallback. version is the plan
 // version the entry was learned at (0 for fallback).
 func (s *Store) Lookup(channel string, now time.Time) (plan.Entry, uint64) {
-	if le, ok := s.entries[channel]; ok {
+	if le, ok := s.entries.Get(channel); ok {
 		le.Touch(now)
 		return le.e, le.version
 	}
-	e, _ := s.base.Lookup(channel)
+	e, _ := s.base.Load().Lookup(channel)
 	return e, 0
 }
 
 // Each visits every learned entry. The *Learned references remain valid (and
-// touchable) after the call — routing snapshots are built from them.
+// touchable) after the call — routing snapshots are built from them. f runs
+// under a shard lock and must not call back into the store.
 func (s *Store) Each(f func(channel string, l *Learned)) {
-	for ch, le := range s.entries {
+	s.entries.Range(func(ch string, le *Learned) bool {
 		f(ch, le)
-	}
+		return true
+	})
 }
 
 // Peek is Lookup without touching the timer.
 func (s *Store) Peek(channel string) (plan.Entry, uint64, bool) {
-	if le, ok := s.entries[channel]; ok {
+	if le, ok := s.entries.Peek(channel); ok {
 		return le.e, le.version, true
 	}
-	e, _ := s.base.Lookup(channel)
+	e, _ := s.base.Load().Lookup(channel)
 	return e, 0, false
 }
 
 // Update installs a mapping learned from a switch or wrong-server
 // notification. Stale versions (older than the stored entry) are ignored.
-// It reports whether the store changed.
+// A pinned channel stays pinned across updates. Inserting into a full cache
+// evicts a cold unpinned entry (which thereby falls back to consistent
+// hashing). It reports whether the store changed.
 func (s *Store) Update(channel string, e plan.Entry, version uint64, now time.Time) bool {
 	if !e.Strategy.Valid() || len(e.Servers) == 0 || channel == "" {
-		return false
-	}
-	if le, ok := s.entries[channel]; ok && version < le.version {
 		return false
 	}
 	le := &Learned{
@@ -140,40 +173,61 @@ func (s *Store) Update(channel string, e plan.Entry, version uint64, now time.Ti
 		version: version,
 	}
 	le.Touch(now)
-	s.entries[channel] = le
-	return true
+	return s.entries.Upsert(channel, func(old *Learned, exists bool) (*Learned, bool) {
+		if exists && version < old.version {
+			return old, false
+		}
+		return le, true
+	})
 }
 
 // Touch resets a channel's entry timer (called when the client sends or
-// receives a publication on it).
+// receives a publication on it) and marks it recently used for eviction.
 func (s *Store) Touch(channel string, now time.Time) {
-	if le, ok := s.entries[channel]; ok {
+	if le, ok := s.entries.Get(channel); ok {
 		le.Touch(now)
 	}
 }
 
-// Forget drops a channel's entry immediately.
-func (s *Store) Forget(channel string) { delete(s.entries, channel) }
+// Pin exempts a channel's learned entry from eviction and sweeping (the
+// client pins its subscriptions — §IV-A5 keeps those). Reports whether an
+// entry existed to pin. Unpinning a forgotten channel is a no-op.
+func (s *Store) Pin(channel string, pinned bool) bool {
+	return s.entries.Pin(channel, pinned)
+}
 
-// Sweep removes entries idle past the timeout, except for channels where
-// keep returns true (the client is subscribed — §IV-A5 keeps those).
-// It returns the number of entries dropped.
+// Forget drops a channel's entry immediately.
+func (s *Store) Forget(channel string) { s.entries.Delete(channel) }
+
+// Sweep incrementally removes entries idle past the timeout, except pinned
+// channels and channels where keep returns true. Each call covers a quarter
+// of the shards (rotating), so a sweep cadence of timeout/4 still visits
+// every entry within one timeout period at O(entries/4) per call. It returns
+// the number of entries dropped.
 func (s *Store) Sweep(now time.Time, keep func(channel string) bool) int {
-	dropped := 0
-	for ch, le := range s.entries {
+	return s.sweep(now, keep, s.entries.ShardCount()/4)
+}
+
+// SweepAll is Sweep over every shard at once (tests and shutdown paths).
+func (s *Store) SweepAll(now time.Time, keep func(channel string) bool) int {
+	return s.sweep(now, keep, 0)
+}
+
+func (s *Store) sweep(now time.Time, keep func(channel string) bool, maxShards int) int {
+	cutoff := now.Add(-s.timeout).UnixNano()
+	return s.entries.Sweep(maxShards, func(ch string, le *Learned) bool {
 		if keep != nil && keep(ch) {
-			continue
+			return false
 		}
-		if now.Sub(time.Unix(0, le.lastUsed.Load())) > s.timeout {
-			delete(s.entries, ch)
-			dropped++
-		}
-	}
-	return dropped
+		return le.lastUsed.Load() < cutoff
+	})
 }
 
 // Len returns the number of learned entries (the paper's "local plan size").
-func (s *Store) Len() int { return len(s.entries) }
+func (s *Store) Len() int { return s.entries.Len() }
 
 // Timeout returns the entry timeout.
 func (s *Store) Timeout() time.Duration { return s.timeout }
+
+// CacheStats snapshots the learned-entry cache counters for metric export.
+func (s *Store) CacheStats() hotstate.Stats { return s.entries.Stats() }

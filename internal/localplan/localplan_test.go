@@ -1,6 +1,9 @@
 package localplan
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -83,7 +86,7 @@ func TestSweepExpiry(t *testing.T) {
 	s.Update("fresh", mkEntry(plan.StrategySingle, "s2"), 1, epoch.Add(8*time.Second))
 	s.Update("kept", mkEntry(plan.StrategySingle, "s2"), 1, epoch)
 
-	dropped := s.Sweep(epoch.Add(11*time.Second), func(ch string) bool { return ch == "kept" })
+	dropped := s.SweepAll(epoch.Add(11*time.Second), func(ch string) bool { return ch == "kept" })
 	if dropped != 1 {
 		t.Fatalf("dropped=%d, want 1", dropped)
 	}
@@ -105,10 +108,10 @@ func TestTouchAndLookupResetTimer(t *testing.T) {
 	// Touch "a" (receive), Lookup "b" (send) at t=9s: both timers reset.
 	s.Touch("a", epoch.Add(9*time.Second))
 	s.Lookup("b", epoch.Add(9*time.Second))
-	if dropped := s.Sweep(epoch.Add(15*time.Second), nil); dropped != 0 {
+	if dropped := s.SweepAll(epoch.Add(15*time.Second), nil); dropped != 0 {
 		t.Fatalf("dropped=%d after timer resets", dropped)
 	}
-	if dropped := s.Sweep(epoch.Add(25*time.Second), nil); dropped != 2 {
+	if dropped := s.SweepAll(epoch.Add(25*time.Second), nil); dropped != 2 {
 		t.Fatalf("dropped=%d, want 2", dropped)
 	}
 }
@@ -173,4 +176,144 @@ func TestUpdateRingKeepsEntries(t *testing.T) {
 	if e, v := s.Lookup("ch", epoch); v != 2 || e.Servers[0] != "s1" {
 		t.Fatalf("entry lost on ring update: %+v v=%d", e, v)
 	}
+}
+
+func TestIncrementalSweepCoversStoreOverFullRotation(t *testing.T) {
+	s := New([]string{"s1"}, 10*time.Second)
+	for i := 0; i < 100; i++ {
+		s.Update(fmt.Sprintf("ch-%d", i), mkEntry(plan.StrategySingle, "s1"), 1, epoch)
+	}
+	// Each Sweep covers a quarter of the shards; four calls cover everything.
+	later := epoch.Add(time.Minute)
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += s.Sweep(later, nil)
+	}
+	if total != 100 || s.Len() != 0 {
+		t.Fatalf("4 incremental sweeps dropped %d, len=%d", total, s.Len())
+	}
+}
+
+func TestCapEvictionFallsBackToRing(t *testing.T) {
+	// Cap 16 = one entry per shard: flooding learned routes must evict, and
+	// evicted channels must resolve through consistent hashing again.
+	s := NewWithCap([]string{"s1", "s2"}, 0, 16)
+	for i := 0; i < 500; i++ {
+		s.Update(fmt.Sprintf("flood-%d", i), mkEntry(plan.StrategySingle, "s2"), 1, epoch)
+	}
+	if s.Len() > 16 {
+		t.Fatalf("len=%d exceeds cap", s.Len())
+	}
+	st := s.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded under cap pressure")
+	}
+	evicted := ""
+	for i := 0; i < 500; i++ {
+		ch := fmt.Sprintf("flood-%d", i)
+		if _, _, ok := s.Peek(ch); !ok {
+			evicted = ch
+			break
+		}
+	}
+	if evicted == "" {
+		t.Fatal("no channel was evicted")
+	}
+	e, v := s.Lookup(evicted, epoch)
+	if v != 0 {
+		t.Fatalf("evicted channel still learned: v=%d", v)
+	}
+	if e.Servers[0] != s.Base().Home(evicted) {
+		t.Fatal("evicted channel does not fall back to ring home")
+	}
+}
+
+func TestPinnedSubscriptionSurvivesEvictionAndSweep(t *testing.T) {
+	// Regression: a subscribed channel's learned route must survive both
+	// capacity churn from unbounded channel floods and idle sweeps.
+	s := NewWithCap([]string{"s1", "s2"}, 5*time.Second, 16)
+	s.Update("subscribed", mkEntry(plan.StrategySingle, "s2"), 7, epoch)
+	if !s.Pin("subscribed", true) {
+		t.Fatal("pin rejected")
+	}
+	for i := 0; i < 1000; i++ {
+		s.Update(fmt.Sprintf("flood-%d", i), mkEntry(plan.StrategySingle, "s1"), 1, epoch)
+	}
+	if e, v := s.Lookup("subscribed", epoch); v != 7 || e.Servers[0] != "s2" {
+		t.Fatalf("pinned route lost to capacity churn: %+v v=%d", e, v)
+	}
+	// Idle far past the timeout with no keep function: still retained.
+	if s.SweepAll(epoch.Add(time.Hour), nil) == 0 {
+		t.Fatal("sweep dropped nothing (flood entries should go)")
+	}
+	if _, v := s.Lookup("subscribed", epoch); v != 7 {
+		t.Fatal("pinned route swept while subscribed")
+	}
+	// Unsubscribe: unpin, and the entry ages out normally.
+	s.Pin("subscribed", false)
+	s.SweepAll(epoch.Add(2*time.Hour), nil)
+	if _, _, ok := s.Peek("subscribed"); ok {
+		t.Fatal("unpinned idle route survived sweep")
+	}
+	// Updates preserve the pin.
+	s.Update("sub2", mkEntry(plan.StrategySingle, "s1"), 1, epoch)
+	s.Pin("sub2", true)
+	s.Update("sub2", mkEntry(plan.StrategySingle, "s2"), 2, epoch)
+	if s.CacheStats().Pinned != 1 {
+		t.Fatal("update dropped the pin")
+	}
+}
+
+func TestUpdateRingDoesNotAllocatePerComparison(t *testing.T) {
+	s := New([]string{"s1", "s2", "s3", "s4"}, 0)
+	members := []string{"s4", "s3", "s2", "s1"}
+	version := uint64(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		version++
+		s.UpdateRing(members, version) // same membership: compare, no rebuild
+	})
+	if allocs != 0 {
+		t.Fatalf("UpdateRing allocates %.1f/op on identical membership", allocs)
+	}
+}
+
+// TestConcurrentTouchSweepUpdateRace is the -race gate over the striped
+// store: routing snapshots Touch learned entries while the owner updates,
+// sweeps, pins and rebuilds concurrently.
+func TestConcurrentTouchSweepUpdateRace(t *testing.T) {
+	s := NewWithCap([]string{"s1", "s2"}, 50*time.Millisecond, 128)
+	channels := make([]string, 256)
+	for i := range channels {
+		channels[i] = fmt.Sprintf("ch-%d", i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	run := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				f(i)
+			}
+		}()
+	}
+	now := func() time.Time { return time.Now() }
+	run(func(i int) { s.Touch(channels[i%256], now()) })
+	run(func(i int) { s.Lookup(channels[(i*7)%256], now()) })
+	run(func(i int) {
+		s.Update(channels[i%256], mkEntry(plan.StrategySingle, "s1"), uint64(i), now())
+	})
+	run(func(i int) { s.Sweep(now(), func(ch string) bool { return ch == channels[0] }) })
+	run(func(i int) { s.Pin(channels[i%256], i%2 == 0) })
+	run(func(i int) {
+		s.UpdateRing([]string{"s1", "s2", fmt.Sprintf("s%d", i%4)}, uint64(i))
+		s.Base().Home(channels[i%256])
+	})
+	run(func(i int) {
+		s.Each(func(string, *Learned) {})
+		s.CacheStats()
+	})
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
 }

@@ -305,6 +305,26 @@ func (e *Envelope) WireSize() int { return len(e.Marshal()) }
 // envelope without decoding (or allocating) anything else. It exists for the
 // broker-side latency observer, which runs on the publish hot path and must
 // not pay the full Unmarshal. ok is false for non-envelope payloads.
+// PeekNode extracts the originating node ID from an encoded envelope without
+// decoding it. Like PeekStamp it is allocation-free: the LLA calls it on the
+// broker's publish hot path for every message, where a full Unmarshal would
+// heap-allocate an Envelope per publication.
+func PeekNode(data []byte) (node uint32, ok bool) {
+	if len(data) < 2 || data[0] != envelopeMagic {
+		return 0, false
+	}
+	rest := data[2:]
+	_, n := binary.Uvarint(rest) // skip planVersion
+	if n <= 0 {
+		return 0, false
+	}
+	u, n := binary.Uvarint(rest[n:])
+	if n <= 0 || u > math.MaxUint32 {
+		return 0, false
+	}
+	return uint32(u), true
+}
+
 func PeekStamp(data []byte) (t Type, stamp int64, ok bool) {
 	if len(data) < 2 || data[0] != envelopeMagic {
 		return 0, 0, false

@@ -86,3 +86,46 @@ func TestPeekStampZeroAlloc(t *testing.T) {
 		t.Fatalf("PeekStamp allocates %v per run, want 0", allocs)
 	}
 }
+
+func TestPeekNodeMatchesUnmarshal(t *testing.T) {
+	f := func(typ uint8, node uint32, seq uint64, channel string, payload []byte) bool {
+		if typ == 0 {
+			typ = 1
+		}
+		in := Envelope{Type: Type(typ), ID: ID{Node: node, Seq: seq}, Channel: channel, Payload: payload}
+		data := in.Marshal()
+		got, ok := PeekNode(data)
+		if !ok {
+			return false
+		}
+		full, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return got == full.ID.Node
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekNodeRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, {0x00}, {0xFF, 0x01}, []byte("PING\r\n")} {
+		if _, ok := PeekNode(data); ok {
+			t.Errorf("PeekNode(%q) accepted garbage", data)
+		}
+	}
+}
+
+func TestPeekNodeZeroAlloc(t *testing.T) {
+	env := Envelope{Type: TypeData, ID: ID{Node: 0xD001, Seq: 42}, Channel: "game", Payload: make([]byte, 256)}
+	data := env.Marshal()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if n, ok := PeekNode(data); !ok || n != 0xD001 {
+			t.Fatal("PeekNode failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PeekNode allocates %v per run, want 0", allocs)
+	}
+}

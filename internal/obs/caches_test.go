@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dynamoth/dynamoth/internal/hotstate"
+)
+
+func TestRegisterCachesExposesFamilies(t *testing.T) {
+	c := hotstate.New[string, int](hotstate.Config[string, int]{Capacity: 2, Shards: 1})
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // evicts one
+	c.Get("a")
+	c.Get("nope")
+
+	r := NewRegistry()
+	r.RegisterCaches("dynamoth_test",
+		hotstate.NamedStats{Name: "routes", Stats: c.Stats},
+		hotstate.NamedStats{Name: "windows", Stats: func() hotstate.Stats {
+			return hotstate.Stats{Size: 7, Capacity: 100, Hits: 40}
+		}},
+	)
+	out := r.String()
+	fams, err := ValidateExposition(out)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	for name, kind := range map[string]string{
+		"dynamoth_test_hotstate_size":              "gauge",
+		"dynamoth_test_hotstate_capacity":          "gauge",
+		"dynamoth_test_hotstate_pinned":            "gauge",
+		"dynamoth_test_hotstate_hits_total":        "counter",
+		"dynamoth_test_hotstate_misses_total":      "counter",
+		"dynamoth_test_hotstate_evictions_total":   "counter",
+		"dynamoth_test_hotstate_expirations_total": "counter",
+	} {
+		if fams[name] != kind {
+			t.Errorf("family %s: kind=%q, want %q", name, fams[name], kind)
+		}
+	}
+	for _, want := range []string{
+		`dynamoth_test_hotstate_size{cache="routes"} 2`,
+		`dynamoth_test_hotstate_capacity{cache="routes"} 2`,
+		`dynamoth_test_hotstate_evictions_total{cache="routes"} 1`,
+		`dynamoth_test_hotstate_size{cache="windows"} 7`,
+		`dynamoth_test_hotstate_hits_total{cache="windows"} 40`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing sample %q in:\n%s", want, out)
+		}
+	}
+}

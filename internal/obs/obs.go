@@ -113,6 +113,13 @@ func (r *Registry) GaugeVec(name, help, label string, fn func() []Sample) {
 	r.add(&family{name: name, help: help, kind: "gauge", label: label, vec: fn})
 }
 
+// CounterVec registers a counter family with one label dimension; fn returns
+// the current samples on every scrape. Sample values must be monotonically
+// non-decreasing per label (e.g. per-cache eviction totals).
+func (r *Registry) CounterVec(name, help, label string, fn func() []Sample) {
+	r.add(&family{name: name, help: help, kind: "counter", label: label, vec: fn})
+}
+
 // Histogram registers h as a Prometheus histogram family (cumulative
 // _bucket/_sum/_count series) plus a companion "<name>_quantile" gauge
 // family exporting the given quantiles (e.g. 0.5, 0.99, 0.999) estimated by

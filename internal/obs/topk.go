@@ -1,10 +1,12 @@
 package obs
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/dynamoth/dynamoth/internal/hotstate"
 )
 
 // DefaultSampleShift makes the tracker count every 16th publication: a
@@ -12,10 +14,19 @@ import (
 // surface) and per-publish cost on the fan-out path.
 const DefaultSampleShift = 4
 
+// DefaultTopKCap bounds the distinct channels the tracker holds between
+// scrapes. CLOCK eviction keeps the hot ones — exactly the set top-K exists
+// to surface — so the cap costs accuracy only on channels too cold to rank.
+const DefaultTopKCap = 16384
+
 // TopK tracks the hottest channels by publish rate with sampled counting.
 // Record is safe on the publish hot path: it is one atomic add plus, on the
-// sampled subset, one lock-free sync.Map lookup and counter increment — no
-// allocation once a channel has been seen, no locking ever.
+// sampled subset (every 2^shift-th publication), one sharded cache hit and
+// counter increment — no allocation once a channel has been seen.
+//
+// The channel set is capacity-bounded: at IoT-style channel cardinality cold
+// channels are evicted (and idle channels dropped every scrape), so the
+// tracker holds O(cap) state regardless of namespace size.
 //
 // It implements the broker Observer shape (OnPublish/OnSubscribe/
 // OnUnsubscribe) so it can be attached with broker.AddObserver without obs
@@ -23,28 +34,45 @@ const DefaultSampleShift = 4
 type TopK struct {
 	shift uint64 // count every 2^shift-th publication
 	n     atomic.Uint64
-	// counts maps channel → *atomic.Uint64 sampled publication count.
-	counts sync.Map
+	// counts maps channel → sampled cumulative publication count.
+	counts *hotstate.Cache[string, *atomic.Uint64]
 
-	// snapMu guards the previous snapshot used to turn cumulative counts
-	// into rates between consecutive Top calls.
-	snapMu   sync.Mutex
-	lastSnap map[string]uint64
-	lastTime time.Time
-	now      func() time.Time
+	// snapMu guards the snapshot state used to turn cumulative counts into
+	// rates between consecutive Top calls. prev holds the previous scrape's
+	// cumulative counts; cur is the scratch map the current scrape fills.
+	// Both are reused (cleared, never reallocated) so a steady-state scrape
+	// performs zero map allocations.
+	snapMu      sync.Mutex
+	prev, cur   map[string]uint64
+	idleScratch []string
+	lastTime    time.Time
+	now         func() time.Time
 }
 
 // NewTopK creates a tracker sampling every 2^sampleShift-th publication
-// (DefaultSampleShift when negative). now supplies time for rate windows
-// (nil = wall clock).
+// (DefaultSampleShift when negative) holding at most DefaultTopKCap channels.
+// now supplies time for rate windows (nil = wall clock).
 func NewTopK(sampleShift int, now func() time.Time) *TopK {
+	return NewTopKWithCap(sampleShift, DefaultTopKCap, now)
+}
+
+// NewTopKWithCap is NewTopK with an explicit channel bound (<=0 = unbounded).
+func NewTopKWithCap(sampleShift, cap int, now func() time.Time) *TopK {
 	if sampleShift < 0 {
 		sampleShift = DefaultSampleShift
 	}
 	if now == nil {
 		now = time.Now
 	}
-	t := &TopK{shift: uint64(sampleShift), now: now, lastSnap: make(map[string]uint64)}
+	t := &TopK{
+		shift: uint64(sampleShift),
+		now:   now,
+		counts: hotstate.New[string, *atomic.Uint64](hotstate.Config[string, *atomic.Uint64]{
+			Capacity: cap,
+		}),
+		prev: make(map[string]uint64),
+		cur:  make(map[string]uint64),
+	}
 	t.lastTime = now()
 	return t
 }
@@ -55,12 +83,19 @@ func (t *TopK) Record(channel string) {
 	if n&(1<<t.shift-1) != 0 {
 		return
 	}
-	if c, ok := t.counts.Load(channel); ok {
-		c.(*atomic.Uint64).Add(1)
+	if c, ok := t.counts.Get(channel); ok {
+		c.Add(1)
 		return
 	}
-	c, _ := t.counts.LoadOrStore(channel, new(atomic.Uint64))
-	c.(*atomic.Uint64).Add(1)
+	c := new(atomic.Uint64)
+	t.counts.Upsert(channel, func(old *atomic.Uint64, exists bool) (*atomic.Uint64, bool) {
+		if exists {
+			c = old
+			return old, false
+		}
+		return c, true
+	})
+	c.Add(1)
 }
 
 // OnPublish implements the broker observer hook.
@@ -79,11 +114,16 @@ type ChannelRate struct {
 }
 
 // Top returns up to k channels ordered by publish rate since the previous
-// Top call (rate since tracker start on the first call). Sampled counts are
+// scrape. See TopInto.
+func (t *TopK) Top(k int) []ChannelRate { return t.TopInto(k, nil) }
+
+// TopInto is Top reusing dst's capacity for the result — the allocation-free
+// form for periodic scrape loops. Rates are measured since the previous
+// Top/TopInto call (since tracker start on the first). Sampled counts are
 // scaled back up by the sampling factor. Channels idle for a full window are
-// dropped from the tracker so a long top-K scrape loop cannot grow without
-// bound.
-func (t *TopK) Top(k int) []ChannelRate {
+// dropped from the tracker so a long scrape loop cannot grow it even toward
+// the cap.
+func (t *TopK) TopInto(k int, dst []ChannelRate) []ChannelRate {
 	t.snapMu.Lock()
 	defer t.snapMu.Unlock()
 	now := t.now()
@@ -92,33 +132,55 @@ func (t *TopK) Top(k int) []ChannelRate {
 		elapsed = 1
 	}
 	scale := float64(uint64(1) << t.shift)
-	next := make(map[string]uint64)
-	var rates []ChannelRate
-	t.counts.Range(func(key, val any) bool {
-		ch := key.(string)
-		cum := val.(*atomic.Uint64).Load()
-		next[ch] = cum
-		delta := cum - t.lastSnap[ch]
-		if delta == 0 {
-			// Idle for the whole window: forget the channel. A publication
-			// racing this delete just re-creates the entry.
-			t.counts.Delete(ch)
-			delete(next, ch)
+	rates := dst[:0]
+	clear(t.cur)
+	idle := t.idleScratch[:0]
+	t.counts.Range(func(ch string, c *atomic.Uint64) bool {
+		cum := c.Load()
+		last, seen := t.prev[ch]
+		if cum < last {
+			// The channel was evicted and re-created since the last scrape:
+			// its counter restarted, so the full count is this window's.
+			last = 0
+		}
+		delta := cum - last
+		if delta == 0 && seen {
+			// Idle for the whole window: forget the channel. Deletion is
+			// deferred — Range holds the shard lock. A publication racing
+			// the delete just re-creates the entry.
+			idle = append(idle, ch)
 			return true
 		}
-		rates = append(rates, ChannelRate{Channel: ch, Rate: float64(delta) * scale / elapsed})
+		t.cur[ch] = cum
+		if delta > 0 {
+			rates = append(rates, ChannelRate{Channel: ch, Rate: float64(delta) * scale / elapsed})
+		}
 		return true
 	})
-	t.lastSnap = next
+	for _, ch := range idle {
+		t.counts.Delete(ch)
+	}
+	t.idleScratch = idle[:0]
+	t.prev, t.cur = t.cur, t.prev
 	t.lastTime = now
-	sort.Slice(rates, func(i, j int) bool {
-		if rates[i].Rate != rates[j].Rate {
-			return rates[i].Rate > rates[j].Rate
+	slices.SortFunc(rates, func(a, b ChannelRate) int {
+		switch {
+		case a.Rate > b.Rate:
+			return -1
+		case a.Rate < b.Rate:
+			return 1
+		case a.Channel < b.Channel:
+			return -1
+		case a.Channel > b.Channel:
+			return 1
 		}
-		return rates[i].Channel < rates[j].Channel
+		return 0
 	})
 	if len(rates) > k {
 		rates = rates[:k]
 	}
 	return rates
 }
+
+// CacheStats snapshots the channel-cache counters for metric export.
+func (t *TopK) CacheStats() hotstate.Stats { return t.counts.Stats() }

@@ -64,6 +64,62 @@ func TestTopKDropsIdleChannels(t *testing.T) {
 	}
 }
 
+func TestTopKCapBoundsChannelSet(t *testing.T) {
+	now := time.Unix(0, 0)
+	tk := NewTopKWithCap(0, 64, func() time.Time { return now })
+	for i := 0; i < 100_000; i++ {
+		tk.Record(fmt.Sprintf("dev-%d", i))
+	}
+	st := tk.CacheStats()
+	if st.Size > 64 {
+		t.Fatalf("tracked channels=%d exceed cap 64", st.Size)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under cap pressure")
+	}
+	now = now.Add(time.Second)
+	if top := tk.Top(1000); len(top) > 64 {
+		t.Fatalf("top returned %d channels", len(top))
+	}
+}
+
+func TestTopKHotChannelSurvivesColdFlood(t *testing.T) {
+	now := time.Unix(0, 0)
+	tk := NewTopKWithCap(0, 64, func() time.Time { return now })
+	// Interleave a hot channel with a cold flood: CLOCK keeps the hot one.
+	for i := 0; i < 10_000; i++ {
+		tk.Record("hot")
+		tk.Record(fmt.Sprintf("cold-%d", i))
+	}
+	now = now.Add(time.Second)
+	top := tk.Top(1)
+	if len(top) != 1 || top[0].Channel != "hot" {
+		t.Fatalf("hot channel lost to cold flood: %+v", top)
+	}
+}
+
+func TestTopKEvictedChannelDeltaUnderflowGuard(t *testing.T) {
+	// A channel scraped at a high count, then evicted and re-created, has
+	// cum < prev. The delta must clamp to the new cum, not wrap around.
+	now := time.Unix(0, 0)
+	tk := NewTopKWithCap(0, 16, func() time.Time { return now }) // 1 slot/shard
+	for i := 0; i < 1000; i++ {
+		tk.Record("victim")
+	}
+	now = now.Add(time.Second)
+	tk.Top(100) // snapshot victim at 1000
+	for i := 0; i < 1000; i++ {
+		tk.Record(fmt.Sprintf("flood-%d", i)) // evict victim
+	}
+	tk.Record("victim") // re-created with count 1
+	now = now.Add(time.Second)
+	for _, cr := range tk.Top(1000) {
+		if cr.Rate < 0 || cr.Rate > 1e12 {
+			t.Fatalf("underflowed rate for %s: %v", cr.Channel, cr.Rate)
+		}
+	}
+}
+
 func TestTopKConcurrent(t *testing.T) {
 	tk := NewTopK(-1, nil)
 	var wg sync.WaitGroup
@@ -86,4 +142,41 @@ func TestTopKConcurrent(t *testing.T) {
 	}()
 	wg.Wait()
 	<-done
+}
+
+// BenchmarkTopKScrape gates the satellite requirement: a steady-state scrape
+// (stable channel set, reused destination slice) performs zero allocations —
+// no fresh snapshot map per Top call.
+func BenchmarkTopKScrape(b *testing.B) {
+	now := time.Unix(0, 0)
+	tk := NewTopK(0, func() time.Time { return now })
+	channels := make([]string, 256)
+	for i := range channels {
+		channels[i] = fmt.Sprintf("ch-%d", i)
+	}
+	dst := make([]ChannelRate, 0, 256)
+	record := func() {
+		for _, ch := range channels {
+			tk.Record(ch)
+		}
+	}
+	record()
+	now = now.Add(time.Second)
+	dst = tk.TopInto(16, dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		record() // keep every channel active so none are dropped as idle
+		now = now.Add(time.Second)
+		dst = tk.TopInto(16, dst[:0])
+	}
+}
+
+func BenchmarkTopKRecordHit(b *testing.B) {
+	tk := NewTopK(0, nil)
+	tk.Record("ch")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.Record("ch")
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/hotstate"
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/metrics"
 	"github.com/dynamoth/dynamoth/internal/obs"
@@ -177,6 +178,14 @@ func (n *Node) buildRegistry() {
 	r.Histogram("dynamoth_e2e_latency_seconds",
 		"Publish-to-deliver latency: stamped at client publish, observed at broker fan-out.",
 		n.e2e, 0.5, 0.99, 0.999)
+	// Bounded hot-state caches: every per-channel map on this node with its
+	// size/capacity/eviction counters, scrapeable at /metrics.
+	accum := n.LLA.Accumulator()
+	r.RegisterCaches("dynamoth_node",
+		hotstate.NamedStats{Name: "lla_units", Stats: accum.UnitCacheStats},
+		hotstate.NamedStats{Name: "lla_subscribers", Stats: accum.SubscriberCacheStats},
+		hotstate.NamedStats{Name: "topk", Stats: n.topk.CacheStats},
+	)
 	// Derived reconfiguration families from the node's flight recorder
 	// (no-op when the node runs without one).
 	n.rec.RegisterMetrics(r)

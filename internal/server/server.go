@@ -38,6 +38,13 @@ type Options struct {
 	MaxOutgoingBps float64
 	// Unit and ReportEvery configure the LLA (defaults 1 s / 3 s).
 	Unit, ReportEvery time.Duration
+	// LLAChannelCap bounds the distinct channels the LLA tracks per time
+	// unit (0 = lla.DefaultChannelCap, negative = unbounded); traffic beyond
+	// the cap folds into the report's overflow bucket.
+	LLAChannelCap int
+	// TopKCap bounds the hot-channel tracker's channel set
+	// (0 = obs.DefaultTopKCap, negative = unbounded).
+	TopKCap int
 	// OutputBuffer is the broker's per-session output limit.
 	OutputBuffer int
 	// ConnCore selects the broker's connection-serving implementation for
@@ -95,6 +102,7 @@ func New(opts Options) (*Node, error) {
 		MaxOutgoingBps: opts.MaxOutgoingBps,
 		Unit:           opts.Unit,
 		ReportEvery:    opts.ReportEvery,
+		ChannelCap:     opts.LLAChannelCap,
 		Clock:          opts.Clock,
 		Logger:         opts.Logger,
 	})
@@ -123,7 +131,7 @@ func New(opts Options) (*Node, error) {
 		Broker:     b,
 		LLA:        analyzer,
 		Dispatcher: disp,
-		topk:       obs.NewTopK(-1, opts.Clock.Now),
+		topk:       obs.NewTopKWithCap(-1, topKCap(opts.TopKCap), opts.Clock.Now),
 		e2e:        newE2EHistogram(),
 		rec:        opts.Recorder,
 		log:        trace.Component(opts.Logger, "server"),
@@ -143,6 +151,18 @@ func New(opts Options) (*Node, error) {
 	n.buildRegistry()
 	go n.pumpReports(opts.PublishReports)
 	return n, nil
+}
+
+// topKCap maps the Options convention (0 = default, negative = unbounded) to
+// the tracker's (positive = cap, <=0 = unbounded).
+func topKCap(v int) int {
+	switch {
+	case v == 0:
+		return obs.DefaultTopKCap
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // pumpReports publishes LLA reports on the local control channel.

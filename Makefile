@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos obs conns channels bench experiments examples vet clean
+.PHONY: all build test test-short race chaos replay obs conns channels bench experiments examples vet clean
 
 all: vet test
 
@@ -27,6 +27,15 @@ race:
 # twice under the race detector.
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Fail|Crash' ./...
+
+# Zero-loss delivery suite: cursor encoding + seq tracker + replay ring
+# property tests, the dedup-window interop regressions, and the chaos
+# zero-loss scenarios, all under the race detector — then the publish hot
+# path with replay rings enabled must still run at 0 allocs/op.
+replay:
+	$(GO) test -race -run 'Replay|Cursor|SeqTracker|Dedup' ./...
+	$(GO) test -race -count=1 -run 'TestChaosBrokerCrashMidPublishStorm|TestChaosRebalanceDrainZeroLoss' ./cluster/
+	$(GO) test -run xxx -bench 'BenchmarkBrokerFanOut|BenchmarkBrokerPublishParallel|BenchmarkBrokerPublishReplay' -benchmem .
 
 # Observability suite: exposition/registry/admin unit tests, the scrape
 # cross-checks, the flight-recorder (trace) package under the race

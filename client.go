@@ -30,6 +30,12 @@ type Message struct {
 	// Publisher is the numeric node ID of the publishing client (0 if
 	// unknown).
 	Publisher uint32
+	// ChannelEpoch and ChannelSeq are the broker-assigned replay position of
+	// this publication: the ring incarnation it was retained under and its
+	// dense per-channel sequence within it. Both are 0 when the delivering
+	// broker has replay disabled.
+	ChannelEpoch uint64
+	ChannelSeq   uint64
 }
 
 // Config configures a client.
@@ -77,6 +83,14 @@ type Config struct {
 	// records nothing; the publish and delivery hot paths are untouched
 	// either way.
 	Recorder *trace.Recorder
+	// OnReplayGap is invoked when a re-homed subscription's resume cursor
+	// asked for frames the broker's replay ring had already overwritten — a
+	// definite, unrecoverable delivery gap of missed frames on channel. Nil
+	// means the gap is only counted (Stats.ReplayGapFrames and the
+	// dynamoth_client_replay_gap_unrecoverable_total metric). Called from the
+	// client's control plane; implementations must not call back into the
+	// client synchronously.
+	OnReplayGap func(channel string, missed uint64)
 	// Logger receives structured client logs. Nil discards.
 	Logger *slog.Logger
 }
@@ -148,6 +162,14 @@ type Stats struct {
 	Redirects            uint64 // wrong-server/switch notifications processed
 	DialFailures         uint64 // failed dial attempts (each arms redial backoff)
 	Redials              uint64 // successful reconnections after a failure or disconnect
+	// ReplayRequests counts cursor-based resubscribes issued when a
+	// subscription was re-homed; ReplayedFrames is how many retained frames
+	// brokers replayed to fill the resulting gaps. ReplayGapFrames counts
+	// frames declared unrecoverable (the ring had already overwritten them) —
+	// the only delivery loss the replay machinery cannot close.
+	ReplayRequests  uint64
+	ReplayedFrames  uint64
+	ReplayGapFrames uint64
 }
 
 // Client is a Dynamoth pub/sub client: a standard publish/subscribe API
@@ -195,6 +217,10 @@ type Client struct {
 	redirects    atomic.Uint64
 	dialFailures atomic.Uint64
 	redials      atomic.Uint64
+
+	replayRequests atomic.Uint64 // cursor resubscribes issued
+	replayedFrames atomic.Uint64 // frames brokers replayed for us
+	replayGaps     atomic.Uint64 // frames declared unrecoverable
 
 	rec *trace.Recorder
 	log *slog.Logger
@@ -258,6 +284,12 @@ type subscription struct {
 	// servers and broken are guarded by Client.mu (control plane only).
 	servers []plan.ServerID
 	broken  bool // needs repair after a disconnect
+
+	// track is the channel's delivery-continuity state: it turns the
+	// (epoch, seq) stamps on arriving frames into the resume cursor a
+	// re-homing presents to the new broker. It has its own lock and is never
+	// replaced for the life of the subscription.
+	track *seqTracker
 }
 
 // closeOut closes the delivery stream exactly once.
@@ -376,6 +408,9 @@ func (c *Client) Stats() Stats {
 		Redirects:            c.redirects.Load(),
 		DialFailures:         c.dialFailures.Load(),
 		Redials:              c.redials.Load(),
+		ReplayRequests:       c.replayRequests.Load(),
+		ReplayedFrames:       c.replayedFrames.Load(),
+		ReplayGapFrames:      c.replayGaps.Load(),
 	}
 }
 
@@ -412,6 +447,15 @@ func (c *Client) RegisterMetrics(r *obs.Registry) {
 	r.Counter("dynamoth_client_redials_total",
 		"Successful reconnections after a failure or disconnect.",
 		c.redials.Load)
+	r.Counter("dynamoth_client_replay_requests_total",
+		"Cursor-based resubscribes issued when a subscription was re-homed.",
+		c.replayRequests.Load)
+	r.Counter("dynamoth_client_replayed_total",
+		"Frames brokers replayed to fill re-homing gaps.",
+		c.replayedFrames.Load)
+	r.Counter("dynamoth_client_replay_gap_unrecoverable_total",
+		"Frames declared unrecoverable: the broker ring had already overwritten them.",
+		c.replayGaps.Load)
 	r.Histogram("dynamoth_client_e2e_latency_seconds",
 		"Publish-to-deliver latency observed by this client.",
 		c.e2e, 0.5, 0.99, 0.999)
@@ -557,6 +601,7 @@ func (c *Client) Subscribe(channel string) (<-chan Message, error) {
 	sub := &subscription{
 		out:     make(chan Message, c.cfg.SubscribeBuffer),
 		servers: append([]plan.ServerID(nil), targets...),
+		track:   &seqTracker{},
 	}
 	c.subs[channel] = sub
 	if err := c.subscribeOnLocked(channel, targets); err != nil {
@@ -786,6 +831,131 @@ func (c *Client) subscribeOnLocked(channel string, targets []plan.ServerID) erro
 	return nil
 }
 
+// replayOutcome summarizes one re-homing's cursor resubscribes so the caller
+// can record traces and fire the gap callback after releasing c.mu.
+type replayOutcome struct {
+	attempted bool   // at least one cursor subscribe was issued
+	replayed  int    // frames brokers queued to fill our gaps
+	missed    uint64 // frames declared unrecoverable
+}
+
+// resubscribeOnLocked re-homes channel's subscription onto targets with the
+// subscription's resume cursor: each target that supports cursor subscribes
+// replays the frames we are owed before live flow; anything else (or a
+// subscription with nothing to resume) degrades to a plain Subscribe. When a
+// broker reports part of the cursor's range already overwritten, the gap is
+// forgiven in the tracker — asking again can never succeed — and surfaced in
+// the outcome.
+func (c *Client) resubscribeOnLocked(channel string, targets []plan.ServerID, sub *subscription) (replayOutcome, error) {
+	var out replayOutcome
+	if sub == nil || sub.track == nil {
+		return out, c.subscribeOnLocked(channel, targets)
+	}
+	cur, sent, ok := sub.track.cursor()
+	if !ok {
+		return out, c.subscribeOnLocked(channel, targets)
+	}
+	var firstErr error
+	okCount := 0
+	for _, s := range targets {
+		conn, err := c.resolveConnLocked(channel, s)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cs, can := conn.conn.(transport.CursorSubscriber)
+		if !can {
+			if err := conn.conn.Subscribe(channel); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			okCount++
+			continue
+		}
+		res, err := cs.SubscribeCursor(channel, cur)
+		if err != nil {
+			// The cursor was rejected or the ack lost; a plain subscribe on
+			// the same connection keeps live flow alive (the gap, if any,
+			// stays open in the tracker for the next re-home to claim).
+			if err2 := conn.conn.Subscribe(channel); err2 != nil {
+				if firstErr == nil {
+					firstErr = err2
+				}
+				continue
+			}
+			okCount++
+			continue
+		}
+		okCount++
+		out.attempted = true
+		out.replayed += res.Replayed
+		c.replayRequests.Add(1)
+		c.replayedFrames.Add(uint64(res.Replayed))
+		if res.Missed > 0 {
+			// Missed is relative to the contiguous sequence we claimed for
+			// the matched epoch: everything up to sent+missed is gone.
+			sub.track.forgive(res.Epoch, sent[res.Epoch]+res.Missed)
+			out.missed += res.Missed
+			c.replayGaps.Add(res.Missed)
+		}
+	}
+	if okCount == 0 && firstErr != nil {
+		return out, fmt.Errorf("dynamoth: subscribe %q: %w", channel, firstErr)
+	}
+	return out, nil
+}
+
+// recordReplay emits the trace/log/callback side of a re-homing's replay,
+// outside c.mu (OnReplayGap is user code).
+func (c *Client) recordReplay(channel, detail string, planVersion uint64, out replayOutcome) {
+	if !out.attempted {
+		return
+	}
+	c.rec.Record(trace.KindReplay, planVersion, channel, detail, int64(out.replayed), int64(out.missed))
+	if out.missed == 0 {
+		return
+	}
+	c.rec.Record(trace.KindReplayGap, planVersion, channel, detail, int64(out.missed), 0)
+	c.log.Warn("unrecoverable replay gap",
+		slog.String("channel", channel),
+		slog.String("reason", detail),
+		slog.Uint64("missed", out.missed))
+	if c.cfg.OnReplayGap != nil {
+		c.cfg.OnReplayGap(channel, out.missed)
+	}
+}
+
+// observeSeq consumes an arriving frame's (epoch, seq) for gap accounting
+// without delivering it (the dedup-suppressed path).
+func (c *Client) observeSeq(channel string, env *message.Envelope) {
+	rt := c.route.Load()
+	if rt == nil {
+		return
+	}
+	if sub := rt.subs[channel]; sub != nil && sub.track != nil {
+		sub.track.observe(env.Epoch, env.ChannelSeq, env.Stamp)
+	}
+}
+
+// ReplayGaps reports the subscriptions' current open sequence holes: frames
+// the replay machinery still expects a broker to replay or declare lost. At
+// quiescence it is zero; the chaos suite asserts that.
+func (c *Client) ReplayGaps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, sub := range c.subs {
+		if sub.track != nil {
+			n += sub.track.openGaps()
+		}
+	}
+	return n
+}
+
 // handleMessage processes every inbound payload from any connection.
 func (c *Client) handleMessage(channel string, payload []byte) {
 	env, err := message.Unmarshal(payload)
@@ -796,6 +966,10 @@ func (c *Client) handleMessage(channel string, payload []byte) {
 	case message.TypeData, message.TypeForwarded:
 		if c.dedup.Observe(env.ID) {
 			c.duplicates.Add(1)
+			// The suppressed copy still consumes its broker's (epoch, seq):
+			// a forwarded frame re-stamped by another broker would otherwise
+			// leave a phantom hole in that broker's sequence.
+			c.observeSeq(channel, env)
 			c.noteDuplicate(channel)
 			return
 		}
@@ -829,13 +1003,18 @@ func (c *Client) deliver(channel string, env *message.Envelope) {
 	if sub == nil {
 		return // already unsubscribed; late delivery
 	}
+	if sub.track != nil {
+		sub.track.observe(env.Epoch, env.ChannelSeq, env.Stamp)
+	}
 	msg := Message{
 		Channel: channel,
 		// The transport transferred payload ownership to us (Handler docs)
 		// and env.Payload aliases it, so it goes to the application without
 		// another copy.
-		Payload:   env.Payload,
-		Publisher: env.ID.Node,
+		Payload:      env.Payload,
+		Publisher:    env.ID.Node,
+		ChannelEpoch: env.Epoch,
+		ChannelSeq:   env.ChannelSeq,
 	}
 	// The non-blocking send happens under the subscription's own mutex so it
 	// cannot race closeOut in Unsubscribe/Close; deliveries on different
@@ -903,8 +1082,9 @@ func (c *Client) applyEntryUpdate(channel string, env *message.Envelope, resubsc
 	newTargets := plan.SubscribeTargets(newEntry, channel, c.clientKey())
 	sub.servers = append([]plan.ServerID(nil), newTargets...)
 	// Subscribe on the new servers while still holding the lock (conn
-	// operations don't re-enter the client mutex).
-	_ = c.subscribeOnLocked(channel, added(oldServers, newTargets))
+	// operations don't re-enter the client mutex), presenting the resume
+	// cursor so the new home replays anything the drain window would lose.
+	replay, _ := c.resubscribeOnLocked(channel, added(oldServers, newTargets), sub)
 	for _, s := range removed(oldServers, newTargets) {
 		if conn, ok := c.conns[s]; ok {
 			_ = conn.conn.Unsubscribe(channel) // best effort
@@ -916,6 +1096,7 @@ func (c *Client) applyEntryUpdate(channel string, env *message.Envelope, resubsc
 	c.openWindowLocked(channel, env.PlanVersion, "switch")
 	c.rebuildRouteLocked()
 	c.mu.Unlock()
+	c.recordReplay(channel, "switch", env.PlanVersion, replay)
 	c.rec.Record(trace.KindMigrate, env.PlanVersion, channel, "switch", 1, int64(len(newTargets)))
 	c.log.Info("subscription migrated",
 		slog.String("channel", channel),
@@ -1099,15 +1280,25 @@ func (c *Client) sweep() {
 			repairs = append(repairs, ch)
 		}
 	}
+	type repairedReplay struct {
+		ch  string
+		out replayOutcome
+	}
+	var replays []repairedReplay
 	for _, ch := range repairs {
 		sub := c.subs[ch]
 		entry := c.lookupLocked(ch)
 		targets := plan.SubscribeTargets(entry, ch, c.clientKey())
 		sub.servers = append([]plan.ServerID(nil), targets...)
-		if err := c.subscribeOnLocked(ch, targets); err != nil {
+		// The resume cursor turns the failover from "hope the overlap covered
+		// it" into an explicit replay of the crash window from the successor's
+		// ring (or, after a redial, from the same broker's ring).
+		replay, err := c.resubscribeOnLocked(ch, targets, sub)
+		if err != nil {
 			sub.broken = true // retry next sweep
 			continue
 		}
+		replays = append(replays, repairedReplay{ch, replay})
 		// Failover re-homing can overlap with the old server's tail or the
 		// repaired plan's forwarding: open a dedup window for the transition
 		// (plan 0 — the timeline attributes it to the enclosing repair).
@@ -1139,6 +1330,9 @@ func (c *Client) sweep() {
 		c.rebuildRouteLocked()
 	}
 	c.mu.Unlock()
+	for _, r := range replays {
+		c.recordReplay(r.ch, "failover", 0, r.out)
+	}
 }
 
 // connHandler routes transport events back into the client.

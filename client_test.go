@@ -33,7 +33,8 @@ func newTestDeployment(t *testing.T, servers ...string) *testDeployment {
 	initial := plan.New(servers...)
 	initial.Version = 1
 	for _, s := range servers {
-		d.brokers[s] = broker.New(broker.Options{Name: s})
+		// Replay rings on, as in a default server.Node deployment.
+		d.brokers[s] = broker.New(broker.Options{Name: s, ReplayDepth: 256})
 	}
 	d.dialer = transport.NewMemDialer(d.brokers, transport.MemDialerOptions{})
 	fwd := dispatcher.ForwarderFunc(func(server plan.ServerID, channel string, payload []byte) error {
@@ -611,5 +612,122 @@ func TestDedupWindowEvictionFlushesSuppressed(t *testing.T) {
 	}
 	if opens, closes := rec.Count(trace.KindDedupOpen), rec.Count(trace.KindDedupClose); closes != opens {
 		t.Errorf("dedup closes = %d, opens = %d; every window must close exactly once", closes, opens)
+	}
+}
+
+// TestReplayedDuplicateAfterWindowEviction pins the interop between the
+// replay machinery and dedup-window accounting: a genuine replayed duplicate
+// (the broker re-sends an already-delivered frame on a cursor resubscribe)
+// arriving while its channel's window is open is counted in that window; the
+// same duplicate arriving AFTER the window was capacity-evicted is counted
+// nowhere — so Σ dedup_close stays equal to the DuplicatesSuppressed counter
+// no matter when eviction lands relative to the replay.
+func TestReplayedDuplicateAfterWindowEviction(t *testing.T) {
+	d := newTestDeployment(t, "s1")
+	rec := trace.NewRecorder(4096)
+	c, err := ConnectWithDialer(d.dialer, d.servers, Config{
+		NodeID:         78,
+		DedupWindowCap: 16,
+		Recorder:       rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := c.Subscribe("replayed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := d.client(t, 79)
+	if err := pub.Publish("replayed", []byte("m1")); err != nil {
+		t.Fatal(err)
+	}
+	recvMsg(t, msgs)
+
+	// rewindTracker forgets that the frame was consumed, so the next cursor
+	// resubscribe asks the broker to replay it — producing a real replayed
+	// duplicate through the full delivery pipeline (same envelope ID, caught
+	// by the deduper).
+	c.mu.Lock()
+	sub := c.subs["replayed"]
+	c.mu.Unlock()
+	rewindTracker := func() {
+		sub.track.mu.Lock()
+		for _, tr := range sub.track.epochs {
+			tr.contig = 0
+			tr.pending = nil
+		}
+		sub.track.mu.Unlock()
+	}
+	resubscribe := func() replayOutcome {
+		t.Helper()
+		c.mu.Lock()
+		out, err := c.resubscribeOnLocked("replayed", []plan.ServerID{"s1"}, sub)
+		c.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.attempted || out.replayed != 1 {
+			t.Fatalf("replay outcome %+v, want 1 frame replayed", out)
+		}
+		return out
+	}
+	waitDuplicates := func(n uint64) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for c.Stats().Duplicates < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("duplicates=%d, want %d", c.Stats().Duplicates, n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Replayed duplicate #1 arrives while the channel's window is open: it is
+	// attributed to the window.
+	c.mu.Lock()
+	c.openWindowLocked("replayed", 1, "switch")
+	c.mu.Unlock()
+	rewindTracker()
+	resubscribe()
+	waitDuplicates(1)
+	if got := c.Stats().DuplicatesSuppressed; got != 1 {
+		t.Fatalf("suppressed=%d with the window open, want 1", got)
+	}
+
+	// Evict the window under capacity pressure (its count of 1 flushes to the
+	// recorder), then deliver replayed duplicate #2 with no window to land in.
+	for i := 0; i < 64; i++ {
+		ch := fmt.Sprintf("pressure-%d", i)
+		c.mu.Lock()
+		c.openWindowLocked(ch, 1, "switch")
+		c.mu.Unlock()
+	}
+	evicted := false
+	for _, e := range rec.Events(0) {
+		if e.Kind == trace.KindDedupClose && e.Subject == "replayed" && e.Detail == "evicted" {
+			evicted = true
+		}
+	}
+	if !evicted {
+		t.Fatal("channel's dedup window was not capacity-evicted by the pressure windows")
+	}
+	rewindTracker()
+	resubscribe()
+	waitDuplicates(2)
+	if got := c.Stats().DuplicatesSuppressed; got != 1 {
+		t.Fatalf("suppressed=%d after post-eviction replay duplicate, want still 1 (no window to attribute it to)", got)
+	}
+
+	// Close flushes the surviving windows; the two views must agree exactly:
+	// one suppressed duplicate, recorded once, in the evicted window's flush.
+	c.Close()
+	if got, want := rec.Sum(trace.KindDedupClose), int64(c.suppressed.Load()); got != want {
+		t.Errorf("sum of KindDedupClose values = %d, want %d (suppressed counter)", got, want)
+	}
+	if opens, closes := rec.Count(trace.KindDedupOpen), rec.Count(trace.KindDedupClose); closes != opens {
+		t.Errorf("dedup closes = %d, opens = %d; every window must close exactly once", closes, opens)
+	}
+	if st := c.Stats(); st.ReplayRequests != 2 || st.ReplayedFrames != 2 {
+		t.Errorf("replay stats %+v, want 2 requests / 2 frames", st)
 	}
 }

@@ -11,10 +11,16 @@ import (
 )
 
 // TestChaosBrokerCrashMidPublishStorm kills one of four brokers in the
-// middle of a 50-channel publish storm and asserts the deterministic
+// middle of a 50-channel sequenced publish storm and asserts the zero-loss
 // recovery contract: the failure detector repairs the plan within a bounded
-// window, every subscription survives on the remaining brokers, every
-// post-repair publish is delivered, and nothing is delivered twice.
+// window, every subscription survives on the remaining brokers, and every
+// accepted publish — including those racing the detection/repair window —
+// is delivered exactly once (zero gaps, zero dupes). The storm pauses for
+// the crash instant itself: a frame the dying broker accepted but had not
+// yet fanned out needs publisher acknowledgments to recover, which is out
+// of scope; the replay rings close the much larger failover window — frames
+// published to a channel's new home before the subscriber's cursor
+// resubscribe lands there.
 func TestChaosBrokerCrashMidPublishStorm(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test is seconds-long")
@@ -67,43 +73,100 @@ func TestChaosBrokerCrashMidPublishStorm(t *testing.T) {
 		}(msgs)
 	}
 
-	// Publish storm across all channels while the broker dies.
-	stopStorm := make(chan struct{})
-	stormDone := make(chan struct{})
-	go func() {
-		defer close(stormDone)
-		i := 0
+	// Sequenced storm: every message is unique, every accepted publish is
+	// recorded, and a publish that errors (dead home mid-failover) retries
+	// until a live home accepts it — so the delivered set can be compared
+	// against the accepted set exactly.
+	var pubMu sync.Mutex
+	published := make(map[string]bool)
+	publishOne := func(i int) error {
+		payload := fmt.Sprintf("storm-%d", i)
+		deadline := time.Now().Add(20 * time.Second)
 		for {
-			select {
-			case <-stopStorm:
-				return
-			default:
+			if err := pub.Publish(chName(i%channels), []byte(payload)); err == nil {
+				pubMu.Lock()
+				published[payload] = true
+				pubMu.Unlock()
+				return nil
 			}
-			_ = pub.Publish(chName(i%channels), []byte(fmt.Sprintf("storm-%d", i)))
-			i++
-			time.Sleep(time.Millisecond)
+			if time.Now().After(deadline) {
+				return fmt.Errorf("publish %s never accepted", payload)
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
-	}()
+	}
+	waitDelivered := func(stage string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			pubMu.Lock()
+			want := make([]string, 0, len(published))
+			for p := range published {
+				want = append(want, p)
+			}
+			pubMu.Unlock()
+			missing := 0
+			recvMu.Lock()
+			for _, p := range want {
+				if received[p] == 0 {
+					missing++
+				}
+			}
+			recvMu.Unlock()
+			if missing == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: %d/%d accepted publishes undelivered", stage, missing, len(want))
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
 
-	// Let the storm run, then kill a non-pinned broker abruptly.
-	time.Sleep(300 * time.Millisecond)
+	// Phase 1: pre-crash storm across every channel, fully delivered before
+	// the crash — each channel's seqTracker now has a baseline to resume
+	// from, and no frame is in flight when the broker dies.
+	const phase1, phase2 = 3 * channels, 3 * channels
+	for i := 0; i < phase1; i++ {
+		if err := publishOne(i); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitDelivered("pre-crash")
+
+	// Kill a non-pinned broker abruptly, and resume the storm immediately —
+	// phase 2 races the detection and repair windows: publishes to channels
+	// homed on the dead broker fail and retry until the repaired plan gives
+	// them a live home, and frames the new home accepts before the
+	// subscriber's cursor resubscribe arrives must be replayed from its ring.
 	if err := c.Crash("pub3"); err != nil {
 		t.Fatal(err)
 	}
+	stormErr := make(chan error, 1)
+	go func() {
+		for i := phase1; i < phase1+phase2; i++ {
+			if err := publishOne(i); err != nil {
+				stormErr <- err
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		stormErr <- nil
+	}()
 
 	// Bounded recovery window: detection (~4 s virtual = 400 ms real at
 	// ×10) plus repair must complete well within the deadline.
 	deadline := time.Now().Add(15 * time.Second)
 	for c.Failures() < 1 {
 		if time.Now().After(deadline) {
-			close(stopStorm)
-			<-stormDone
 			t.Fatalf("failure never detected: failures=%d servers=%d", c.Failures(), c.ActiveServers())
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	close(stopStorm)
-	<-stormDone
+	if err := <-stormErr; err != nil {
+		t.Fatal(err)
+	}
 
 	if got := c.ActiveServers(); got != 3 {
 		t.Fatalf("ActiveServers=%d after crash, want 3", got)
@@ -112,63 +175,40 @@ func TestChaosBrokerCrashMidPublishStorm(t *testing.T) {
 		t.Fatalf("plan not repaired: version=%d", v)
 	}
 
-	// Post-repair: every channel must deliver again. Give the client-side
-	// repair a moment to settle, then publish one unique final message per
-	// channel and require exactly-once delivery of each.
-	time.Sleep(500 * time.Millisecond)
-	finals := make(map[string]bool, channels)
-	for i := 0; i < channels; i++ {
-		payload := fmt.Sprintf("final-%d", i)
-		finals[payload] = true
-		// Retry: a publish can race the first post-crash dial.
-		var perr error
-		for attempt := 0; attempt < 50; attempt++ {
-			if perr = pub.Publish(chName(i), []byte(payload)); perr == nil {
-				break
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-		if perr != nil {
-			t.Fatalf("post-repair publish on %s: %v", chName(i), perr)
-		}
-	}
-	deadline = time.Now().Add(15 * time.Second)
-	for {
-		recvMu.Lock()
-		gotAll := true
-		for payload := range finals {
-			if received[payload] == 0 {
-				gotAll = false
-				break
-			}
-		}
-		recvMu.Unlock()
-		if gotAll {
-			break
-		}
-		if time.Now().After(deadline) {
-			recvMu.Lock()
-			missing := 0
-			for payload := range finals {
-				if received[payload] == 0 {
-					missing++
-				}
-			}
-			recvMu.Unlock()
-			t.Fatalf("%d/%d post-repair publishes undelivered", missing, channels)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// Zero loss: every accepted publish — pre-crash and racing the repair —
+	// delivered.
+	waitDelivered("post-crash")
 
-	// Zero duplicate deliveries — storm and finals alike.
+	// Exactly once: nothing delivered twice, nothing delivered that was
+	// never accepted.
 	recvMu.Lock()
+	pubMu.Lock()
 	for payload, n := range received {
-		if n > 1 {
-			recvMu.Unlock()
+		if n != 1 {
 			t.Fatalf("payload %q delivered %d times", payload, n)
 		}
+		if !published[payload] {
+			t.Fatalf("payload %q delivered but never accepted", payload)
+		}
 	}
+	pubMu.Unlock()
 	recvMu.Unlock()
+
+	// Zero gaps: the cursor machinery owes nothing (every hole was replayed
+	// or never existed), and with 256-deep rings against a handful of frames
+	// per channel, no gap was ever declared unrecoverable.
+	if gaps := sub.ReplayGaps(); gaps != 0 {
+		t.Fatalf("ReplayGaps=%d at quiescence, want 0", gaps)
+	}
+	ss := sub.Stats()
+	if ss.ReplayGapFrames != 0 {
+		t.Fatalf("ReplayGapFrames=%d with rings deeper than the storm, want 0", ss.ReplayGapFrames)
+	}
+	// The failover path actually exercised cursors: the subscriber was
+	// re-homed off the dead broker with per-channel resume state in hand.
+	if ss.ReplayRequests == 0 {
+		t.Fatalf("no cursor resubscribes issued across a broker crash; stats %+v", ss)
+	}
 
 	// The publisher observed the crash and failed over: it either hit a
 	// publish error or redialed; both are counted.
@@ -178,6 +218,183 @@ func TestChaosBrokerCrashMidPublishStorm(t *testing.T) {
 	}
 
 	sub.Close()
+	drainers.Wait()
+}
+
+// TestChaosRebalanceDrainZeroLoss drives enough load through a one-broker
+// cluster to trigger an elastic scale-up and asserts the T_wait rebalance
+// drain loses nothing: every accepted publish is delivered exactly once to
+// every subscriber across the SWITCH migration — the drain window where the
+// old home forwards, the new home replays from its ring, and the client's
+// dedup absorbs the overlap.
+func TestChaosRebalanceDrainZeroLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is seconds-long")
+	}
+	clk := clock.NewScaled(epoch, 10)
+	c, err := Start(Options{
+		InitialServers: 1,
+		MaxServers:     4,
+		Balancer:       BalancerDynamoth,
+		Clock:          clk,
+		MaxOutgoingBps: 4000, // tiny virtual capacity so the storm overloads
+		TWait:          3 * time.Second,
+		BootDelay:      2 * time.Second,
+		ReportEvery:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const channels = 6
+	chName := func(i int) string { return fmt.Sprintf("room-%d", i) }
+
+	// Two independent subscribers over every channel (doubling egress toward
+	// the overload threshold); each must observe the full sequence exactly
+	// once.
+	var recvMu sync.Mutex
+	receivedA := make(map[string]int)
+	receivedB := make(map[string]int)
+	var drainers sync.WaitGroup
+	subs := make([]*dynamoth.Client, 0, 2)
+	for si, counts := range []map[string]int{receivedA, receivedB} {
+		sub, err := c.NewClient(dynamoth.Config{NodeID: uint32(2000 + si), Clock: clk, Seed: int64(si + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+		defer sub.Close()
+		for i := 0; i < channels; i++ {
+			msgs, err := sub.Subscribe(chName(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			drainers.Add(1)
+			go func(msgs <-chan dynamoth.Message, counts map[string]int) {
+				defer drainers.Done()
+				for m := range msgs {
+					recvMu.Lock()
+					counts[string(m.Payload)]++
+					recvMu.Unlock()
+				}
+			}(msgs, counts)
+		}
+	}
+	pub, err := c.NewClient(dynamoth.Config{NodeID: 2002, Clock: clk, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	// Sequenced 120-byte payloads at 2 ms: ~60 kB/s real = 6 kB/s virtual at
+	// ×10, comfortably past the 4 kB/s cap once doubled by fan-out.
+	var pubMu sync.Mutex
+	published := make(map[string]bool)
+	stopLoad := make(chan struct{})
+	loadErr := make(chan error, 1)
+	go func() {
+		pad := make([]byte, 120)
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				loadErr <- nil
+				return
+			default:
+			}
+			payload := fmt.Sprintf("drain-%05d", i)
+			copy(pad, payload)
+			for retry := 0; ; retry++ {
+				if err := pub.Publish(chName(i%channels), pad); err == nil {
+					break
+				}
+				if retry > 2000 {
+					loadErr <- fmt.Errorf("publish %s never accepted", payload)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			pubMu.Lock()
+			published[string(pad)] = true
+			pubMu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Wait for the scale-up rebalance (spawn + T_wait drain + switch), then
+	// keep the storm running through the post-switch window before stopping.
+	deadline := time.Now().Add(30 * time.Second)
+	for c.ActiveServers() < 2 || c.Rebalances() < 1 {
+		if time.Now().After(deadline) {
+			close(stopLoad)
+			<-loadErr
+			t.Fatalf("no rebalance: servers=%d rebalances=%d", c.ActiveServers(), c.Rebalances())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond)
+	close(stopLoad)
+	if err := <-loadErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero loss across the drain: both subscribers converge on the full
+	// accepted set.
+	pubMu.Lock()
+	want := make([]string, 0, len(published))
+	for p := range published {
+		want = append(want, p)
+	}
+	pubMu.Unlock()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		missing := 0
+		recvMu.Lock()
+		for _, p := range want {
+			if receivedA[p] == 0 || receivedB[p] == 0 {
+				missing++
+			}
+		}
+		recvMu.Unlock()
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d/%d accepted publishes undelivered after rebalance", missing, len(want))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Exactly once, per subscriber.
+	recvMu.Lock()
+	for name, counts := range map[string]map[string]int{"A": receivedA, "B": receivedB} {
+		for payload, n := range counts {
+			if n != 1 {
+				t.Fatalf("subscriber %s: payload %q delivered %d times", name, payload, n)
+			}
+		}
+	}
+	recvMu.Unlock()
+
+	// Zero gaps, and the migration actually exercised cursor resubscribes.
+	var replayRequests uint64
+	for i, sub := range subs {
+		if gaps := sub.ReplayGaps(); gaps != 0 {
+			t.Fatalf("subscriber %d: ReplayGaps=%d at quiescence", i, gaps)
+		}
+		st := sub.Stats()
+		if st.ReplayGapFrames != 0 {
+			t.Fatalf("subscriber %d: ReplayGapFrames=%d across a drain, want 0", i, st.ReplayGapFrames)
+		}
+		replayRequests += st.ReplayRequests
+	}
+	if replayRequests == 0 {
+		t.Fatal("no cursor resubscribes issued across a rebalance migration")
+	}
+
+	for _, sub := range subs {
+		sub.Close()
+	}
 	drainers.Wait()
 }
 

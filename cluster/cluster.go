@@ -80,6 +80,12 @@ type Options struct {
 	ReportEvery time.Duration
 	// OutputBuffer overrides the broker per-session output buffer.
 	OutputBuffer int
+	// ReplayDepth overrides each broker's per-channel replay ring depth
+	// (0 = server.DefaultReplayDepth, negative = replay disabled).
+	ReplayDepth int
+	// ReplayChannels bounds how many channels may hold a replay ring per
+	// broker (0 = broker default, negative = unbounded).
+	ReplayChannels int
 	// DisableFailureDetection turns off the balancer's broker failure
 	// detector and automatic plan repair (on by default whenever a
 	// balancer runs; thresholds derive from ReportEvery — see DESIGN.md
@@ -488,6 +494,8 @@ func (c *Cluster) startNode(id plan.ServerID, initial *plan.Plan) error {
 		Unit:           c.opts.UnitInterval,
 		ReportEvery:    c.opts.ReportEvery,
 		OutputBuffer:   c.opts.OutputBuffer,
+		ReplayDepth:    c.opts.ReplayDepth,
+		ReplayChannels: c.opts.ReplayChannels,
 		PublishReports: true,
 		Recorder:       c.rec,
 		Logger:         c.opts.Logger,

@@ -224,3 +224,109 @@ func TestChaosRepairTimeline(t *testing.T) {
 		t.Errorf("timeline suppressed=%d, client counters=%d", total, wantSuppressed)
 	}
 }
+
+// TestDedupWindowEvictionReplayInterop pins the Σ dedup_close ==
+// DuplicatesSuppressed invariant against the replay machinery under window
+// eviction pressure: with DedupWindowCap 1, every migration in a rebalance
+// evicts the previous channel's window (flushed by OnEvict), and replayed
+// duplicates arriving after their channel's window is gone must be counted
+// in neither view — not silently added to DuplicatesSuppressed without a
+// window to flush them, and not double-flushed when the window is later
+// reopened. The two sums must stay equal through evictions, expiries, and
+// the close-time flush.
+func TestDedupWindowEvictionReplayInterop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is seconds-long")
+	}
+	clk := clock.NewScaled(epoch, 10)
+	c, err := Start(Options{
+		InitialServers: 1,
+		MaxServers:     4,
+		Balancer:       BalancerDynamoth,
+		Clock:          clk,
+		MaxOutgoingBps: 4000,
+		TWait:          3 * time.Second,
+		BootDelay:      2 * time.Second,
+		ReportEvery:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const channels = 6
+	sub, err := c.NewClient(dynamoth.Config{NodeID: 950, Clock: clk, DedupWindowCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for i := 0; i < channels; i++ {
+		msgs, err := sub.Subscribe(fmt.Sprintf("evict-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(msgs <-chan dynamoth.Message) {
+			for range msgs { // drain; delivery counts are not this test's concern
+			}
+		}(msgs)
+	}
+	pub, err := c.NewClient(dynamoth.Config{NodeID: 951, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	// Enough sustained load to trigger a scale-up rebalance, so several
+	// channels migrate (each opening a window that evicts its predecessor)
+	// while replay resubscribes deliver overlap duplicates.
+	stopLoad := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		payload := make([]byte, 120)
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			_ = pub.Publish(fmt.Sprintf("evict-%d", i%channels), payload)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for c.ActiveServers() < 2 || c.Rebalances() < 1 {
+		if time.Now().After(deadline) {
+			close(stopLoad)
+			<-loadDone
+			t.Fatalf("no rebalance: servers=%d rebalances=%d", c.ActiveServers(), c.Rebalances())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond)
+	close(stopLoad)
+	<-loadDone
+	time.Sleep(500 * time.Millisecond) // let in-flight deliveries settle
+
+	if sub.Stats().ReplayRequests == 0 {
+		t.Fatal("no cursor resubscribes issued: the migration path did not exercise replay")
+	}
+
+	// Closing flushes every still-open window; after this the recorder holds
+	// the complete suppressed history.
+	sub.Close()
+	pub.Close()
+	wantSuppressed := int64(sub.Stats().DuplicatesSuppressed + pub.Stats().DuplicatesSuppressed)
+
+	var total int64
+	for _, rb := range c.Timelines() {
+		total += rb.Suppressed
+	}
+	if total != wantSuppressed {
+		t.Errorf("timeline suppressed=%d, client counters=%d (windows lost or double-counted across eviction)",
+			total, wantSuppressed)
+	}
+	st := sub.Stats()
+	t.Logf("duplicates=%d suppressed=%d replayRequests=%d replayed=%d",
+		st.Duplicates, st.DuplicatesSuppressed, st.ReplayRequests, st.ReplayedFrames)
+}

@@ -73,6 +73,8 @@ func run() error {
 		reuse   = flag.Bool("reuseport", false, "set SO_REUSEPORT on the RESP listener (linux; lets several nodes share one address)")
 		llaCap  = flag.Int("lla-channel-cap", 0, "distinct channels the LLA tracks per time unit; overflow folds into an aggregate bucket (0 = default, negative = unbounded)")
 		topkCap = flag.Int("topk-cap", 0, "channels held by the hot-channel tracker (0 = default, negative = unbounded)")
+		rcap    = flag.Int("replay-cap", 0, "per-channel replay ring depth for cursor-based resumable subscription (0 = default, negative = disabled)")
+		rchans  = flag.Int("replay-channels", 0, "channels that may hold a replay ring at once (0 = default, negative = unbounded)")
 	)
 	flag.Var(peers, "peer", "peer node as id=host:port (repeatable)")
 	flag.Parse()
@@ -111,6 +113,8 @@ func run() error {
 		MaxOutgoingBps: *maxBps,
 		LLAChannelCap:  *llaCap,
 		TopKCap:        *topkCap,
+		ReplayDepth:    *rcap,
+		ReplayChannels: *rchans,
 		PublishReports: true,
 		Recorder:       rec,
 		Logger:         logger,

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/dynamoth/dynamoth/internal/hotstate"
 )
 
 // Sink receives deliveries for one session. Implementations must be fast;
@@ -123,6 +125,14 @@ type Options struct {
 	// WriteBatch is how many queued deliveries a session writer coalesces
 	// into one sink flush; non-positive selects DefaultWriteBatch.
 	WriteBatch int
+	// ReplayDepth, when positive, keeps the last ReplayDepth data frames of
+	// each channel in a replay ring and serves cursor-based resubscribes
+	// (Session.SubscribeFrom / the CSUBSCRIBE command). 0 disables replay.
+	ReplayDepth int
+	// ReplayChannels bounds how many channels may hold a replay ring
+	// (0 = DefaultReplayChannels, negative = unbounded). Rings of currently
+	// subscribed channels are pinned against eviction.
+	ReplayChannels int
 }
 
 // shard is one stripe of the channel→subscribers registry. Padded so two
@@ -168,6 +178,10 @@ type Broker struct {
 
 	closed atomic.Bool
 
+	// replay holds the per-channel sequenced frame rings (nil when replay
+	// is disabled).
+	replay *replayStore
+
 	published atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
@@ -193,6 +207,9 @@ func New(opts Options) *Broker {
 	}
 	for i := range b.shards {
 		b.shards[i].channels = make(map[string]map[*Session]struct{})
+	}
+	if opts.ReplayDepth > 0 {
+		b.replay = newReplayStore(opts.ReplayDepth, opts.ReplayChannels)
 	}
 	return b
 }
@@ -291,9 +308,20 @@ var targetPool = sync.Pool{New: func() any { return new([]target) }}
 // Publish fans payload out to every subscriber of channel and returns the
 // number of sessions it was queued for (the Redis PUBLISH reply). Sessions
 // whose output buffer is full are disconnected, not blocked on.
+//
+// On a replay-enabled broker, a data-envelope payload is stamped in place
+// with its (epoch, channelSeq) replay coordinates before fan-out, so the
+// caller must exclusively own payload until Publish returns.
 func (b *Broker) Publish(channel string, payload []byte) int {
 	if b.closed.Load() {
 		return 0
+	}
+	if b.replay != nil {
+		// Retain (and sequence-stamp) before reading the subscriber set:
+		// SubscribeFrom registers the subscription before snapshotting the
+		// ring, so a concurrent publication is always seen by the replay,
+		// the live flow, or both — never neither.
+		b.replay.retain(channel, payload)
 	}
 	hasPatterns := b.patternSubs.Load() > 0
 	sh := &b.shards[shardIndex(channel)]
@@ -400,6 +428,13 @@ type Stats struct {
 	Published uint64 // publications accepted
 	Delivered uint64 // per-subscriber deliveries queued
 	Dropped   uint64 // sessions killed for slow consumption
+
+	// Replay-ring counters (all zero when replay is disabled).
+	ReplayRings    int    // channels currently holding a replay ring
+	ReplayRetained uint64 // data frames appended to replay rings
+	ReplayRequests uint64 // cursor subscribes served
+	ReplayedFrames uint64 // frames replayed to sessions
+	ReplayMissed   uint64 // requested frames already overwritten (gaps)
 }
 
 // Stats returns a snapshot of broker counters.
@@ -414,13 +449,51 @@ func (b *Broker) Stats() Stats {
 		channels += len(sh.channels)
 		sh.mu.RUnlock()
 	}
-	return Stats{
+	st := Stats{
 		Sessions:  sessions,
 		Channels:  channels,
 		Published: b.published.Load(),
 		Delivered: b.delivered.Load(),
 		Dropped:   b.dropped.Load(),
 	}
+	if b.replay != nil {
+		st.ReplayRings = b.replay.rings.Len()
+		st.ReplayRetained = b.replay.retained.Load()
+		st.ReplayRequests = b.replay.requests.Load()
+		st.ReplayedFrames = b.replay.replayed.Load()
+		st.ReplayMissed = b.replay.missed.Load()
+	}
+	return st
+}
+
+// ReplayEnabled reports whether this broker keeps replay rings.
+func (b *Broker) ReplayEnabled() bool { return b.replay != nil }
+
+// ReplayCacheStats snapshots the replay-ring bounding cache's counters for
+// metric export (zero when replay is disabled).
+func (b *Broker) ReplayCacheStats() hotstate.Stats {
+	if b.replay == nil {
+		return hotstate.Stats{}
+	}
+	return b.replay.rings.Stats()
+}
+
+// ReplayHead reports channel's current ring position — its epoch and the
+// last sequence stamped — so a dispatcher handing a channel off at drain
+// completion can record how far the old holder's replay window reaches. ok
+// is false when replay is disabled or the channel has no ring (Peek: the
+// probe must not disturb eviction order).
+func (b *Broker) ReplayHead(channel string) (epoch, head uint64, ok bool) {
+	if b.replay == nil {
+		return 0, 0, false
+	}
+	r, found := b.replay.rings.Peek(channel)
+	if !found {
+		return 0, 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch, r.head, true
 }
 
 // Close shuts the broker down, closing every session.
@@ -478,6 +551,9 @@ func (b *Broker) removeSession(s *Session, subs, psubs []string) {
 		count := len(set)
 		if count == 0 {
 			delete(sh.channels, ch)
+			if b.replay != nil {
+				b.replay.pin(ch, false)
+			}
 		}
 		sh.mu.Unlock()
 		b.notifyUnsubscribe(ch, s.name, count)
@@ -543,6 +619,12 @@ func (s *Session) Subscribe(channels ...string) (int, error) {
 		}
 		set[s] = struct{}{}
 		count := len(set)
+		if count == 1 && b.replay != nil {
+			// First subscriber: pin the channel's replay ring against
+			// eviction (under the shard lock so pin/unpin transitions for
+			// one channel are serialized).
+			b.replay.pin(ch, true)
+		}
 		sh.mu.Unlock()
 		if s.closed.Load() {
 			// Lost the race against close(): its registry sweep may have
@@ -552,6 +634,9 @@ func (s *Session) Subscribe(channels ...string) (int, error) {
 				delete(set, s)
 				if len(set) == 0 {
 					delete(sh.channels, ch)
+					if b.replay != nil {
+						b.replay.pin(ch, false)
+					}
 				}
 			}
 			sh.mu.Unlock()
@@ -594,6 +679,9 @@ func (s *Session) Unsubscribe(channels ...string) (int, error) {
 			count = len(set)
 			if count == 0 {
 				delete(sh.channels, ch)
+				if b.replay != nil {
+					b.replay.pin(ch, false)
+				}
 			}
 		}
 		sh.mu.Unlock()

@@ -290,6 +290,28 @@ func (rs *rsession) writeAck(kind, channel string, count int) error {
 	return nil
 }
 
+func (rs *rsession) writeReplayAck(channel string, count, replayed int, missed, epoch uint64) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := rs.replyLockedCheck(); err != nil {
+		return err
+	}
+	w := append(rs.wbuf, '*', '6', '\r', '\n')
+	w = resp.AppendBulkString(w, "csubscribe")
+	w = resp.AppendBulkString(w, channel)
+	w = append(w, ':')
+	w = strconv.AppendInt(w, int64(count), 10)
+	w = append(w, '\r', '\n', ':')
+	w = strconv.AppendInt(w, int64(replayed), 10)
+	w = append(w, '\r', '\n', ':')
+	w = strconv.AppendUint(w, missed, 10)
+	w = append(w, '\r', '\n', ':')
+	w = strconv.AppendUint(w, epoch, 10)
+	rs.wbuf = append(w, '\r', '\n')
+	rs.markDirtyLocked()
+	return nil
+}
+
 func (rs *rsession) writeSimple(v string) error {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()

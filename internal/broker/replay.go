@@ -1,0 +1,254 @@
+package broker
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dynamoth/dynamoth/internal/hotstate"
+	"github.com/dynamoth/dynamoth/internal/message"
+)
+
+// Replay rings give the "dumb" broker one additional Redis-like capability
+// (comparable to Redis Streams' XRANGE backing XREAD resume): each channel
+// keeps the last ReplayDepth stamped data frames in a fixed ring, and a
+// session may subscribe with a cursor to have the gap since its last-seen
+// sequence replayed before live flow resumes. The broker still knows nothing
+// about plans or rebalancing — which sequence a client has seen, and when to
+// present a cursor, is entirely client/dispatcher intelligence.
+//
+// Sequencing contract: the broker stamps every data envelope it retains with
+// (epoch, channelSeq) — epoch names one ring incarnation on one broker,
+// channelSeq is dense within it. A ring evicted by the bounding cache and
+// later recreated gets a NEW epoch, so clients can never mistake the
+// recreated ring's restarting sequence for stale duplicates of the old one.
+
+// DefaultReplayChannels bounds how many channels may hold a replay ring at
+// once (rings of subscribed channels are pinned and don't count against
+// eviction pressure).
+const DefaultReplayChannels = 65536
+
+// ReplayResult reports what a cursor subscribe replayed.
+type ReplayResult struct {
+	// Replayed is the number of retained frames queued to the session.
+	Replayed int
+	// Missed counts frames the cursor asked for that the ring had already
+	// overwritten — a definite, unrecoverable gap (only detectable when the
+	// cursor's epoch matches the ring's; a cross-epoch resume starts a fresh
+	// baseline instead).
+	Missed uint64
+	// Epoch is the ring's current epoch (0 when the channel has no ring), so
+	// the client can attribute Missed to the right sequence track.
+	Epoch uint64
+}
+
+// replaySlot is one retained frame. buf is reused across ring wraps, so a
+// channel at steady state retains its window with zero allocations.
+type replaySlot struct {
+	seq   uint64
+	stamp int64
+	buf   []byte
+}
+
+// replayRing is one channel's bounded frame history. head is the last
+// assigned sequence; sequence s lives in slots[(s-1) % depth].
+type replayRing struct {
+	mu    sync.Mutex
+	epoch uint64
+	head  uint64
+	slots []replaySlot
+}
+
+func newReplayRing(depth int) *replayRing {
+	// 63 bits so the epoch survives a round trip through a RESP integer
+	// (int64); 0 is reserved — on the wire it means "never stamped".
+	e := rand.Uint64() >> 1
+	if e == 0 {
+		e = 1
+	}
+	return &replayRing{epoch: e, slots: make([]replaySlot, depth)}
+}
+
+// replayStore is the broker's channel→ring table, bounded by a hotstate
+// cache: unsubscribed channels' rings are evictable, subscribed ones are
+// pinned (best-effort — a pin lost to a concurrent eviction only costs a
+// fresh epoch, never correctness).
+type replayStore struct {
+	depth int
+	rings *hotstate.Cache[string, *replayRing]
+
+	retained atomic.Uint64 // frames appended to rings
+	requests atomic.Uint64 // cursor subscribes served
+	replayed atomic.Uint64 // frames replayed to sessions
+	missed   atomic.Uint64 // frames requested but already overwritten
+}
+
+func newReplayStore(depth, channels int) *replayStore {
+	if channels == 0 {
+		channels = DefaultReplayChannels
+	}
+	if channels < 0 {
+		channels = 0 // unbounded
+	}
+	st := &replayStore{depth: depth}
+	st.rings = hotstate.New(hotstate.Config[string, *replayRing]{
+		Capacity: channels,
+	})
+	return st
+}
+
+// ring returns channel's ring, creating it (with a fresh epoch) on first use.
+func (st *replayStore) ring(channel string) *replayRing {
+	if r, ok := st.rings.Get(channel); ok {
+		return r
+	}
+	var out *replayRing
+	st.rings.Upsert(channel, func(old *replayRing, exists bool) (*replayRing, bool) {
+		if exists {
+			out = old
+			return old, false
+		}
+		out = newReplayRing(st.depth)
+		return out, true
+	})
+	return out
+}
+
+// retainable reports whether a payload is a data envelope the ring should
+// keep, peeking only the fixed header (raw payloads and control envelopes
+// pass through the broker unstamped and unretained).
+func retainable(payload []byte) bool {
+	t, _, ok := message.PeekStamp(payload)
+	return ok && (t == message.TypeData || t == message.TypeForwarded)
+}
+
+// retain assigns the channel's next sequence, stamps payload in place with
+// (epoch, seq), and copies the stamped frame into the ring. The caller must
+// exclusively own payload (the broker's publish contract). Steady state is
+// allocation-free: slot buffers are reused once the ring has wrapped.
+func (st *replayStore) retain(channel string, payload []byte) {
+	if !retainable(payload) {
+		return
+	}
+	_, stamp, _ := message.PeekStamp(payload)
+	r := st.ring(channel)
+	r.mu.Lock()
+	r.head++
+	message.StampChannelSeq(payload, r.epoch, r.head)
+	s := &r.slots[(r.head-1)%uint64(len(r.slots))]
+	s.seq = r.head
+	s.stamp = stamp
+	s.buf = append(s.buf[:0], payload...)
+	r.mu.Unlock()
+	st.retained.Add(1)
+}
+
+// pin marks channel's ring exempt from eviction while subscribed (creating
+// it if needed, so the window starts buffering no later than the
+// subscription).
+func (st *replayStore) pin(channel string, pinned bool) {
+	if pinned {
+		st.ring(channel)
+	}
+	st.rings.Pin(channel, pinned)
+}
+
+// collect copies the frames a cursor is owed out of channel's ring. Frames
+// are fresh copies — ring slots are reused and must never escape the lock.
+//
+// Epoch match: replay exactly (cursorSeq, head]; anything below the ring
+// tail is counted missed. Epoch miss (client arrives from another broker or
+// a recreated ring): replay retained frames stamped at or after
+// cur.SinceStamp — the overlap is suppressed by client-side dedup, and the
+// client baselines the new epoch from the first sequence it sees.
+func (st *replayStore) collect(channel string, cur message.Cursor) (frames [][]byte, missed, epoch uint64) {
+	st.requests.Add(1)
+	r, ok := st.rings.Get(channel)
+	if !ok {
+		return nil, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	epoch = r.epoch
+	depth := uint64(len(r.slots))
+	tail := uint64(1)
+	if r.head > depth {
+		tail = r.head - depth + 1
+	}
+	if seq, ok := cur.SeqFor(r.epoch); ok {
+		from := seq + 1
+		if from > r.head {
+			return nil, 0, epoch // cursor current (or claims the future): nothing owed
+		}
+		if from < tail {
+			missed = tail - from
+			st.missed.Add(missed)
+			from = tail
+		}
+		for q := from; q <= r.head; q++ {
+			s := &r.slots[(q-1)%depth]
+			if s.seq != q {
+				continue
+			}
+			frames = append(frames, append([]byte(nil), s.buf...))
+		}
+		st.replayed.Add(uint64(len(frames)))
+		return frames, missed, epoch
+	}
+	if cur.SinceStamp == 0 {
+		return nil, 0, epoch
+	}
+	for q := tail; q <= r.head; q++ {
+		s := &r.slots[(q-1)%depth]
+		if s.seq != q || s.stamp < cur.SinceStamp {
+			continue
+		}
+		frames = append(frames, append([]byte(nil), s.buf...))
+	}
+	st.replayed.Add(uint64(len(frames)))
+	return frames, 0, epoch
+}
+
+// SubscribeFrom subscribes the session to channel and replays the gap the
+// cursor names from the channel's replay ring, queueing replayed frames on
+// the session's ordinary output path before (in sequence terms) live flow
+// takes over. The subscription is registered before the ring is snapshotted,
+// and Publish appends to the ring before it reads the subscriber set — so
+// every concurrent publication lands in the replay, the live flow, or both
+// (overlap is the client's to dedup), never neither.
+//
+// On a broker without replay rings it degrades to a plain Subscribe.
+func (s *Session) SubscribeFrom(channel string, cur message.Cursor) (ReplayResult, error) {
+	if _, err := s.Subscribe(channel); err != nil {
+		return ReplayResult{}, err
+	}
+	st := s.broker.replay
+	if st == nil {
+		return ReplayResult{}, nil
+	}
+	frames, missed, epoch := st.collect(channel, cur)
+	res := ReplayResult{Missed: missed, Epoch: epoch}
+	for _, f := range frames {
+		if s.closed.Load() {
+			return res, ErrSessionClosed
+		}
+		if s.enq != nil {
+			if !s.enq.Enqueue(channel, "", f) {
+				s.broker.dropped.Add(1)
+				s.close(ErrSlowConsumer)
+				return res, ErrSlowConsumer
+			}
+		} else {
+			select {
+			case s.out <- delivery{channel: channel, payload: f}:
+			default:
+				s.broker.dropped.Add(1)
+				s.close(ErrSlowConsumer)
+				return res, ErrSlowConsumer
+			}
+		}
+		res.Replayed++
+	}
+	s.broker.delivered.Add(uint64(res.Replayed))
+	return res, nil
+}

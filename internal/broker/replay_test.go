@@ -1,0 +1,338 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/hotstate"
+	"github.com/dynamoth/dynamoth/internal/message"
+)
+
+// sameShardChannels returns n channel names that land in base's shard of the
+// replay store's bounding cache — eviction pressure is per shard, so only
+// same-shard channels contend for ring slots.
+func sameShardChannels(base string, n int) []string {
+	const mask = hotstate.DefaultShards - 1 // DefaultShards is a power of two
+	want := hotstate.StringHash(base) & mask
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		name := fmt.Sprintf("evict%d", i)
+		if hotstate.StringHash(name)&mask == want {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// dataFrame builds a marshaled TypeData envelope ready for Publish. Each call
+// allocates a fresh buffer: Publish stamps in place and assumes ownership.
+func dataFrame(channel, payload string, stamp int64) []byte {
+	e := &message.Envelope{Type: message.TypeData, Channel: channel, Payload: []byte(payload), Stamp: stamp}
+	return e.Marshal()
+}
+
+// deliveredSeq extracts the broker-stamped (epoch, seq) from a delivery
+// captured by chanSink.
+func deliveredSeq(t *testing.T, m [2]string) (epoch, seq uint64) {
+	t.Helper()
+	epoch, seq, ok := message.PeekChannelSeq([]byte(m[1]))
+	if !ok {
+		t.Fatalf("delivery on %q is not a stamped data frame", m[0])
+	}
+	return epoch, seq
+}
+
+// A cursor below the ring tail gets the retained window replayed in order and
+// the overwritten prefix reported as a definite gap.
+func TestReplayCursorBelowTail(t *testing.T) {
+	b := New(Options{ReplayDepth: 4})
+	for i := 1; i <= 10; i++ {
+		b.Publish("ch", dataFrame("ch", fmt.Sprintf("m%d", i), int64(i)))
+	}
+	epoch, head, ok := b.ReplayHead("ch")
+	if !ok || head != 10 {
+		t.Fatalf("ReplayHead = %d, %d, %v", epoch, head, ok)
+	}
+
+	sink := newChanSink(16)
+	s, err := b.Connect("c1", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SubscribeFrom("ch", message.Cursor{Seen: []message.EpochSeq{{Epoch: epoch, Seq: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 4, head 10: the ring holds (6, 10]. The cursor wants (2, 10], so
+	// 3..6 are gone (4 missed) and 7..10 replay.
+	if res.Replayed != 4 || res.Missed != 4 || res.Epoch != epoch {
+		t.Fatalf("ReplayResult = %+v, want 4 replayed, 4 missed, epoch %d", res, epoch)
+	}
+	for want := uint64(7); want <= 10; want++ {
+		gotEpoch, gotSeq := deliveredSeq(t, sink.next(t))
+		if gotEpoch != epoch || gotSeq != want {
+			t.Fatalf("replayed (%d, %d), want (%d, %d)", gotEpoch, gotSeq, epoch, want)
+		}
+	}
+	sink.expectNone(t, 50*time.Millisecond)
+
+	st := b.Stats()
+	if st.ReplayRequests != 1 || st.ReplayedFrames != 4 || st.ReplayMissed != 4 {
+		t.Fatalf("stats = %d requests, %d replayed, %d missed", st.ReplayRequests, st.ReplayedFrames, st.ReplayMissed)
+	}
+}
+
+// A current cursor and a cursor claiming the future are both owed nothing —
+// neither is a gap.
+func TestReplayCursorCurrentAndFuture(t *testing.T) {
+	b := New(Options{ReplayDepth: 8})
+	for i := 1; i <= 3; i++ {
+		b.Publish("ch", dataFrame("ch", "m", int64(i)))
+	}
+	epoch, _, _ := b.ReplayHead("ch")
+
+	for _, seq := range []uint64{3, 99} {
+		sink := newChanSink(4)
+		s, err := b.Connect(fmt.Sprintf("c%d", seq), sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.SubscribeFrom("ch", message.Cursor{Seen: []message.EpochSeq{{Epoch: epoch, Seq: seq}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Replayed != 0 || res.Missed != 0 {
+			t.Fatalf("cursor at seq %d: %+v, want nothing owed", seq, res)
+		}
+		sink.expectNone(t, 50*time.Millisecond)
+		s.Close()
+	}
+}
+
+// A cursor from another epoch (another broker, or this broker's ring before
+// an eviction) falls back to stamp-based replay: frames stamped at or after
+// SinceStamp replay, nothing is counted missed, and SinceStamp == 0 means a
+// fresh baseline with no replay at all.
+func TestReplayEpochMissStampFallback(t *testing.T) {
+	b := New(Options{ReplayDepth: 8})
+	for i := 1; i <= 3; i++ {
+		b.Publish("ch", dataFrame("ch", "m", int64(i*10)))
+	}
+	epoch, _, _ := b.ReplayHead("ch")
+	foreign := epoch + 1 // never matches
+
+	sink := newChanSink(8)
+	s, err := b.Connect("c1", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SubscribeFrom("ch", message.Cursor{
+		SinceStamp: 20,
+		Seen:       []message.EpochSeq{{Epoch: foreign, Seq: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replayed != 2 || res.Missed != 0 || res.Epoch != epoch {
+		t.Fatalf("stamp fallback: %+v, want 2 replayed (stamps 20, 30), 0 missed", res)
+	}
+	if _, seq := deliveredSeq(t, sink.next(t)); seq != 2 {
+		t.Fatalf("first fallback frame seq %d, want 2", seq)
+	}
+
+	sink2 := newChanSink(8)
+	s2, err := b.Connect("c2", sink2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s2.SubscribeFrom("ch", message.Cursor{Seen: []message.EpochSeq{{Epoch: foreign, Seq: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replayed != 0 || res.Missed != 0 {
+		t.Fatalf("zero-stamp epoch miss: %+v, want fresh baseline with no replay", res)
+	}
+	sink2.expectNone(t, 50*time.Millisecond)
+}
+
+// An evicted ring recreated on the next publish restarts at seq 1 under a new
+// epoch, so a stale cursor can never mistake the restarted sequence for a
+// continuation of the old one.
+func TestReplayEvictedRingGetsNewEpoch(t *testing.T) {
+	b := New(Options{ReplayDepth: 4, ReplayChannels: 1})
+	b.Publish("a", dataFrame("a", "m1", 10))
+	b.Publish("a", dataFrame("a", "m2", 20))
+	epoch1, head1, ok := b.ReplayHead("a")
+	if !ok || head1 != 2 {
+		t.Fatalf("ReplayHead(a) = %d, %d, %v", epoch1, head1, ok)
+	}
+
+	// Capacity 1: a ring on another channel in a's shard evicts a's.
+	other := sameShardChannels("a", 1)[0]
+	b.Publish(other, dataFrame(other, "m", 30))
+	if _, _, ok := b.ReplayHead("a"); ok {
+		t.Fatal("a's ring survived eviction at capacity 1")
+	}
+
+	b.Publish("a", dataFrame("a", "m3", 40))
+	epoch2, head2, ok := b.ReplayHead("a")
+	if !ok {
+		t.Fatal("a's ring not recreated")
+	}
+	if epoch2 == epoch1 {
+		t.Fatal("recreated ring reused the evicted epoch")
+	}
+	if head2 != 1 {
+		t.Fatalf("recreated ring head = %d, want a restart at 1", head2)
+	}
+
+	// A cursor from the dead epoch resumes via its stamp baseline.
+	sink := newChanSink(4)
+	s, err := b.Connect("c1", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SubscribeFrom("a", message.Cursor{
+		SinceStamp: 20,
+		Seen:       []message.EpochSeq{{Epoch: epoch1, Seq: head1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replayed != 1 || res.Missed != 0 || res.Epoch != epoch2 {
+		t.Fatalf("cross-epoch resume: %+v, want 1 replayed under epoch %d", res, epoch2)
+	}
+}
+
+// A subscribed channel's ring is pinned: eviction pressure from other
+// channels must not reset its epoch or sequence.
+func TestReplayPinnedRingSurvivesEviction(t *testing.T) {
+	b := New(Options{ReplayDepth: 4, ReplayChannels: 1, OutputBuffer: 64})
+	sink := newChanSink(64)
+	s, err := b.Connect("c1", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe("a"); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("a", dataFrame("a", "m1", 10))
+	epoch1, _, ok := b.ReplayHead("a")
+	if !ok {
+		t.Fatal("no ring for subscribed channel")
+	}
+
+	for _, ch := range sameShardChannels("a", 8) {
+		b.Publish(ch, dataFrame(ch, "m", 10))
+	}
+	b.Publish("a", dataFrame("a", "m2", 20))
+
+	epoch2, head, ok := b.ReplayHead("a")
+	if !ok || epoch2 != epoch1 || head != 2 {
+		t.Fatalf("pinned ring after pressure: epoch %d->%d, head %d, ok %v; want same epoch, head 2",
+			epoch1, epoch2, head, ok)
+	}
+}
+
+// The happens-before contract: SubscribeFrom registers the subscription
+// before snapshotting the ring, and Publish retains before fan-out — so a
+// publication concurrent with a cursor subscribe lands in the replay, the
+// live flow, or both, never neither. With a ring deep enough to hold
+// everything, the union of delivered sequences has no holes.
+func TestReplayConcurrentPublishNeverLost(t *testing.T) {
+	const (
+		preloaded = 50
+		total     = 100
+		cursorAt  = 20
+	)
+	b := New(Options{ReplayDepth: 128, OutputBuffer: 1024})
+	for i := 1; i <= preloaded; i++ {
+		b.Publish("ch", dataFrame("ch", "m", int64(i)))
+	}
+	epoch, _, _ := b.ReplayHead("ch")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := preloaded + 1; i <= total; i++ {
+			b.Publish("ch", dataFrame("ch", "m", int64(i)))
+		}
+	}()
+
+	sink := newChanSink(1024)
+	s, err := b.Connect("c1", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SubscribeFrom("ch", message.Cursor{Seen: []message.EpochSeq{{Epoch: epoch, Seq: cursorAt}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if res.Missed != 0 {
+		t.Fatalf("ring deep enough for everything, yet %d missed", res.Missed)
+	}
+
+	// Duplicates are allowed (the replay/live overlap is the client's to
+	// dedup); holes are not.
+	seen := make(map[uint64]bool)
+	deadline := time.After(2 * time.Second)
+	for len(seen) < total-cursorAt {
+		select {
+		case m := <-sink.msgs:
+			_, seq := deliveredSeq(t, m)
+			if seq <= cursorAt {
+				t.Fatalf("replayed seq %d at or below the cursor", seq)
+			}
+			seen[seq] = true
+		case <-deadline:
+			var missing []uint64
+			for q := uint64(cursorAt + 1); q <= total; q++ {
+				if !seen[q] {
+					missing = append(missing, q)
+				}
+			}
+			t.Fatalf("lost sequences %v (got %d of %d)", missing, len(seen), total-cursorAt)
+		}
+	}
+}
+
+// Cursor subscribes racing ring eviction/recreation churn must stay safe:
+// sequences restart only under fresh epochs and nothing panics. Run under
+// -race this doubles as a locking test for the store's Get/Upsert/Pin paths.
+func TestReplayEvictionChurnRace(t *testing.T) {
+	b := New(Options{ReplayDepth: 4, ReplayChannels: 2, OutputBuffer: 4096})
+	channels := sameShardChannels("a", 5) // same shard, so rings actually churn
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			ch := channels[i%len(channels)]
+			b.Publish(ch, dataFrame(ch, "m", int64(i+1)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			sink := newChanSink(256)
+			s, err := b.Connect(fmt.Sprintf("churn%d", i), sink)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ch := channels[i%len(channels)]
+			cur := message.Cursor{SinceStamp: 1, Seen: []message.EpochSeq{{Epoch: uint64(i + 1), Seq: uint64(i)}}}
+			if _, err := s.SubscribeFrom(ch, cur); err != nil {
+				t.Error(err)
+				return
+			}
+			s.Close()
+		}
+	}()
+	wg.Wait()
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/resp"
 )
 
@@ -17,6 +18,7 @@ import (
 // buffer and lets the shard flush cycle push it out.
 type replySink interface {
 	writeAck(kind, channel string, count int) error
+	writeReplayAck(channel string, count, replayed int, missed, epoch uint64) error
 	writeSimple(v string) error
 	writeErr(msg string) error
 	writeInt(n int64) error
@@ -40,6 +42,22 @@ func (s *respSink) writeAck(kind, channel string, count int) error {
 	s.w.WriteBulkString(kind)      //nolint:errcheck
 	s.w.WriteBulkString(channel)   //nolint:errcheck
 	s.w.WriteInteger(int64(count)) //nolint:errcheck
+	return s.w.Flush()
+}
+
+// writeReplayAck is the CSUBSCRIBE reply: a 6-element array of kind,
+// channel, subscription count, frames replayed, frames missed (already
+// evicted from the ring), and the ring's current epoch.
+func (s *respSink) writeReplayAck(channel string, count, replayed int, missed, epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.WriteArrayHeader(6)           //nolint:errcheck
+	s.w.WriteBulkString("csubscribe") //nolint:errcheck
+	s.w.WriteBulkString(channel)      //nolint:errcheck
+	s.w.WriteInteger(int64(count))    //nolint:errcheck
+	s.w.WriteInteger(int64(replayed)) //nolint:errcheck
+	s.w.WriteInteger(int64(missed))   //nolint:errcheck
+	s.w.WriteInteger(int64(epoch))    //nolint:errcheck
 	return s.w.Flush()
 }
 
@@ -231,6 +249,25 @@ func dispatch(b *Broker, session *Session, sink replySink, args [][]byte) bool {
 			if err := sink.writeAck("punsubscribe", pat, count); err != nil {
 				return true
 			}
+		}
+	case "CSUBSCRIBE":
+		// Cursor subscribe: SUBSCRIBE plus a replay of the frames the
+		// cursor's position misses from the channel's replay ring.
+		if len(args) != 3 {
+			sink.writeErr("ERR wrong number of arguments for 'csubscribe'") //nolint:errcheck
+			return false
+		}
+		cur, err := message.UnmarshalCursor(args[2])
+		if err != nil {
+			sink.writeErr("ERR malformed cursor") //nolint:errcheck
+			return false
+		}
+		res, err := session.SubscribeFrom(string(args[1]), cur)
+		if err != nil {
+			return true
+		}
+		if err := sink.writeReplayAck(string(args[1]), session.subscriptionCount(), res.Replayed, res.Missed, res.Epoch); err != nil {
+			return true
 		}
 	case "PUBLISH":
 		if len(args) != 3 {

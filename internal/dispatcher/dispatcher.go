@@ -214,7 +214,14 @@ func (d *Dispatcher) execute(actions []Action) {
 		case message.TypeSwitch:
 			d.rec.Record(trace.KindSwitchSend, a.Env.PlanVersion, a.Channel, "", 0, int64(len(a.Env.Servers)))
 		case message.TypeDrained:
-			d.rec.Record(trace.KindDrained, a.Env.PlanVersion, a.Channel, "", 0, 0)
+			// Value carries the old holder's replay ring head at handoff:
+			// the timeline can tell how much of the drained channel's tail
+			// stayed replayable for cursors that resume against it.
+			var head int64
+			if _, h, ok := d.localBroker.ReplayHead(a.Channel); ok {
+				head = int64(h)
+			}
+			d.rec.Record(trace.KindDrained, a.Env.PlanVersion, a.Channel, "", head, 0)
 		}
 		payload := a.Env.Marshal()
 		switch a.Kind {

@@ -1,0 +1,97 @@
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Cursor is a client's resume position for one channel, presented to the new
+// home broker on a cursor-based resubscribe (redial after a crash, successor
+// substitution, or a SWITCH migration). It carries the highest contiguous
+// sequence the client has consumed per known ring epoch, plus a stamp-based
+// fallback for the cross-broker case where the new home's ring shares no
+// epoch with anything the client has seen.
+type Cursor struct {
+	// SinceStamp is the publish stamp (Unix nanoseconds) of the newest
+	// message the client has consumed on the channel, or the subscribe time
+	// when nothing arrived yet. A broker whose ring epoch is unknown to the
+	// client replays frames stamped at or after SinceStamp. Zero disables
+	// the stamp fallback (replay nothing on an epoch miss).
+	SinceStamp int64
+	// Seen holds, per ring epoch the client has consumed from, the highest
+	// sequence with no gaps below it. A broker finding its current epoch
+	// here replays exactly (seq, head].
+	Seen []EpochSeq
+}
+
+// EpochSeq names a position in one replay-ring incarnation.
+type EpochSeq struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// maxCursorEpochs bounds the epochs decoded from one cursor; clients track
+// only a handful of recent epochs, so anything larger is corruption.
+const maxCursorEpochs = 64
+
+// ErrBadCursor reports a cursor blob that does not decode.
+var ErrBadCursor = errors.New("message: malformed cursor")
+
+// AppendCursor appends the cursor's wire encoding to dst: stamp(uvarint),
+// count(uvarint), then (epoch, seq) uvarint pairs.
+func AppendCursor(dst []byte, c Cursor) []byte {
+	dst = binary.AppendUvarint(dst, uint64(c.SinceStamp))
+	dst = binary.AppendUvarint(dst, uint64(len(c.Seen)))
+	for _, es := range c.Seen {
+		dst = binary.AppendUvarint(dst, es.Epoch)
+		dst = binary.AppendUvarint(dst, es.Seq)
+	}
+	return dst
+}
+
+// MarshalCursor encodes the cursor into a fresh buffer.
+func MarshalCursor(c Cursor) []byte {
+	return AppendCursor(make([]byte, 0, 2*binary.MaxVarintLen64*(1+len(c.Seen))), c)
+}
+
+// UnmarshalCursor decodes a cursor blob produced by AppendCursor.
+func UnmarshalCursor(data []byte) (Cursor, error) {
+	var c Cursor
+	u, rest, err := readUvarint(data)
+	if err != nil {
+		return Cursor{}, ErrBadCursor
+	}
+	c.SinceStamp = int64(u)
+	n, rest, err := readUvarint(rest)
+	if err != nil {
+		return Cursor{}, ErrBadCursor
+	}
+	if n > maxCursorEpochs {
+		return Cursor{}, ErrBadCursor
+	}
+	if n > 0 {
+		c.Seen = make([]EpochSeq, n)
+		for i := range c.Seen {
+			if c.Seen[i].Epoch, rest, err = readUvarint(rest); err != nil {
+				return Cursor{}, ErrBadCursor
+			}
+			if c.Seen[i].Seq, rest, err = readUvarint(rest); err != nil {
+				return Cursor{}, ErrBadCursor
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return Cursor{}, ErrBadCursor
+	}
+	return c, nil
+}
+
+// SeqFor returns the cursor's position for the given epoch.
+func (c Cursor) SeqFor(epoch uint64) (seq uint64, ok bool) {
+	for _, es := range c.Seen {
+		if es.Epoch == epoch {
+			return es.Seq, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,92 @@
+package message
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestCursorRoundTrip(t *testing.T) {
+	cases := []Cursor{
+		{},
+		{SinceStamp: 1},
+		{SinceStamp: 1723300000000000000},
+		{Seen: []EpochSeq{{Epoch: 1, Seq: 0}}},
+		{SinceStamp: 42, Seen: []EpochSeq{{Epoch: 7, Seq: 99}, {Epoch: 1<<63 - 1, Seq: 1<<64 - 1}}},
+	}
+	for _, want := range cases {
+		blob := MarshalCursor(want)
+		got, err := UnmarshalCursor(blob)
+		if err != nil {
+			t.Fatalf("UnmarshalCursor(%+v): %v", want, err)
+		}
+		if got.SinceStamp != want.SinceStamp || len(got.Seen) != len(want.Seen) {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+		for i := range want.Seen {
+			if got.Seen[i] != want.Seen[i] {
+				t.Fatalf("round trip %+v -> %+v", want, got)
+			}
+		}
+	}
+}
+
+func TestCursorRejectsCorruption(t *testing.T) {
+	good := MarshalCursor(Cursor{SinceStamp: 99, Seen: []EpochSeq{{Epoch: 3, Seq: 17}}})
+	bad := [][]byte{
+		nil,
+		good[:len(good)-1],           // truncated mid-pair
+		append(bytes.Clone(good), 0), // trailing byte
+		binary.AppendUvarint(nil, 1), // count promised, pairs missing
+		binary.AppendUvarint(binary.AppendUvarint(nil, 0), maxCursorEpochs+1), // count over bound
+	}
+	for i, blob := range bad {
+		if _, err := UnmarshalCursor(blob); err == nil {
+			t.Fatalf("case %d: corrupt blob %x decoded", i, blob)
+		}
+	}
+}
+
+func TestCursorSeqFor(t *testing.T) {
+	c := Cursor{Seen: []EpochSeq{{Epoch: 5, Seq: 10}, {Epoch: 9, Seq: 2}}}
+	if seq, ok := c.SeqFor(9); !ok || seq != 2 {
+		t.Fatalf("SeqFor(9) = %d, %v", seq, ok)
+	}
+	if _, ok := c.SeqFor(4); ok {
+		t.Fatal("SeqFor(4) found a position in an unknown epoch")
+	}
+}
+
+// FuzzCursor drives UnmarshalCursor with arbitrary bytes: it must never
+// panic, and whatever decodes must re-encode to a blob that decodes to the
+// same cursor (the encoding is canonical — no trailing bytes, bounded epoch
+// count).
+func FuzzCursor(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalCursor(Cursor{SinceStamp: 1}))
+	f.Add(MarshalCursor(Cursor{SinceStamp: 42, Seen: []EpochSeq{{Epoch: 7, Seq: 99}}}))
+	f.Add([]byte{0x80})  // unterminated uvarint
+	f.Add([]byte{0, 64}) // count at the bound, no pairs
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCursor(data)
+		if err != nil {
+			return
+		}
+		if len(c.Seen) > maxCursorEpochs {
+			t.Fatalf("decoded %d epochs, bound is %d", len(c.Seen), maxCursorEpochs)
+		}
+		blob := MarshalCursor(c)
+		c2, err := UnmarshalCursor(blob)
+		if err != nil {
+			t.Fatalf("re-decode of %x (from %x): %v", blob, data, err)
+		}
+		if c2.SinceStamp != c.SinceStamp || len(c2.Seen) != len(c.Seen) {
+			t.Fatalf("re-encode changed cursor: %+v -> %+v", c, c2)
+		}
+		for i := range c.Seen {
+			if c2.Seen[i] != c.Seen[i] {
+				t.Fatalf("re-encode changed cursor: %+v -> %+v", c, c2)
+			}
+		}
+	})
+}

@@ -112,9 +112,28 @@ type Envelope struct {
 	Strategy uint8
 	// PlanVersion is the plan version this control message derives from.
 	PlanVersion uint64
+
+	// Epoch and ChannelSeq are the broker-assigned per-channel replay
+	// coordinates. Publishers encode zeros; the home broker stamps both in
+	// place (StampChannelSeq) when it appends the frame to the channel's
+	// replay ring. Epoch identifies one ring incarnation on one broker, so a
+	// client can tell "same stream, later sequence" from "different broker
+	// (or recreated ring), start a fresh baseline". They live in a
+	// fixed-width header region so stamping never shifts the encoding.
+	Epoch      uint64
+	ChannelSeq uint64
 }
 
 const envelopeMagic = 0xD7
+
+// seqHeaderLen is the fixed-width (epoch, channelSeq) region between the
+// magic/type bytes and the varint fields: two little-endian uint64s at
+// offsets [2,10) and [10,18). Fixed width is what makes in-place broker
+// stamping possible on an already-encoded frame.
+const seqHeaderLen = 16
+
+// envelopeHeaderLen is magic + type + the fixed sequence header.
+const envelopeHeaderLen = 2 + seqHeaderLen
 
 // Encoding errors.
 var (
@@ -129,11 +148,12 @@ const maxFieldLen = 1 << 24
 
 // Marshal encodes the envelope into a compact binary form.
 //
-// Layout: magic, type, planVersion(uvarint), node(uvarint), seq(uvarint),
-// stamp(uvarint), channel(len-prefixed), strategy, servers(count +
-// len-prefixed each), payload (remainder).
+// Layout: magic, type, epoch(8, LE), channelSeq(8, LE),
+// planVersion(uvarint), node(uvarint), seq(uvarint), stamp(uvarint),
+// channel(len-prefixed), strategy, servers(count + len-prefixed each),
+// payload (remainder).
 func (e *Envelope) Marshal() []byte {
-	n := 2 + // magic + type
+	n := envelopeHeaderLen +
 		binary.MaxVarintLen64*4 +
 		binary.MaxVarintLen32 + len(e.Channel) +
 		1 + // strategy
@@ -154,6 +174,8 @@ func (e *Envelope) Marshal() []byte {
 // with zero allocations.
 func (e *Envelope) AppendMarshal(dst []byte) []byte {
 	dst = append(dst, envelopeMagic, byte(e.Type))
+	dst = binary.LittleEndian.AppendUint64(dst, e.Epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, e.ChannelSeq)
 	dst = binary.AppendUvarint(dst, e.PlanVersion)
 	dst = binary.AppendUvarint(dst, uint64(e.ID.Node))
 	dst = binary.AppendUvarint(dst, e.ID.Seq)
@@ -204,8 +226,15 @@ func Unmarshal(data []byte) (*Envelope, error) {
 	if data[0] != envelopeMagic {
 		return nil, ErrBadMagic
 	}
-	e := &Envelope{Type: Type(data[1])}
-	rest := data[2:]
+	if len(data) < envelopeHeaderLen {
+		return nil, ErrTruncated
+	}
+	e := &Envelope{
+		Type:       Type(data[1]),
+		Epoch:      binary.LittleEndian.Uint64(data[2:10]),
+		ChannelSeq: binary.LittleEndian.Uint64(data[10:18]),
+	}
+	rest := data[envelopeHeaderLen:]
 
 	var err error
 	var u uint64
@@ -310,10 +339,10 @@ func (e *Envelope) WireSize() int { return len(e.Marshal()) }
 // broker's publish hot path for every message, where a full Unmarshal would
 // heap-allocate an Envelope per publication.
 func PeekNode(data []byte) (node uint32, ok bool) {
-	if len(data) < 2 || data[0] != envelopeMagic {
+	if len(data) < envelopeHeaderLen || data[0] != envelopeMagic {
 		return 0, false
 	}
-	rest := data[2:]
+	rest := data[envelopeHeaderLen:]
 	_, n := binary.Uvarint(rest) // skip planVersion
 	if n <= 0 {
 		return 0, false
@@ -326,11 +355,11 @@ func PeekNode(data []byte) (node uint32, ok bool) {
 }
 
 func PeekStamp(data []byte) (t Type, stamp int64, ok bool) {
-	if len(data) < 2 || data[0] != envelopeMagic {
+	if len(data) < envelopeHeaderLen || data[0] != envelopeMagic {
 		return 0, 0, false
 	}
 	t = Type(data[1])
-	rest := data[2:]
+	rest := data[envelopeHeaderLen:]
 	for i := 0; i < 3; i++ { // skip planVersion, node, seq
 		_, n := binary.Uvarint(rest)
 		if n <= 0 {
@@ -343,6 +372,36 @@ func PeekStamp(data []byte) (t Type, stamp int64, ok bool) {
 		return 0, 0, false
 	}
 	return t, int64(u), true
+}
+
+// StampChannelSeq writes the broker-assigned replay coordinates into an
+// already-encoded data envelope in place. It stamps only TypeData and
+// TypeForwarded frames (control envelopes and raw payloads are left
+// untouched) and reports whether it stamped. The caller must exclusively own
+// data: the broker's publish path stamps the frame it is about to fan out,
+// before any subscriber sees it.
+func StampChannelSeq(data []byte, epoch, seq uint64) bool {
+	if len(data) < envelopeHeaderLen || data[0] != envelopeMagic {
+		return false
+	}
+	if t := Type(data[1]); t != TypeData && t != TypeForwarded {
+		return false
+	}
+	binary.LittleEndian.PutUint64(data[2:10], epoch)
+	binary.LittleEndian.PutUint64(data[10:18], seq)
+	return true
+}
+
+// PeekChannelSeq extracts the replay coordinates from an encoded envelope
+// without decoding anything else. ok is false for non-envelope payloads and
+// for envelopes never stamped by a replay-enabled broker (epoch 0).
+func PeekChannelSeq(data []byte) (epoch, seq uint64, ok bool) {
+	if len(data) < envelopeHeaderLen || data[0] != envelopeMagic {
+		return 0, 0, false
+	}
+	epoch = binary.LittleEndian.Uint64(data[2:10])
+	seq = binary.LittleEndian.Uint64(data[10:18])
+	return epoch, seq, epoch != 0
 }
 
 // Generator allocates globally unique message IDs for one node. The zero

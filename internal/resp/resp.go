@@ -210,6 +210,35 @@ func (r *Reader) ReadMessagePush() (channel string, payload []byte, ok bool, err
 	return "", nil, false, nil
 }
 
+// ReadPush is ReadMessagePush for subscriber streams that also carry
+// non-message frames the caller needs to inspect (csubscribe replay acks):
+// a ["message", channel, payload] push takes the same allocation-free fast
+// path and returns ok=true; any other frame is decoded generically and
+// returned in v with ok=false.
+func (r *Reader) ReadPush() (channel string, payload []byte, ok bool, v Value, err error) {
+	frag, perr := r.br.Peek(len(messagePushPrefix))
+	if perr == nil && bytes.Equal(frag, messagePushPrefix) {
+		r.br.Discard(len(messagePushPrefix)) //nolint:errcheck // cannot fail after Peek
+		ch, err := r.expectBulk()
+		if err != nil {
+			return "", nil, false, Value{}, err
+		}
+		pay, err := r.expectBulk()
+		if err != nil {
+			return "", nil, false, Value{}, err
+		}
+		return string(ch), pay, true, Value{}, nil
+	}
+	v, err = r.ReadValue()
+	if err != nil {
+		return "", nil, false, Value{}, err
+	}
+	if v.Kind == KindArray && !v.Null && len(v.Array) == 3 && string(v.Array[0].Str) == "message" {
+		return string(v.Array[1].Str), v.Array[2].Str, true, Value{}, nil
+	}
+	return "", nil, false, v, nil
+}
+
 // expectBulk reads a non-null bulk string including its type byte.
 func (r *Reader) expectBulk() ([]byte, error) {
 	t, err := r.br.ReadByte()

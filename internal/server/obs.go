@@ -172,6 +172,23 @@ func (n *Node) buildRegistry() {
 	r.Counter("dynamoth_broker_epoll_writes_total",
 		"Reactor flush write syscalls; deliveries per write is the coalescing factor.",
 		func() uint64 { return n.connSrv.Stats().EpollWrites })
+	if n.Broker.ReplayEnabled() {
+		r.Gauge("dynamoth_broker_replay_rings",
+			"Channels currently holding a replay ring.",
+			func() float64 { return float64(n.Broker.Stats().ReplayRings) })
+		r.Counter("dynamoth_broker_replay_retained_total",
+			"Data frames appended to replay rings.",
+			func() uint64 { return n.Broker.Stats().ReplayRetained })
+		r.Counter("dynamoth_broker_replay_requests_total",
+			"Cursor-based resubscribes served from replay rings.",
+			func() uint64 { return n.Broker.Stats().ReplayRequests })
+		r.Counter("dynamoth_broker_replay_frames_total",
+			"Frames replayed to resuming subscribers.",
+			func() uint64 { return n.Broker.Stats().ReplayedFrames })
+		r.Counter("dynamoth_broker_replay_missed_total",
+			"Requested frames already overwritten in their ring (unrecoverable gaps).",
+			func() uint64 { return n.Broker.Stats().ReplayMissed })
+	}
 	r.Gauge("dynamoth_plan_version",
 		"Plan version this node's dispatcher is executing.",
 		func() float64 { return float64(n.Dispatcher.Plan().Version) })
@@ -181,11 +198,15 @@ func (n *Node) buildRegistry() {
 	// Bounded hot-state caches: every per-channel map on this node with its
 	// size/capacity/eviction counters, scrapeable at /metrics.
 	accum := n.LLA.Accumulator()
-	r.RegisterCaches("dynamoth_node",
-		hotstate.NamedStats{Name: "lla_units", Stats: accum.UnitCacheStats},
-		hotstate.NamedStats{Name: "lla_subscribers", Stats: accum.SubscriberCacheStats},
-		hotstate.NamedStats{Name: "topk", Stats: n.topk.CacheStats},
-	)
+	caches := []hotstate.NamedStats{
+		{Name: "lla_units", Stats: accum.UnitCacheStats},
+		{Name: "lla_subscribers", Stats: accum.SubscriberCacheStats},
+		{Name: "topk", Stats: n.topk.CacheStats},
+	}
+	if n.Broker.ReplayEnabled() {
+		caches = append(caches, hotstate.NamedStats{Name: "replay_rings", Stats: n.Broker.ReplayCacheStats})
+	}
+	r.RegisterCaches("dynamoth_node", caches...)
 	// Derived reconfiguration families from the node's flight recorder
 	// (no-op when the node runs without one).
 	n.rec.RegisterMetrics(r)

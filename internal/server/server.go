@@ -21,6 +21,13 @@ import (
 	"github.com/dynamoth/dynamoth/internal/trace"
 )
 
+// DefaultReplayDepth is the per-channel replay ring depth when
+// Options.ReplayDepth is 0: deep enough to cover a crash-detection window or
+// a T_wait drain at per-channel rates well beyond the paper's workloads
+// (sizing math in DESIGN.md §16), shallow enough that a ring costs at most
+// depth × frame-size bytes only on channels that actually see traffic.
+const DefaultReplayDepth = 256
+
 // Options configures a Node.
 type Options struct {
 	// ID is the server's identity in plans (e.g. "pub1").
@@ -47,6 +54,14 @@ type Options struct {
 	TopKCap int
 	// OutputBuffer is the broker's per-session output limit.
 	OutputBuffer int
+	// ReplayDepth is the broker's per-channel replay ring depth: the last
+	// ReplayDepth data frames of each channel stay available for
+	// cursor-based resumable subscription. 0 selects DefaultReplayDepth;
+	// negative disables replay.
+	ReplayDepth int
+	// ReplayChannels bounds how many channels may hold a replay ring
+	// (0 = broker.DefaultReplayChannels, negative = unbounded).
+	ReplayChannels int
 	// ConnCore selects the broker's connection-serving implementation for
 	// ServeTCP (default broker.CoreAuto: the epoll reactor where
 	// available, goroutine-per-connection elsewhere).
@@ -96,7 +111,19 @@ func New(opts Options) (*Node, error) {
 	if opts.Clock == nil {
 		opts.Clock = clock.NewReal()
 	}
-	b := broker.New(broker.Options{Name: opts.ID, OutputBuffer: opts.OutputBuffer})
+	replayDepth := opts.ReplayDepth
+	switch {
+	case replayDepth == 0:
+		replayDepth = DefaultReplayDepth
+	case replayDepth < 0:
+		replayDepth = 0 // disabled
+	}
+	b := broker.New(broker.Options{
+		Name:           opts.ID,
+		OutputBuffer:   opts.OutputBuffer,
+		ReplayDepth:    replayDepth,
+		ReplayChannels: opts.ReplayChannels,
+	})
 	analyzer := lla.NewAnalyzer(lla.Config{
 		Server:         opts.ID,
 		MaxOutgoingBps: opts.MaxOutgoingBps,

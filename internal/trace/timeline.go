@@ -79,7 +79,8 @@ func eventBounds(ev Event) (int64, int64) {
 // not of whatever rebalance happened to precede it.
 func failurePath(k Kind) bool {
 	switch k {
-	case KindDialFail, KindRedial, KindSubstitute, KindMigrate, KindDedupOpen, KindDedupClose:
+	case KindDialFail, KindRedial, KindSubstitute, KindMigrate, KindDedupOpen, KindDedupClose,
+		KindReplay, KindReplayGap:
 		return true
 	}
 	return false

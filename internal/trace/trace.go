@@ -97,6 +97,14 @@ const (
 	// overflow (Subject = remote address, Value = buffered bytes, -1 when
 	// the core tracks messages rather than bytes).
 	KindBackpressure
+	// KindReplay marks a client cursor resubscribe served from a broker
+	// replay ring (Subject = channel, Detail the reason — "switch",
+	// "failover", "redial" — Value = frames replayed, Aux = frames missed).
+	KindReplay
+	// KindReplayGap marks a definite, unrecoverable delivery gap: the ring
+	// had already overwritten frames the client's cursor was owed (Subject =
+	// channel, Value = frames lost).
+	KindReplayGap
 
 	kindCount // sentinel
 )
@@ -114,30 +122,32 @@ type kindInfo struct {
 }
 
 var kinds = [kindCount]kindInfo{
-	KindUnknown:     {name: "unknown", component: "unknown", level: slog.LevelDebug},
-	KindTrigger:     {name: "trigger", component: "balancer", level: slog.LevelInfo, metric: "dynamoth_reconfig_triggers"},
-	KindLoad:        {name: "load", component: "balancer", level: slog.LevelDebug},
-	KindPlanCompute: {name: "plan_compute", component: "balancer", level: slog.LevelInfo, span: true, metric: "dynamoth_reconfig_plan_compute"},
-	KindPlanPush:    {name: "plan_push", component: "balancer", level: slog.LevelInfo, span: true, metric: "dynamoth_reconfig_plan_push"},
-	KindTWait:       {name: "t_wait", component: "balancer", level: slog.LevelInfo, span: true, metric: "dynamoth_reconfig_t_wait"},
-	KindPlanApply:   {name: "plan_apply", component: "dispatcher", level: slog.LevelInfo, metric: "dynamoth_reconfig_plan_applies"},
-	KindSwitchSend:  {name: "switch_send", component: "dispatcher", level: slog.LevelDebug, metric: "dynamoth_reconfig_switch_sent"},
-	KindSwitchRecv:  {name: "switch_recv", component: "client", level: slog.LevelDebug, metric: "dynamoth_reconfig_switch_received"},
-	KindMigrate:     {name: "migrate", component: "client", level: slog.LevelInfo, metric: "dynamoth_reconfig_migrations"},
-	KindDrained:     {name: "drained", component: "dispatcher", level: slog.LevelDebug, metric: "dynamoth_reconfig_drains"},
-	KindDedupOpen:   {name: "dedup_open", component: "client", level: slog.LevelDebug, metric: "dynamoth_reconfig_dedup_windows"},
-	KindDedupClose:  {name: "dedup_close", component: "client", level: slog.LevelInfo, metric: "dynamoth_reconfig_dedup_suppressed", sum: true},
-	KindDetect:      {name: "detect", component: "balancer", level: slog.LevelWarn, metric: "dynamoth_reconfig_failures_detected"},
-	KindRepair:      {name: "repair", component: "balancer", level: slog.LevelWarn, span: true, metric: "dynamoth_reconfig_repair"},
-	KindSpawn:       {name: "spawn", component: "balancer", level: slog.LevelInfo, span: true, metric: "dynamoth_reconfig_spawn"},
-	KindRelease:     {name: "release", component: "balancer", level: slog.LevelInfo, metric: "dynamoth_reconfig_releases"},
-	KindDialFail:    {name: "dial_fail", component: "client", level: slog.LevelWarn},
-	KindRedial:      {name: "redial", component: "client", level: slog.LevelInfo},
-	KindSubstitute:  {name: "substitute", component: "client", level: slog.LevelInfo},
+	KindUnknown:      {name: "unknown", component: "unknown", level: slog.LevelDebug},
+	KindTrigger:      {name: "trigger", component: "balancer", level: slog.LevelInfo, metric: "dynamoth_reconfig_triggers"},
+	KindLoad:         {name: "load", component: "balancer", level: slog.LevelDebug},
+	KindPlanCompute:  {name: "plan_compute", component: "balancer", level: slog.LevelInfo, span: true, metric: "dynamoth_reconfig_plan_compute"},
+	KindPlanPush:     {name: "plan_push", component: "balancer", level: slog.LevelInfo, span: true, metric: "dynamoth_reconfig_plan_push"},
+	KindTWait:        {name: "t_wait", component: "balancer", level: slog.LevelInfo, span: true, metric: "dynamoth_reconfig_t_wait"},
+	KindPlanApply:    {name: "plan_apply", component: "dispatcher", level: slog.LevelInfo, metric: "dynamoth_reconfig_plan_applies"},
+	KindSwitchSend:   {name: "switch_send", component: "dispatcher", level: slog.LevelDebug, metric: "dynamoth_reconfig_switch_sent"},
+	KindSwitchRecv:   {name: "switch_recv", component: "client", level: slog.LevelDebug, metric: "dynamoth_reconfig_switch_received"},
+	KindMigrate:      {name: "migrate", component: "client", level: slog.LevelInfo, metric: "dynamoth_reconfig_migrations"},
+	KindDrained:      {name: "drained", component: "dispatcher", level: slog.LevelDebug, metric: "dynamoth_reconfig_drains"},
+	KindDedupOpen:    {name: "dedup_open", component: "client", level: slog.LevelDebug, metric: "dynamoth_reconfig_dedup_windows"},
+	KindDedupClose:   {name: "dedup_close", component: "client", level: slog.LevelInfo, metric: "dynamoth_reconfig_dedup_suppressed", sum: true},
+	KindDetect:       {name: "detect", component: "balancer", level: slog.LevelWarn, metric: "dynamoth_reconfig_failures_detected"},
+	KindRepair:       {name: "repair", component: "balancer", level: slog.LevelWarn, span: true, metric: "dynamoth_reconfig_repair"},
+	KindSpawn:        {name: "spawn", component: "balancer", level: slog.LevelInfo, span: true, metric: "dynamoth_reconfig_spawn"},
+	KindRelease:      {name: "release", component: "balancer", level: slog.LevelInfo, metric: "dynamoth_reconfig_releases"},
+	KindDialFail:     {name: "dial_fail", component: "client", level: slog.LevelWarn},
+	KindRedial:       {name: "redial", component: "client", level: slog.LevelInfo},
+	KindSubstitute:   {name: "substitute", component: "client", level: slog.LevelInfo},
 	KindDuplicate:    {name: "duplicate", component: "client", level: slog.LevelDebug},
 	KindConnAccept:   {name: "conn_accept", component: "broker", level: slog.LevelDebug, metric: "dynamoth_conn_accepts"},
 	KindConnClose:    {name: "conn_close", component: "broker", level: slog.LevelDebug, metric: "dynamoth_conn_closes"},
 	KindBackpressure: {name: "backpressure", component: "broker", level: slog.LevelWarn, metric: "dynamoth_conn_backpressure"},
+	KindReplay:       {name: "replay", component: "client", level: slog.LevelInfo, metric: "dynamoth_replay_served", sum: true},
+	KindReplayGap:    {name: "replay_gap", component: "client", level: slog.LevelWarn, metric: "dynamoth_replay_gap_frames", sum: true},
 }
 
 // String returns the kind's JSON name.

@@ -8,6 +8,7 @@ import (
 
 	"github.com/dynamoth/dynamoth/internal/broker"
 	"github.com/dynamoth/dynamoth/internal/clock"
+	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/netsim"
 	"github.com/dynamoth/dynamoth/internal/plan"
 )
@@ -154,20 +155,45 @@ func (c *memConn) Unsubscribe(channels ...string) error {
 }
 
 func (c *memConn) Publish(channel string, payload []byte) error {
+	if c.session.CloseReason() != nil {
+		// A crashed or shut-down broker must surface as a publish error, like
+		// a TCP write on a dead socket would — the caller's retry is what
+		// moves a storm onto the successor.
+		return ErrClosed
+	}
 	d := c.dialer
 	if d.faults != nil && d.faults.Drop(string(c.server)) {
 		// Lost on the wire: the connection stays up and the publisher gets
 		// no error — exactly how a partitioned server looks from outside.
 		return nil
 	}
+	// Copy before handing the broker the frame: a replay-enabled broker
+	// stamps data envelopes in place and requires exclusive ownership, while
+	// this payload may be shared across a multi-conn fan-out (and, with a
+	// latency model, outlive this call in the delay queue).
+	owned := append([]byte(nil), payload...)
 	if d.dq == nil {
 		// No latency model: publish synchronously.
-		c.publishNow(channel, payload)
+		c.publishNow(channel, owned)
+		if c.session.CloseReason() != nil {
+			return ErrClosed
+		}
 		return nil
 	}
 	delay := d.sampleDelay(d.class, netsim.Infra)
-	d.dq.ScheduleAfter(delay, func() { c.publishNow(channel, payload) })
+	d.dq.ScheduleAfter(delay, func() { c.publishNow(channel, owned) })
 	return nil
+}
+
+// PublishNonRetaining implements NonRetaining: Publish copies the payload
+// out before returning, so callers may immediately reuse its buffer.
+func (c *memConn) PublishNonRetaining() bool { return true }
+
+// SubscribeCursor implements CursorSubscriber straight against the broker
+// session: subscribe, then replay the cursor's gap from the channel's ring.
+func (c *memConn) SubscribeCursor(channel string, cur message.Cursor) (ReplayResult, error) {
+	res, err := c.session.SubscribeFrom(channel, cur)
+	return ReplayResult{Replayed: res.Replayed, Missed: res.Missed, Epoch: res.Epoch}, err
 }
 
 func (c *memConn) publishNow(channel string, payload []byte) {

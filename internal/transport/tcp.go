@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/resp"
 )
@@ -154,13 +155,27 @@ type tcpConn struct {
 	// await a flush.
 	flushCh chan struct{}
 
+	// cackMu serializes SubscribeCursor calls; cackCh holds the waiter the
+	// readLoop routes the next csubscribe ack to.
+	cackMu sync.Mutex
+	cackCh atomic.Pointer[chan cack]
+
 	closeOnce sync.Once
 	done      chan struct{}
 	explicit  atomic.Bool
 }
 
+// cack is a decoded csubscribe ack: frames replayed, frames missed, and the
+// server ring's epoch.
+type cack struct {
+	replayed int64
+	missed   int64
+	epoch    int64
+}
+
 var _ Conn = (*tcpConn)(nil)
 var _ NonRetaining = (*tcpConn)(nil)
+var _ CursorSubscriber = (*tcpConn)(nil)
 
 // PublishNonRetaining implements NonRetaining: WritePublish copies the
 // payload into the buffered writer (or writes it through to the socket)
@@ -192,6 +207,48 @@ func (c *tcpConn) subCommand(cmd string, channels []string) error {
 	return c.subW.Flush()
 	// Acknowledgements arrive asynchronously on the read loop and are
 	// dropped there; Redis semantics make them informational only.
+}
+
+// subscribeCursorAckTimeout bounds how long SubscribeCursor waits for the
+// server's csubscribe ack before giving up (the caller falls back to a plain
+// Subscribe).
+const subscribeCursorAckTimeout = 5 * time.Second
+
+// SubscribeCursor implements CursorSubscriber over the subscriber socket: it
+// writes a CSUBSCRIBE command and waits for the server's ack, while replayed
+// frames stream in as ordinary message pushes on the read loop.
+func (c *tcpConn) SubscribeCursor(channel string, cur message.Cursor) (ReplayResult, error) {
+	select {
+	case <-c.done:
+		return ReplayResult{}, ErrClosed
+	default:
+	}
+	c.cackMu.Lock()
+	defer c.cackMu.Unlock()
+	ch := make(chan cack, 1)
+	c.cackCh.Store(&ch)
+	defer c.cackCh.Store(nil)
+	blob := message.MarshalCursor(cur)
+	c.subMu.Lock()
+	err := c.subW.WriteCommand([]byte("CSUBSCRIBE"), []byte(channel), blob)
+	if err == nil {
+		err = c.subW.Flush()
+	}
+	c.subMu.Unlock()
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	select {
+	case a := <-ch:
+		if a.replayed < 0 {
+			return ReplayResult{}, fmt.Errorf("transport: csubscribe rejected by %s", c.subSock.RemoteAddr())
+		}
+		return ReplayResult{Replayed: int(a.replayed), Missed: uint64(a.missed), Epoch: uint64(a.epoch)}, nil
+	case <-c.done:
+		return ReplayResult{}, ErrClosed
+	case <-time.After(subscribeCursorAckTimeout):
+		return ReplayResult{}, fmt.Errorf("transport: csubscribe ack timeout on %s", c.subSock.RemoteAddr())
+	}
 }
 
 // Publish appends the PUBLISH command to the publisher socket's buffer and
@@ -297,21 +354,44 @@ func (c *tcpConn) Close() error {
 	return nil
 }
 
-// readLoop consumes pushes from the subscriber socket through the
-// ReadMessagePush fast path (no generic Value tree for message frames).
+// readLoop consumes pushes from the subscriber socket through the ReadPush
+// fast path (no generic Value tree for message frames). Non-message frames
+// are subscription acks, dropped — except csubscribe acks and errors, which
+// are routed to a waiting SubscribeCursor call.
 func (c *tcpConn) readLoop() {
 	r := resp.NewReader(c.subSock)
 	for {
-		channel, payload, ok, err := r.ReadMessagePush()
+		channel, payload, ok, v, err := r.ReadPush()
 		if err != nil {
 			c.disconnect(err)
 			return
 		}
 		if !ok {
+			if a, isAck := parseCack(v); isAck {
+				if chp := c.cackCh.Load(); chp != nil {
+					select {
+					case *chp <- a:
+					default: // stale duplicate ack; waiter already served
+					}
+				}
+			}
 			continue // subscribe/unsubscribe acks
 		}
 		c.handler.OnMessage(channel, payload)
 	}
+}
+
+// parseCack recognizes the two frames a CSUBSCRIBE can answer with: the
+// 6-element ["csubscribe", channel, count, replayed, missed, epoch] ack, or
+// a RESP error (reported as replayed = -1).
+func parseCack(v resp.Value) (cack, bool) {
+	if v.Kind == resp.KindError {
+		return cack{replayed: -1}, true
+	}
+	if v.Kind == resp.KindArray && !v.Null && len(v.Array) == 6 && string(v.Array[0].Str) == "csubscribe" {
+		return cack{replayed: v.Array[3].Int, missed: v.Array[4].Int, epoch: v.Array[5].Int}, true
+	}
+	return cack{}, false
 }
 
 func (c *tcpConn) disconnect(err error) {

@@ -8,6 +8,7 @@ package transport
 import (
 	"errors"
 
+	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/plan"
 )
 
@@ -47,6 +48,29 @@ type Conn interface {
 // envelope buffers when every target connection reports true.
 type NonRetaining interface {
 	PublishNonRetaining() bool
+}
+
+// ReplayResult reports what a cursor subscribe replayed (the broker's
+// CSUBSCRIBE ack at the transport boundary).
+type ReplayResult struct {
+	// Replayed is how many retained frames the server queued before live
+	// flow; they arrive as ordinary OnMessage deliveries.
+	Replayed int
+	// Missed is how many requested frames the server's ring had already
+	// overwritten — a definite, unrecoverable gap.
+	Missed uint64
+	// Epoch is the server ring's current epoch (0 when the channel has no
+	// ring), so the client can attribute Missed to the right sequence track.
+	Epoch uint64
+}
+
+// CursorSubscriber is optionally implemented by Conns that support
+// cursor-based resumable subscription: subscribe plus a replay of the frames
+// the cursor's position misses from the server's per-channel replay ring.
+// Conns without it (or servers without replay rings) degrade to plain
+// Subscribe.
+type CursorSubscriber interface {
+	SubscribeCursor(channel string, cursor message.Cursor) (ReplayResult, error)
 }
 
 // Dialer opens connections to pub/sub servers by ID.

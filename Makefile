@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos replay obs conns channels bench experiments examples vet clean
+.PHONY: all build test test-short race chaos replay obs conns channels scenarios bench experiments examples vet clean
 
 all: vet test
 
@@ -64,6 +64,19 @@ CHANNELS ?= 1000000
 channels:
 	$(GO) test -race ./internal/hotstate/ ./internal/localplan/ ./internal/lla/
 	$(GO) run ./cmd/experiments -run channels -channels $(CHANNELS)
+
+# Scenario suite: the open-loop load-generator tests under the race
+# detector, then every scenario (IoT fan-in, market fan-out, chat churn,
+# mixed multi-tenant) against a real dynamoth-node subprocess. Latency is
+# measured from intended send instants (coordinated-omission-safe); each
+# scenario writes BENCH_scenario_<name>.json. SCENARIO_SCALE shrinks the
+# load shape-preserving; SCENARIO selects one by name.
+SCENARIO_SCALE ?= 1.0
+SCENARIO ?=
+scenarios:
+	$(GO) test -race ./internal/loadgen/ -run 'Schedule|Stamp|OpenLoop|Recorder'
+	$(GO) test -race ./internal/workload/ -run 'Scenario'
+	$(GO) run ./cmd/experiments -run scenarios -scenario '$(SCENARIO)' -scenario-scale $(SCENARIO_SCALE)
 
 # Reduced-scale figure benches + substrate microbenches.
 bench:

@@ -465,6 +465,38 @@ func (c *Client) RegisterMetrics(r *obs.Registry) {
 	)
 }
 
+// Flush blocks until every publish the client has issued so far is on the
+// wire and acknowledged by its server, or timeout elapses. Publishing is
+// pipelined (writes are acked asynchronously), so "Publish returned" does not
+// mean "the broker has the message" — callers that need that barrier (a CLI
+// about to exit, a harness about to tear the broker down) previously guessed
+// with a sleep. Transports that do not report outstanding writes are treated
+// as already flushed.
+func (c *Client) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		pending := int64(0)
+		for _, cc := range c.conns {
+			if o, ok := cc.conn.(interface{ Outstanding() int64 }); ok {
+				pending += o.Outstanding()
+			}
+		}
+		c.mu.Unlock()
+		if pending == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dynamoth: flush timed out with %d publishes unacknowledged", pending)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // Publish sends payload on channel, routed by the client's current plan
 // knowledge (explicit entry, else consistent hashing).
 //

@@ -101,36 +101,78 @@ func run() error {
 		if err := client.Publish(channel, []byte(payload)); err != nil {
 			return err
 		}
+		// Publishing is pipelined; block until the server has acknowledged
+		// it rather than exiting on a guessed sleep (which silently dropped
+		// the message whenever the flush took longer than 100ms).
+		if err := client.Flush(5 * time.Second); err != nil {
+			return err
+		}
 		fmt.Printf("published %d bytes on %q\n", len(payload), channel)
-		// Give the (asynchronous) publish path a moment to flush.
-		time.Sleep(100 * time.Millisecond)
 		return nil
 	case "ping":
 		msgs, err := client.Subscribe(channel)
 		if err != nil {
 			return err
 		}
-		time.Sleep(200 * time.Millisecond) // allow the subscription to land
+		// Subscriptions land asynchronously: probe with warmup publishes
+		// until one comes back instead of hoping a fixed sleep was enough.
+		warmedUp := false
+		for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+			if err := client.Publish(channel, []byte("warmup")); err != nil {
+				return err
+			}
+			select {
+			case <-msgs:
+				warmedUp = true
+			case <-time.After(100 * time.Millisecond):
+				continue
+			}
+			break
+		}
+		if !warmedUp {
+			return fmt.Errorf("subscription to %q never became live", channel)
+		}
+	drain:
+		for { // late warmup duplicates must not count as probe replies
+			select {
+			case <-msgs:
+			case <-time.After(200 * time.Millisecond):
+				break drain
+			}
+		}
+		// Open-loop probe plan: each probe has an intended instant 100ms
+		// apart and RTT is measured from it, so a slow broker shows up as
+		// growing RTTs instead of being absorbed by the pacing sleep.
 		var total time.Duration
+		var behind int
 		got := 0
+		probeEvery := 100 * time.Millisecond
+		epoch := time.Now()
 		for i := 0; i < *count; i++ {
-			start := time.Now()
+			intended := epoch.Add(time.Duration(i) * probeEvery)
+			if wait := time.Until(intended); wait > 0 {
+				time.Sleep(wait)
+			} else if -wait > probeEvery {
+				behind++
+			}
 			if err := client.Publish(channel, []byte(fmt.Sprintf("ping-%d", i))); err != nil {
 				return err
 			}
 			select {
 			case <-msgs:
-				rtt := time.Since(start)
+				rtt := time.Since(intended)
 				total += rtt
 				got++
 				fmt.Printf("probe %d: %v\n", i, rtt.Round(time.Microsecond))
 			case <-time.After(2 * time.Second):
 				fmt.Printf("probe %d: timeout\n", i)
 			}
-			time.Sleep(100 * time.Millisecond)
 		}
 		if got > 0 {
 			fmt.Printf("mean RTT over %d probes: %v\n", got, (total / time.Duration(got)).Round(time.Microsecond))
+		}
+		if behind > 0 {
+			fmt.Printf("warning: %d probes ran more than one interval behind schedule\n", behind)
 		}
 		return nil
 	default:

@@ -1,18 +1,12 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
-	"os/exec"
-	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strconv"
-	"strings"
 	"time"
 
 	dynamoth "github.com/dynamoth/dynamoth"
@@ -51,42 +45,22 @@ func runChannels(target int) error {
 		return err
 	}
 	defer os.RemoveAll(binDir)
-	nodeBin := filepath.Join(binDir, "dynamoth-node")
-	build := exec.Command("go", "build", "-o", nodeBin, "./cmd/dynamoth-node")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		return fmt.Errorf("building dynamoth-node: %w", err)
+	nodeBin, err := buildNodeBin(binDir)
+	if err != nil {
+		return err
 	}
 
-	cmd := exec.Command(nodeBin,
-		"-id", "bench",
-		"-servers", "bench",
-		"-listen", "127.0.0.1:0",
-		"-admin-addr", "127.0.0.1:0",
+	node, err := startNode(nodeBin,
 		"-lla-channel-cap", strconv.Itoa(soakLLACap),
-		"-topk-cap", strconv.Itoa(soakTopKCap),
-		"-log-level", "error")
-	stdout, err := cmd.StdoutPipe()
+		"-topk-cap", strconv.Itoa(soakTopKCap))
 	if err != nil {
 		return err
 	}
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return err
-	}
-	defer func() {
-		cmd.Process.Kill() //nolint:errcheck
-		cmd.Wait()         //nolint:errcheck
-	}()
-
-	respAddr, adminAddr, err := parseNodeBanner(stdout)
-	if err != nil {
-		return err
-	}
-	go io.Copy(io.Discard, stdout) //nolint:errcheck // keep the pipe drained
+	defer node.Stop()
+	adminAddr := node.AdminAddr
 
 	client, err := dynamoth.Connect(dynamoth.Config{
-		Addrs:  map[string]string{"bench": respAddr},
+		Addrs:  map[string]string{"bench": node.RespAddr},
 		NodeID: 0xC0DE,
 	})
 	if err != nil {
@@ -116,20 +90,28 @@ func runChannels(target int) error {
 
 	// Warmup: one throwaway steady-state burst plus a seal cycle, so both
 	// checkpoints compare against the same established heap high-water
-	// (GC pacing, connection buffers, the LLA's first full-cap seals).
+	// (GC pacing, connection buffers, the LLA's first full-cap seals). The
+	// burst is flushed to the broker, then the wait ends when the node has
+	// actually built its first LLA report — not after a guessed sleep that
+	// under-waits on a loaded machine.
 	for i := 0; i < soakSteadyOps; i++ {
 		if err := client.Publish(working[i%len(working)], payload); err != nil {
 			return fmt.Errorf("warmup publish: %w", err)
 		}
 	}
-	time.Sleep(1500 * time.Millisecond)
+	if err := client.Flush(30 * time.Second); err != nil {
+		return fmt.Errorf("warmup flush: %w", err)
+	}
+	if err := awaitCounterAdvance(adminAddr, "dynamoth_node_lla_reports_total", 0, 1, 30*time.Second); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
 
 	tenth := target / 10
 	start := time.Now()
 	if err := sweep(0, tenth); err != nil {
 		return err
 	}
-	at10, err := channelsCheckpoint(client, cmd.Process.Pid, adminAddr, tenth, working, payload)
+	at10, err := channelsCheckpoint(client, node.Pid(), adminAddr, tenth, working, payload)
 	if err != nil {
 		return err
 	}
@@ -139,7 +121,7 @@ func runChannels(target int) error {
 	if err := sweep(tenth, target); err != nil {
 		return err
 	}
-	atFull, err := channelsCheckpoint(client, cmd.Process.Pid, adminAddr, target, working, payload)
+	atFull, err := channelsCheckpoint(client, node.Pid(), adminAddr, target, working, payload)
 	if err != nil {
 		return err
 	}
@@ -228,68 +210,43 @@ func channelsCheckpoint(client *dynamoth.Client, nodePid int, adminAddr string, 
 	res.SteadyAllocsPerOp = float64(after.Mallocs-before.Mallocs) / soakSteadyOps
 	res.SteadyBytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / soakSteadyOps
 
-	// One full LLA unit + report interval: the node seals its (cap-bounded)
-	// accumulator and marshals a report at least once before RSS is read.
-	time.Sleep(3500 * time.Millisecond)
-	// Min of three samples: a single reading races GC pacing and the
-	// scavenger on both sides; the minimum is the reproducible live set.
-	for i := 0; i < 3; i++ {
+	// Drain the burst to the broker, then wait for the node to have sealed
+	// and marshaled at least one full LLA report *after* it — the
+	// report-marshal path must hit its allocation high-water before RSS is
+	// read. The old fixed 3.5s sleep under-waited whenever CI was loaded
+	// (tickers fire late under contention) and over-waited everywhere else.
+	if err := client.Flush(30 * time.Second); err != nil {
+		return nil, fmt.Errorf("checkpoint flush: %w", err)
+	}
+	reportsBefore, _ := scrapeValue(adminAddr, "dynamoth_node_lla_reports_total")
+	if err := awaitCounterAdvance(adminAddr, "dynamoth_node_lla_reports_total", reportsBefore, 1, 30*time.Second); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	// Min-until-stable sampling: a single reading races GC pacing and the
+	// scavenger on both sides, so GC both processes and re-read until the
+	// minimum stops improving (two consecutive samples without a >1% drop),
+	// bounded at eight rounds. The forced-GC HTTP round trip is the natural
+	// pacing between samples.
+	stable := 0
+	for i := 0; i < 8 && stable < 2; i++ {
 		forceNodeGC(adminAddr)
 		runtime.GC()
 		debug.FreeOSMemory()
 		server, client := readRSSKB(nodePid), readRSSKB(os.Getpid())
+		improved := false
 		if res.ServerRSSKB == 0 || server < res.ServerRSSKB {
+			improved = improved || res.ServerRSSKB != 0 && float64(res.ServerRSSKB-server) > 0.01*float64(res.ServerRSSKB)
 			res.ServerRSSKB = server
 		}
 		if res.ClientRSSKB == 0 || client < res.ClientRSSKB {
+			improved = improved || res.ClientRSSKB != 0 && float64(res.ClientRSSKB-client) > 0.01*float64(res.ClientRSSKB)
 			res.ClientRSSKB = client
 		}
-		time.Sleep(200 * time.Millisecond)
+		if i == 0 || improved {
+			stable = 0
+		} else {
+			stable++
+		}
 	}
 	return res, nil
-}
-
-// forceNodeGC makes the node subprocess run a GC and return freed pages to
-// the OS (its /debug/freemem admin route), so readRSSKB sees the live set,
-// not the allocation high-water mark (best effort).
-func forceNodeGC(adminAddr string) {
-	resp, err := http.Get("http://" + adminAddr + "/debug/freemem")
-	if err != nil {
-		return
-	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck
-	resp.Body.Close()
-}
-
-// scrapeFamilies pulls every sample whose name starts with prefix off the
-// node's /metrics, keyed by the full name including labels.
-func scrapeFamilies(adminAddr, prefix string) map[string]float64 {
-	out := map[string]float64{}
-	resp, err := http.Get("http://" + adminAddr + "/metrics")
-	if err != nil {
-		return out
-	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, prefix) {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			continue
-		}
-		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
-			out[fields[0]] = v
-		}
-	}
-	return out
-}
-
-func ratio(num, den int64) float64 {
-	if den <= 0 {
-		return 0
-	}
-	return float64(num) / float64(den)
 }

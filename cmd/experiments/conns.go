@@ -1,16 +1,9 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
-	"os/exec"
-	"path/filepath"
-	"strconv"
-	"strings"
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/workload"
@@ -33,11 +26,9 @@ func runConns(target int) error {
 		return err
 	}
 	defer os.RemoveAll(binDir)
-	nodeBin := filepath.Join(binDir, "dynamoth-node")
-	build := exec.Command("go", "build", "-o", nodeBin, "./cmd/dynamoth-node")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		return fmt.Errorf("building dynamoth-node: %w", err)
+	nodeBin, err := buildNodeBin(binDir)
+	if err != nil {
+		return err
 	}
 
 	reactor, err := runConnsCore(nodeBin, "reactor", target)
@@ -101,37 +92,15 @@ type connsCoreResult struct {
 // runConnsCore boots one node with the given core and drives it.
 func runConnsCore(nodeBin, core string, target int) (*connsCoreResult, error) {
 	fmt.Printf("--- core=%s target=%d ---\n", core, target)
-	// The bootstrap plan's server set must contain the node's own ID:
-	// otherwise every bench.* subscribe is "wrong" under the plan and the
-	// dispatcher floods subscribers with SWITCH envelopes.
-	cmd := exec.Command(nodeBin,
-		"-id", "bench",
-		"-servers", "bench",
-		"-listen", "127.0.0.1:0",
-		"-admin-addr", "127.0.0.1:0",
-		"-conn-core", core,
-		"-log-level", "error")
-	stdout, err := cmd.StdoutPipe()
+	node, err := startNode(nodeBin, "-conn-core", core)
 	if err != nil {
 		return nil, err
 	}
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return nil, err
-	}
-	defer func() {
-		cmd.Process.Kill() //nolint:errcheck
-		cmd.Wait()         //nolint:errcheck
-	}()
-
-	respAddr, adminAddr, err := parseNodeBanner(stdout)
-	if err != nil {
-		return nil, err
-	}
-	go io.Copy(io.Discard, stdout) //nolint:errcheck // keep the pipe drained
+	defer node.Stop()
+	respAddr, adminAddr := node.RespAddr, node.AdminAddr
 
 	res := &connsCoreResult{Core: core}
-	res.ServerRSSBaseKB = readRSSKB(cmd.Process.Pid)
+	res.ServerRSSBaseKB = readRSSKB(node.Pid())
 
 	// Spread client sockets over extra loopback IPs past the ~28k
 	// ephemeral-port ceiling of a single (src,dst) pair.
@@ -145,7 +114,7 @@ func runConnsCore(nodeBin, core string, target int) (*connsCoreResult, error) {
 		SourceIPs: srcs,
 		Conns:     target,
 		OnEstablished: func(achieved int) {
-			res.ServerRSSPeakKB = readRSSKB(cmd.Process.Pid)
+			res.ServerRSSPeakKB = readRSSKB(node.Pid())
 			res.MetricsAtPeak = scrapeConnMetrics(adminAddr)
 			fmt.Printf("established %d conns; server RSS %d KB → %d KB\n",
 				achieved, res.ServerRSSBaseKB, res.ServerRSSPeakKB)
@@ -159,78 +128,15 @@ func runConnsCore(nodeBin, core string, target int) (*connsCoreResult, error) {
 	}
 	res.Metrics = scrapeConnMetrics(adminAddr)
 
-	fmt.Printf("achieved=%d (fd limit %d)  connect=%.0f conns/s  delivered=%d  churn=%d  p50=%.0fµs p99=%.0fµs  bytes/conn=%.0f\n\n",
+	fmt.Printf("achieved=%d (fd limit %d)  connect=%.0f conns/s  delivered=%d  churn=%d  behind=%d  p50=%.0fµs p99=%.0fµs  bytes/conn=%.0f\n\n",
 		res.Driver.Achieved, res.Driver.FDLimit, res.Driver.ConnsPerSec,
-		res.Driver.Delivered, res.Driver.ChurnOps,
+		res.Driver.Delivered, res.Driver.ChurnOps, res.Driver.BehindSchedule,
 		res.Driver.DeliveryP50us, res.Driver.DeliveryP99us, res.BytesPerConn)
 	return res, nil
 }
 
-// parseNodeBanner extracts the RESP and admin addresses from the node's
-// startup lines.
-func parseNodeBanner(r io.Reader) (resp, admin string, err error) {
-	sc := bufio.NewScanner(r)
-	deadline := time.Now().Add(15 * time.Second)
-	for sc.Scan() {
-		line := sc.Text()
-		if i := strings.Index(line, "serving RESP on "); i >= 0 {
-			rest := line[i+len("serving RESP on "):]
-			resp = strings.Fields(rest)[0]
-		}
-		if i := strings.Index(line, "admin http on "); i >= 0 {
-			admin = strings.TrimSpace(line[i+len("admin http on "):])
-		}
-		if resp != "" && admin != "" {
-			return resp, admin, nil
-		}
-		if time.Now().After(deadline) {
-			break
-		}
-	}
-	return "", "", fmt.Errorf("node banner not found (resp=%q admin=%q)", resp, admin)
-}
-
-// readRSSKB reads VmRSS from /proc/<pid>/status (0 if unavailable).
-func readRSSKB(pid int) int64 {
-	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
-	if err != nil {
-		return 0
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if rest, ok := strings.CutPrefix(line, "VmRSS:"); ok {
-			fields := strings.Fields(rest)
-			if len(fields) > 0 {
-				kb, _ := strconv.ParseInt(fields[0], 10, 64)
-				return kb
-			}
-		}
-	}
-	return 0
-}
-
 // scrapeConnMetrics pulls the connection-layer families off /metrics.
 func scrapeConnMetrics(adminAddr string) map[string]float64 {
-	out := map[string]float64{}
-	resp, err := http.Get("http://" + adminAddr + "/metrics")
-	if err != nil {
-		return out
-	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "dynamoth_broker_conn") &&
-			!strings.HasPrefix(line, "dynamoth_broker_epoll") &&
-			!strings.HasPrefix(line, "dynamoth_broker_bytes") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			continue
-		}
-		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
-			out[fields[0]] = v
-		}
-	}
-	return out
+	return scrapeFamilies(adminAddr,
+		"dynamoth_broker_conn", "dynamoth_broker_epoll", "dynamoth_broker_bytes")
 }

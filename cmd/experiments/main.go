@@ -28,11 +28,13 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "fig4a|fig4b|fig5|fig6|fig7|conns|channels|all")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		conns    = flag.Int("conns", 100_000, "target connection count for -run conns")
-		channels = flag.Int("channels", 1_000_000, "target distinct channel count for -run channels")
+		run           = flag.String("run", "all", "fig4a|fig4b|fig5|fig6|fig7|conns|channels|scenarios|all")
+		scale         = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
+		seed          = flag.Int64("seed", 1, "simulation seed")
+		conns         = flag.Int("conns", 100_000, "target connection count for -run conns")
+		channels      = flag.Int("channels", 1_000_000, "target distinct channel count for -run channels")
+		scenario      = flag.String("scenario", "", "run one scenario by name for -run scenarios ("+scenarioNames()+"; empty = all)")
+		scenarioScale = flag.Float64("scenario-scale", 1.0, "scenario load scale factor for -run scenarios")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 4 {
@@ -62,6 +64,11 @@ func main() {
 	case "channels":
 		if err := runChannels(*channels); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: channels:", err)
+			os.Exit(1)
+		}
+	case "scenarios":
+		if err := runScenarios(*scenario, *scenarioScale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: scenarios:", err)
 			os.Exit(1)
 		}
 	case "all":

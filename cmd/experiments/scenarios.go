@@ -1,0 +1,397 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/internal/loadgen"
+	"github.com/dynamoth/dynamoth/internal/message"
+	"github.com/dynamoth/dynamoth/internal/resp"
+	"github.com/dynamoth/dynamoth/internal/workload"
+)
+
+// runScenarios drives the open-loop scenario suite against real
+// dynamoth-node subprocesses: each scenario boots a fresh node, establishes
+// its subscriber topology, publishes on a fixed arrival schedule through
+// real clients, and writes BENCH_scenario_<name>.json with latency
+// quantiles measured from the *intended* send instants. filter selects one
+// scenario by name (empty = all); scale shrinks the suite shape-preserving.
+func runScenarios(filter string, scale float64, seed int64) error {
+	fmt.Println("=== Scenario suite — open-loop load against a real node ===")
+	fmt.Printf("scale %.2f; latency is measured from intended send instants (coordinated-omission-safe)\n\n", scale)
+
+	binDir, err := os.MkdirTemp("", "dynamoth-scenarios-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(binDir)
+	nodeBin, err := buildNodeBin(binDir)
+	if err != nil {
+		return err
+	}
+
+	ran := 0
+	for _, sc := range workload.Scenarios() {
+		if filter != "" && sc.Name != filter {
+			continue
+		}
+		sc = sc.Scale(scale)
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+		if err := runScenario(nodeBin, sc, seed); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no scenario matches -scenario %q", filter)
+	}
+	return nil
+}
+
+// nextClientID hands out unique client node identities. Envelope IDs embed
+// the publisher's node id; two clients sharing one would interleave their
+// sequence streams and trip subscriber-side dedup into dropping real
+// messages.
+var nextClientID atomic.Uint32
+
+func scenarioClient(addr string) (*dynamoth.Client, error) {
+	return dynamoth.Connect(dynamoth.Config{
+		Addrs:  map[string]string{"bench": addr},
+		NodeID: 0xA000 + nextClientID.Add(1),
+	})
+}
+
+// runScenario boots one node and executes one scenario (or blend) on it.
+func runScenario(nodeBin string, sc workload.Scenario, seed int64) error {
+	fmt.Printf("--- %s: %s ---\n", sc.Name, sc.Description)
+	node, err := startNode(nodeBin)
+	if err != nil {
+		return err
+	}
+	defer node.Stop()
+
+	components := sc.Components
+	if len(components) == 0 {
+		components = []workload.Scenario{sc}
+	}
+
+	// One shared recorder per scenario; blends additionally get per-component
+	// recorders chained into it so the BENCH json shows both the blended
+	// tail and each tenant's own.
+	blended := loadgen.NewRecorder()
+	type compRun struct {
+		sc  workload.Scenario
+		rec *loadgen.Recorder
+		rep *loadgen.Report
+		err error
+	}
+	runs := make([]*compRun, len(components))
+	for i, comp := range components {
+		rec := blended
+		if len(sc.Components) > 0 {
+			rec = loadgen.NewRecorderChained(blended)
+		}
+		runs[i] = &compRun{sc: comp, rec: rec}
+	}
+
+	var cleanups []func()
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}()
+
+	// Topology: subscribers first, so the readiness barrier below can gate
+	// on the broker actually holding every measured channel.
+	distinct := map[string]bool{}
+	for _, run := range runs {
+		comp, rec := run.sc, run.rec
+		for i := 0; i < comp.Channels; i++ {
+			if comp.Subscribers > 0 {
+				distinct[comp.ChannelName(i)] = true
+			}
+		}
+		for s := 0; s < comp.Subscribers; s++ {
+			client, err := scenarioClient(node.RespAddr)
+			if err != nil {
+				return fmt.Errorf("subscriber %d: %w", s, err)
+			}
+			cleanups = append(cleanups, func() { client.Close() })
+			for k := 0; k < comp.SubsPerSubscriber; k++ {
+				msgs, err := client.Subscribe(comp.ChannelName(s + k))
+				if err != nil {
+					return fmt.Errorf("subscribe: %w", err)
+				}
+				go func(msgs <-chan dynamoth.Message) {
+					for m := range msgs {
+						rec.Observe(m.Payload)
+					}
+				}(msgs)
+			}
+		}
+		for p := 0; p < comp.PatternSubscribers; p++ {
+			stop, err := patternSubscriber(node.RespAddr, comp.Pattern, rec)
+			if err != nil {
+				return fmt.Errorf("pattern subscriber: %w", err)
+			}
+			cleanups = append(cleanups, stop)
+		}
+	}
+
+	// Readiness barrier: client Subscribe is pipelined fire-and-forget, so
+	// poll the broker's channel gauge until every measured channel is held
+	// instead of guessing a settle sleep. Pattern subscribers acked their
+	// PSUBSCRIBE synchronously inside patternSubscriber.
+	if len(distinct) > 0 {
+		want := float64(len(distinct))
+		if err := awaitMetric(node.AdminAddr, "dynamoth_broker_channels", 30*time.Second,
+			func(v float64) bool { return v >= want }); err != nil {
+			return fmt.Errorf("subscription barrier: %w", err)
+		}
+	}
+
+	// Publisher fleets: each component's logical publishers are fanned over
+	// a bounded pool of real client connections.
+	var wg sync.WaitGroup
+	var churnOps atomic.Uint64
+	churnStop := make(chan struct{})
+	for _, run := range runs {
+		comp, rec := run.sc, run.rec
+		pool := comp.Publishers
+		if pool > 16 {
+			pool = 16
+		}
+		pubs := make([]*dynamoth.Client, pool)
+		for i := range pubs {
+			client, err := scenarioClient(node.RespAddr)
+			if err != nil {
+				return fmt.Errorf("publisher pool: %w", err)
+			}
+			cleanups = append(cleanups, func() { client.Close() })
+			pubs[i] = client
+		}
+
+		if comp.ChurnPerSec > 0 {
+			wg.Add(1)
+			go func(comp workload.Scenario) {
+				defer wg.Done()
+				churnLoop(pubs[0], comp, churnStop, &churnOps)
+			}(comp)
+		}
+
+		wg.Add(1)
+		go func(run *compRun, comp workload.Scenario, rec *loadgen.Recorder) {
+			defer wg.Done()
+			run.rep, run.err = loadgen.Run(loadgen.Options{
+				Publishers: comp.Publishers,
+				Rate:       comp.RatePerPublisher,
+				Duration:   comp.Duration,
+				Arrival:    comp.Arrival,
+				Seed:       seed,
+				Recorder:   rec,
+				Send: func(pub int, seq uint64, intended, actual time.Duration) error {
+					payload := loadgen.AppendStamp(nil, intended, actual, comp.PayloadBytes)
+					return pubs[pub%len(pubs)].Publish(comp.ChannelName(pub), payload)
+				},
+			})
+		}(run, comp, rec)
+	}
+	wg.Wait()
+	close(churnStop)
+	for _, run := range runs {
+		if run.err != nil {
+			return run.err
+		}
+	}
+
+	// Drain: deliveries lag the last send by queueing we must not truncate
+	// (that would be coordinated omission at the back edge of the run).
+	// Wait until the delivered count stops moving.
+	awaitDeliveryStable(blended, 10*time.Second)
+
+	out := scenarioJSON(sc, runs[0].rep, blended, churnOps.Load())
+	if len(sc.Components) > 0 {
+		comps := map[string]any{}
+		for _, run := range runs {
+			comps[run.sc.Name] = scenarioComponentJSON(run.sc, run.rep, run.rec)
+		}
+		out["components"] = comps
+		out["report"] = nil // per-component reports replace the single one
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	file := "BENCH_scenario_" + sc.Name + ".json"
+	if err := os.WriteFile(file, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	ip50, ip99, ip999, _ := loadgen.QuantilesUs(blended.Intended())
+	fmt.Printf("delivered=%d stampErrs=%d  intended p50=%.0fµs p99=%.0fµs p999=%.0fµs\nwrote %s\n\n",
+		blended.Delivered(), blended.StampErrors(), ip50, ip99, ip999, file)
+	return nil
+}
+
+// patternSubscriber opens a raw RESP connection, PSUBSCRIBEs to pattern, and
+// feeds every pmessage's inner payload into rec. The high-level client does
+// not wrap pattern subscriptions (its dedup tracking is per-channel), so the
+// chat scenario exercises the broker's glob delivery path at the wire level.
+// The returned func closes the connection. The PSUBSCRIBE ack is awaited
+// before returning — this is the pattern half of the readiness barrier.
+func patternSubscriber(addr, pattern string, rec *loadgen.Recorder) (func(), error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(resp.AppendCommandStrings(nil, "PSUBSCRIBE", pattern)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := resp.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	ack, err := r.ReadValue()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("psubscribe ack: %w", err)
+	}
+	if ack.Kind != resp.KindArray || len(ack.Array) != 3 || string(ack.Array[0].Str) != "psubscribe" {
+		conn.Close()
+		return nil, fmt.Errorf("unexpected psubscribe reply %v", ack.Kind)
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	go func() {
+		for {
+			v, err := r.ReadValue()
+			if err != nil {
+				return // connection closed by cleanup
+			}
+			if v.Kind != resp.KindArray || len(v.Array) != 4 || string(v.Array[0].Str) != "pmessage" {
+				continue
+			}
+			// Publishes from real clients arrive as marshaled envelopes;
+			// unwrap to reach the loadgen stamp.
+			if env, err := message.Unmarshal(v.Array[3].Str); err == nil {
+				rec.Observe(env.Payload)
+			}
+		}
+	}()
+	return func() { conn.Close() }, nil
+}
+
+// churnLoop runs presence-style subscription churn: subscribe/unsubscribe
+// pairs against rotating side channels at comp.ChurnPerSec, paced by the
+// same drift-free schedule as the publishers.
+func churnLoop(client *dynamoth.Client, comp workload.Scenario, stop <-chan struct{}, ops *atomic.Uint64) {
+	sched := loadgen.NewSchedule(loadgen.ArrivalPeriodic, comp.ChurnPerSec, 0, 0)
+	ticks := sched.Ticks()
+	start := time.Now()
+	for i := 0; ; i++ {
+		at := ticks.Next()
+		if at >= comp.Duration {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Until(start.Add(at))):
+		}
+		ch := fmt.Sprintf("scn.%s.churn.%d", comp.Name, i%64)
+		if _, err := client.Subscribe(ch); err != nil {
+			continue
+		}
+		client.Unsubscribe(ch) //nolint:errcheck
+		ops.Add(1)
+	}
+}
+
+// awaitDeliveryStable polls the recorder until the delivered count stops
+// advancing (three consecutive 100ms windows without progress) or limit
+// elapses.
+func awaitDeliveryStable(rec *loadgen.Recorder, limit time.Duration) {
+	deadline := time.Now().Add(limit)
+	last := rec.Delivered()
+	idle := 0
+	for idle < 3 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+		if cur := rec.Delivered(); cur != last {
+			last = cur
+			idle = 0
+		} else {
+			idle++
+		}
+	}
+}
+
+// scenarioJSON assembles one scenario's BENCH output.
+func scenarioJSON(sc workload.Scenario, rep *loadgen.Report, rec *loadgen.Recorder, churnOps uint64) map[string]any {
+	out := map[string]any{
+		"description": "Open-loop scenario run: publishers follow a fixed arrival schedule and every " +
+			"message is stamped with its intended send instant; intended* quantiles measure delivery " +
+			"latency from that instant, so publisher backpressure widens the tail instead of " +
+			"disappearing (coordinated omission). actual* quantiles are the closed-loop figure kept " +
+			"for contrast — intendedP99 >= actualP99 always, and a large gap means the generator " +
+			"ran behind schedule (see behindSchedule/maxSendLagUs in the report).",
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"environment": map[string]any{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cores":  runtime.NumCPU(),
+			"note": "single-container run: clients and node share the machine; latencies are " +
+				"same-host TCP figures",
+		},
+		"scenario": map[string]any{
+			"name":        sc.Name,
+			"description": sc.Description,
+			"offered":     sc.OfferedPerSec(),
+			"durationSec": sc.Duration.Seconds(),
+		},
+		"report":   rep,
+		"churnOps": churnOps,
+	}
+	addRecorder(out, rec)
+	return out
+}
+
+func scenarioComponentJSON(sc workload.Scenario, rep *loadgen.Report, rec *loadgen.Recorder) map[string]any {
+	out := map[string]any{
+		"offered": sc.OfferedPerSec(),
+		"report":  rep,
+	}
+	addRecorder(out, rec)
+	return out
+}
+
+// addRecorder emits both histograms' quantiles plus the delivery counters.
+func addRecorder(out map[string]any, rec *loadgen.Recorder) {
+	ip50, ip99, ip999, imax := loadgen.QuantilesUs(rec.Intended())
+	ap50, ap99, ap999, amax := loadgen.QuantilesUs(rec.Actual())
+	out["delivered"] = rec.Delivered()
+	out["stampErrors"] = rec.StampErrors()
+	out["intendedP50Us"] = ip50
+	out["intendedP99Us"] = ip99
+	out["intendedP999Us"] = ip999
+	out["intendedMaxUs"] = imax
+	out["actualP50Us"] = ap50
+	out["actualP99Us"] = ap99
+	out["actualP999Us"] = ap999
+	out["actualMaxUs"] = amax
+}
+
+// scenarioNames lists the stock suite for -h output.
+func scenarioNames() string {
+	var names []string
+	for _, s := range workload.Scenarios() {
+		names = append(names, s.Name)
+	}
+	return strings.Join(names, "|")
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/balancer"
+	"github.com/dynamoth/dynamoth/internal/loadgen"
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/metrics"
 	"github.com/dynamoth/dynamoth/internal/sim"
@@ -242,18 +243,26 @@ func (g *gameDriver) addPlayer() {
 	g.players[id] = ps
 	g.order = append(g.order, id)
 
-	// Staggered per-player update loop: random phase, fixed period.
+	// Staggered per-player update loop: random phase, fixed rate. Ticks are
+	// scheduled at absolute instants off a drift-free plan — chaining
+	// After(period) truncates the sub-nanosecond remainder of 1/rate every
+	// tick, which under-publishes long runs at rates that do not divide a
+	// second evenly (3/s lost ~1 update per player-hour).
 	period := time.Duration(float64(time.Second) / g.opts.World.UpdatesPerSec)
+	offset := time.Duration(g.sim.Rand().Float64() * float64(period))
+	sched := loadgen.NewSchedule(loadgen.ArrivalPeriodic, g.opts.World.UpdatesPerSec, offset, 0)
+	joined := g.sim.Now()
+	var tick uint64
 	var loop func()
 	loop = func() {
 		if g.players[id] != ps {
 			return // player left
 		}
 		g.step(ps, period)
-		g.sim.Engine().After(period, loop)
+		tick++
+		g.sim.Engine().At(joined.Add(sched.At(tick)), loop)
 	}
-	offset := time.Duration(g.sim.Rand().Float64() * float64(period))
-	g.sim.Engine().After(offset, loop)
+	g.sim.Engine().At(joined.Add(sched.At(0)), loop)
 }
 
 // step advances one player by one update period and publishes its state.

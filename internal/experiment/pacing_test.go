@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/sim"
+	"github.com/dynamoth/dynamoth/internal/workload"
+)
+
+// TestPlayerPacingNoDrift pins the update-rate contract of the player loop:
+// over a long horizon the number of state updates a player publishes must be
+// rate × duration within 1%, including at rates whose period does not divide
+// a second evenly. The loop schedules ticks at absolute instants from a
+// multiplicative plan; chaining relative After(period) delays instead
+// accumulates the truncated sub-nanosecond remainder of 1/rate every tick
+// and under-publishes.
+func TestPlayerPacingNoDrift(t *testing.T) {
+	for _, rate := range []float64{3, 3.3, 7} {
+		s := sim.New(sim.Config{
+			Seed:     1,
+			Mode:     sim.ModeDynamoth,
+			Balancer: simBalancerConfig(1, 0),
+		})
+		g := &gameDriver{
+			sim: s,
+			opts: GameOptions{
+				// One tile: the lone player stays subscribed to the channel
+				// it publishes on, so deliveries count its own updates.
+				World: workload.Config{TilesX: 1, TilesY: 1, UpdatesPerSec: rate}.FillDefaults(),
+			},
+			players: make(map[uint32]*playerState),
+		}
+		g.addPlayer()
+
+		horizon := 1000 * time.Second
+		s.RunFor(horizon)
+
+		want := rate * horizon.Seconds()
+		got := float64(g.rt.count)
+		if math.Abs(got-want) > 0.01*want {
+			t.Errorf("rate %v: %v updates delivered over %v, want %v ±1%%", rate, got, horizon, want)
+		}
+	}
+}

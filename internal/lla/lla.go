@@ -455,6 +455,15 @@ func NewAnalyzer(cfg Config) *Analyzer {
 // Reports returns the channel on which aggregate updates are delivered.
 func (an *Analyzer) Reports() <-chan *Report { return an.reports }
 
+// ReportsBuilt returns how many reports the analyzer has built so far.
+// Exported as a counter so harnesses can poll "one full LLA cycle has
+// elapsed" off /metrics instead of sleeping a guessed interval.
+func (an *Analyzer) ReportsBuilt() uint64 {
+	an.mu.Lock()
+	defer an.mu.Unlock()
+	return an.seq
+}
+
 // OnPublish implements broker.Observer. The publisher identity is recovered
 // from the Dynamoth envelope header when the payload is one (PeekNode, not
 // Unmarshal: this runs on the broker's fan-out path for every publication

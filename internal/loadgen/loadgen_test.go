@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dynamoth/dynamoth/internal/obs"
+)
+
+// TestOpenLoopStallDominance is the coordinated-omission regression test:
+// inject a stall into the send path and the *intended*-time histogram must
+// strictly dominate the *actual*-time one — the queueing delay the stall
+// caused shows up as tail latency instead of disappearing. A closed-loop
+// harness (which is what the actual-time histogram simulates) reports a
+// healthy tail through the same stall.
+func TestOpenLoopStallDominance(t *testing.T) {
+	rec := NewRecorder()
+	const stall = 120 * time.Millisecond
+	var stalled atomic.Bool
+	rep, err := Run(Options{
+		Publishers: 1,
+		Rate:       200,
+		Duration:   400 * time.Millisecond,
+		Seed:       1,
+		Recorder:   rec,
+		Send: func(pub int, seq uint64, intended, actual time.Duration) error {
+			// Instant delivery: intended-time latency is pure send lag,
+			// actual-time latency is ~0 — exactly the split a stalled
+			// closed-loop publisher hides.
+			rec.ObserveAt(intended, actual, rec.Since())
+			if seq == 20 && !stalled.Swap(true) {
+				time.Sleep(stall) // the publisher wedges mid-run
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 || rec.Delivered() != rep.Sent {
+		t.Fatalf("sent %d delivered %d", rep.Sent, rec.Delivered())
+	}
+	if rep.BehindSchedule == 0 {
+		t.Fatalf("stall did not register behind-schedule sends: %+v", rep)
+	}
+	if rep.MaxSendLagUs < float64(stall/time.Microsecond)/2 {
+		t.Fatalf("max send lag %vµs implausibly small for a %v stall", rep.MaxSendLagUs, stall)
+	}
+	// Dominance at every quantile, strict at the tail: the stall must
+	// inflate intended p99 by most of the stall duration while the actual
+	// histogram stays near zero.
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if in, ac := rec.Intended().Quantile(q), rec.Actual().Quantile(q); in < ac {
+			t.Errorf("q%v: intended %v < actual %v — omission not surfaced", q, in, ac)
+		}
+	}
+	in99, ac99 := rec.Intended().Quantile(0.99), rec.Actual().Quantile(0.99)
+	if in99-ac99 < stall/4 {
+		t.Errorf("stall hidden: intended p99 %v vs actual p99 %v (stall %v)", in99, ac99, stall)
+	}
+}
+
+// TestOpenLoopOnSchedule: with nothing slowing the send path the two
+// histograms agree and nothing runs behind schedule.
+func TestOpenLoopOnSchedule(t *testing.T) {
+	rec := NewRecorder()
+	rep, err := Run(Options{
+		Publishers: 4,
+		Rate:       100,
+		Duration:   200 * time.Millisecond,
+		Seed:       1,
+		Recorder:   rec,
+		Send: func(pub int, seq uint64, intended, actual time.Duration) error {
+			rec.ObserveAt(intended, actual, rec.Since())
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 publishers × 100/s × 0.2s = 80 scheduled ticks, all sent.
+	if rep.Sent != 80 {
+		t.Fatalf("sent %d, want 80", rep.Sent)
+	}
+	if rep.Dropped != 0 || rep.SendErrors != 0 {
+		t.Fatalf("unexpected drops/errors: %+v", rep)
+	}
+}
+
+// TestOpenLoopMaxLagSheds: a hopeless stall with MaxLag set sheds the
+// backlog as counted drops instead of sending arbitrarily stale messages.
+func TestOpenLoopMaxLagSheds(t *testing.T) {
+	rec := NewRecorder()
+	first := true
+	rep, err := Run(Options{
+		Publishers: 1,
+		Rate:       500,
+		Duration:   200 * time.Millisecond,
+		Seed:       1,
+		MaxLag:     20 * time.Millisecond,
+		Recorder:   rec,
+		Send: func(pub int, seq uint64, intended, actual time.Duration) error {
+			if first {
+				first = false
+				time.Sleep(100 * time.Millisecond)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Fatalf("no ticks shed past MaxLag: %+v", rep)
+	}
+	if rep.Sent+rep.Dropped == 0 || rep.BehindSchedule == 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+}
+
+// TestRecorderChainAggregates: a chained recorder feeds its parent, giving
+// the mixed scenario a blended histogram without re-parsing payloads.
+func TestRecorderChainAggregates(t *testing.T) {
+	parent := NewRecorder()
+	a, b := NewRecorderChained(parent), NewRecorderChained(parent)
+	p := AppendStamp(nil, time.Millisecond, 2*time.Millisecond, 32)
+	if !a.Observe(p) || !b.Observe(p) {
+		t.Fatal("observe failed")
+	}
+	if a.Delivered() != 1 || b.Delivered() != 1 || parent.Delivered() != 2 {
+		t.Fatalf("counts: a=%d b=%d parent=%d", a.Delivered(), b.Delivered(), parent.Delivered())
+	}
+	if parent.Intended().Count() != 2 {
+		t.Fatalf("parent histogram count %d", parent.Intended().Count())
+	}
+}
+
+// TestRecorderExposition: the registered families render as valid
+// Prometheus text.
+func TestRecorderExposition(t *testing.T) {
+	rec := NewRecorder()
+	rec.Observe(AppendStamp(nil, time.Millisecond, time.Millisecond, 64))
+	rec.Observe([]byte("not a stamp"))
+	reg := obs.NewRegistry()
+	rec.RegisterMetrics(reg, "dynamoth_loadgen")
+	text := reg.String()
+	if _, err := obs.ValidateExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"dynamoth_loadgen_delivered_total 1",
+		"dynamoth_loadgen_stamp_errors_total 1",
+		"dynamoth_loadgen_intended_latency_seconds_count 1",
+		"dynamoth_loadgen_actual_latency_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

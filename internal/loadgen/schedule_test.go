@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism: the same (kind, rate, phase, seed) must yield the
+// same arrival plan, tick for tick — the property that makes every scenario
+// run reproducible.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, kind := range []Arrival{ArrivalPeriodic, ArrivalPoisson} {
+		a := NewSchedule(kind, 37.5, 11*time.Millisecond, 42).Ticks()
+		b := NewSchedule(kind, 37.5, 11*time.Millisecond, 42).Ticks()
+		for i := 0; i < 10_000; i++ {
+			if x, y := a.Next(), b.Next(); x != y {
+				t.Fatalf("%v: tick %d diverged: %v vs %v", kind, i, x, y)
+			}
+		}
+	}
+	// Different seeds must give different Poisson plans.
+	a := NewSchedule(ArrivalPoisson, 10, 0, 1).Ticks()
+	b := NewSchedule(ArrivalPoisson, 10, 0, 2).Ticks()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("poisson schedules with different seeds are identical")
+	}
+}
+
+// TestScheduleMonotone: intended instants never go backwards (periodic
+// strictly increases; Poisson gaps are positive).
+func TestScheduleMonotone(t *testing.T) {
+	for _, kind := range []Arrival{ArrivalPeriodic, ArrivalPoisson} {
+		ticks := NewSchedule(kind, 1000, 0, 7).Ticks()
+		prev := time.Duration(-1)
+		for i := 0; i < 50_000; i++ {
+			at := ticks.Next()
+			if at <= prev {
+				t.Fatalf("%v: tick %d not increasing: %v after %v", kind, i, at, prev)
+			}
+			prev = at
+		}
+	}
+}
+
+// TestScheduleRateAccuracy pins the rate-drift bugfix: over a long horizon
+// the planned tick count must match rate×duration within 1%. The periodic
+// plan is exact by construction (tick i lands at i/rate with no accumulated
+// truncation — the per-tick time.Duration arithmetic it replaces
+// under-publishes); the Poisson plan converges statistically.
+func TestScheduleRateAccuracy(t *testing.T) {
+	horizon := 10_000 * time.Second
+	for _, rate := range []float64{3, 7, 9.7, 50} {
+		want := rate * horizon.Seconds()
+		got := float64(NewSchedule(ArrivalPeriodic, rate, 0, 1).CountThrough(horizon))
+		if math.Abs(got-want) > 0.01*want {
+			t.Errorf("periodic rate %v: %v ticks over %v, want %v ±1%%", rate, got, horizon, want)
+		}
+		got = float64(NewSchedule(ArrivalPoisson, rate, 0, 1).CountThrough(horizon))
+		if math.Abs(got-want) > 0.03*want {
+			t.Errorf("poisson rate %v: %v ticks over %v, want %v ±3%%", rate, got, horizon, want)
+		}
+	}
+}
+
+// TestScheduleAtMatchesTicks: random access and iteration agree for
+// periodic plans (the game driver uses At, the runner uses Ticks).
+func TestScheduleAtMatchesTicks(t *testing.T) {
+	s := NewSchedule(ArrivalPeriodic, 9.7, 3*time.Millisecond, 0)
+	ticks := s.Ticks()
+	for i := uint64(0); i < 10_000; i++ {
+		if at, next := s.At(i), ticks.Next(); at != next {
+			t.Fatalf("tick %d: At=%v Ticks=%v", i, at, next)
+		}
+	}
+}
+
+func TestStampRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		intended, actual time.Duration
+		size             int
+	}{
+		{0, 0, 64},
+		{time.Nanosecond, 2 * time.Nanosecond, 0},
+		{1234567890 * time.Nanosecond, 1234567999 * time.Nanosecond, 200},
+		{time.Hour, time.Hour + time.Millisecond, 24},
+	} {
+		p := AppendStamp(nil, tc.intended, tc.actual, tc.size)
+		if tc.size > len(p) {
+			t.Fatalf("payload shorter than size: %d < %d", len(p), tc.size)
+		}
+		if p[0] < '0' || p[0] > '9' {
+			t.Fatalf("stamp not digit-led: %q", p)
+		}
+		in, ac, ok := ParseStamp(p)
+		if !ok || in != tc.intended || ac != tc.actual {
+			t.Fatalf("roundtrip %v/%v: got %v/%v ok=%v", tc.intended, tc.actual, in, ac, ok)
+		}
+	}
+	for _, bad := range [][]byte{nil, []byte(""), []byte("x123 456 "), []byte("123"), []byte("123 "), []byte("123 456")} {
+		if _, _, ok := ParseStamp(bad); ok {
+			t.Fatalf("ParseStamp accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package loadgen
+
+import "time"
+
+// Payload stamp format: two decimal nanosecond offsets from the run epoch —
+// "<intended> <actual> " — followed by 'x' padding up to the requested
+// payload size. Digit-led on purpose: the conns driver and the broker's
+// control plane already use "first byte is a digit" to tell data stamps from
+// binary control envelopes, and this format keeps that contract.
+
+// AppendStamp appends a stamped payload of exactly size bytes (or the bare
+// stamp when size is smaller than the stamp needs) to dst and returns the
+// extended slice.
+func AppendStamp(dst []byte, intended, actual time.Duration, size int) []byte {
+	start := len(dst)
+	dst = appendDecimal(dst, int64(intended))
+	dst = append(dst, ' ')
+	dst = appendDecimal(dst, int64(actual))
+	dst = append(dst, ' ')
+	for len(dst)-start < size {
+		dst = append(dst, 'x')
+	}
+	return dst
+}
+
+// ParseStamp reads the two offsets back off a stamped payload. ok is false
+// for payloads this package did not stamp.
+func ParseStamp(p []byte) (intended, actual time.Duration, ok bool) {
+	in, rest, ok := parseDecimal(p)
+	if !ok {
+		return 0, 0, false
+	}
+	ac, _, ok := parseDecimal(rest)
+	if !ok {
+		return 0, 0, false
+	}
+	return time.Duration(in), time.Duration(ac), true
+}
+
+func appendDecimal(dst []byte, n int64) []byte {
+	if n < 0 {
+		n = 0
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return append(dst, buf[i:]...)
+}
+
+// parseDecimal reads a space-terminated decimal off p.
+func parseDecimal(p []byte) (n int64, rest []byte, ok bool) {
+	i := 0
+	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+		n = n*10 + int64(p[i]-'0')
+		i++
+	}
+	if i == 0 || i >= len(p) || p[i] != ' ' {
+		return 0, nil, false
+	}
+	return n, p[i+1:], true
+}

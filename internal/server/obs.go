@@ -195,6 +195,9 @@ func (n *Node) buildRegistry() {
 	r.Histogram("dynamoth_e2e_latency_seconds",
 		"Publish-to-deliver latency: stamped at client publish, observed at broker fan-out.",
 		n.e2e, 0.5, 0.99, 0.999)
+	r.Counter("dynamoth_node_lla_reports_total",
+		"LLA reports built since startup. Harnesses poll this to wait out a full LLA cycle instead of sleeping a guessed interval.",
+		n.LLA.ReportsBuilt)
 	// Bounded hot-state caches: every per-channel map on this node with its
 	// size/capacity/eviction counters, scrapeable at /metrics.
 	accum := n.LLA.Accumulator()

@@ -71,4 +71,10 @@ type ConnBenchResult struct {
 	// value means cross-frame corruption — a driver or server bug).
 	Samples     int    `json:"samples"`
 	StampErrors uint64 `json:"stampErrors"`
+	// BehindSchedule counts publisher ticks sent more than one period past
+	// their intended instant. Stamps carry the intended time, so that lag
+	// also lands in the latency quantiles instead of being forgiven — a
+	// spike here with quiet quantiles would mean the driver, not the
+	// broker, was the bottleneck.
+	BehindSchedule uint64 `json:"behindSchedule"`
 }

@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/dynamoth/dynamoth/internal/loadgen"
 	"github.com/dynamoth/dynamoth/internal/resp"
 	"github.com/dynamoth/dynamoth/internal/transport"
 )
@@ -110,6 +111,7 @@ func RunConnBench(opts ConnBenchOptions) (*ConnBenchResult, error) {
 	res.ChurnOps = d.churnOps
 	res.Samples = len(d.samples)
 	res.StampErrors = d.stampErrs
+	res.BehindSchedule = d.behind
 	res.DeliveryP50us, res.DeliveryP99us, res.DeliveryMaxus = quantilesUs(d.samples)
 	return res, nil
 }
@@ -164,6 +166,7 @@ type connDriver struct {
 	controlMsgs uint64
 	churnOps    uint64
 	stampErrs   uint64
+	behind      uint64
 	samples     []int64 // latency ns
 }
 
@@ -422,6 +425,13 @@ func groupChannel(g int) string { return "bench.g" + strconv.Itoa(g) }
 // measure runs the steady-state window: the publisher stamps messages into
 // round-robin groups at opts.PublishRate while churn cycles unsubscribe and
 // resubscribe existing connections.
+//
+// Publishing is open-loop: the tick plan is fixed up front and each message
+// is stamped with its *intended* send instant, so when the event loop (or
+// the broker's backpressure) makes a send late, the lag lands in the
+// delivery quantiles instead of vanishing. The previous version stamped at
+// actual send time and re-based the next tick off "now" whenever it fell
+// behind — the textbook coordinated-omission pattern.
 func (d *connDriver) measure(window time.Duration) error {
 	pub, err := d.dial(-1)
 	if err != nil {
@@ -429,9 +439,12 @@ func (d *connDriver) measure(window time.Duration) error {
 	}
 	d.pubConn = pub
 
-	end := time.Now().Add(window)
+	measureStart := time.Now()
+	end := measureStart.Add(window)
 	pubEvery := time.Second / time.Duration(d.opts.PublishRate)
-	nextPub := time.Now()
+	sched := loadgen.NewSchedule(loadgen.ArrivalPeriodic, float64(d.opts.PublishRate), 0, 0)
+	ticks := sched.Ticks()
+	nextPub := measureStart.Add(ticks.Next())
 	var nextChurn time.Time
 	var churnEvery time.Duration
 	if d.opts.ChurnPerSec > 0 {
@@ -442,8 +455,15 @@ func (d *connDriver) measure(window time.Duration) error {
 
 	for time.Now().Before(end) {
 		now := time.Now()
-		if d.pubConn.state == stUp && now.After(nextPub) {
-			stamp := strconv.FormatInt(time.Since(d.t0).Nanoseconds(), 10)
+		// Send every tick that has come due, bounded per pass so a long
+		// stall drains as a short burst interleaved with epoll servicing
+		// rather than one monster write. Ticks are never re-planned.
+		for burst := 0; d.pubConn.state == stUp && now.After(nextPub) && burst < 64; burst++ {
+			intended := nextPub
+			if lag := now.Sub(intended); lag > pubEvery {
+				d.behind++
+			}
+			stamp := strconv.FormatInt(intended.Sub(d.t0).Nanoseconds(), 10)
 			d.pubConn.out = resp.AppendCommandStrings(d.pubConn.out, "PUBLISH", groupChannel(d.pubGroup%d.opts.Groups), stamp)
 			d.pubGroup++
 			d.published++
@@ -451,10 +471,7 @@ func (d *connDriver) measure(window time.Duration) error {
 			if d.pubConn.state == stDead {
 				return fmt.Errorf("workload: publisher connection died")
 			}
-			nextPub = nextPub.Add(pubEvery)
-			if nextPub.Before(now) {
-				nextPub = now.Add(pubEvery)
-			}
+			nextPub = measureStart.Add(ticks.Next())
 		}
 		if churnEvery > 0 && now.After(nextChurn) {
 			if c := d.nextUp(&churnCursor); c != nil {

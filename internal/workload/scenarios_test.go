@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScenariosValid(t *testing.T) {
+	suite := Scenarios()
+	if len(suite) != 4 {
+		t.Fatalf("stock suite has %d scenarios, want 4", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, s := range suite {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.OfferedPerSec() <= 0 {
+			t.Errorf("%s: zero offered rate", s.Name)
+		}
+	}
+	for _, want := range []string{"iot_fanin", "market_fanout", "chat_churn", "mixed"} {
+		if !seen[want] {
+			t.Errorf("suite missing %q", want)
+		}
+	}
+}
+
+func TestScenarioScale(t *testing.T) {
+	for _, s := range Scenarios() {
+		small := s.Scale(0.1)
+		if err := small.Validate(); err != nil {
+			t.Errorf("%s scaled 0.1: %v", s.Name, err)
+		}
+		if len(s.Components) == 0 {
+			if small.Publishers <= 0 || small.Publishers > s.Publishers {
+				t.Errorf("%s: publishers %d -> %d", s.Name, s.Publishers, small.Publishers)
+			}
+			if small.SubsPerSubscriber > small.Channels {
+				t.Errorf("%s: subsPerSubscriber %d > channels %d after scale",
+					s.Name, small.SubsPerSubscriber, small.Channels)
+			}
+		}
+		if small.Duration < 2*time.Second {
+			t.Errorf("%s: scaled duration %v too short to measure", s.Name, small.Duration)
+		}
+		if same := s.Scale(1); same.Publishers != s.Publishers || same.Duration != s.Duration {
+			t.Errorf("%s: Scale(1) changed the scenario", s.Name)
+		}
+	}
+}
+
+func TestScenarioChannelName(t *testing.T) {
+	s := Scenario{Name: "iot_fanin", Channels: 3}
+	if got := s.ChannelName(4); got != "scn.iot_fanin.1" {
+		t.Fatalf("ChannelName(4) = %q", got)
+	}
+	if !strings.HasPrefix(s.ChannelName(0), "scn.") {
+		t.Fatal("channel names must live under the scn. namespace")
+	}
+}
+
+func TestScenarioValidateRejects(t *testing.T) {
+	bad := []Scenario{
+		{},
+		{Name: "x", Publishers: 1, RatePerPublisher: 1, Channels: 0, Duration: time.Second},
+		{Name: "x", Publishers: 1, RatePerPublisher: 1, Channels: 2, Duration: time.Second,
+			Subscribers: 1, SubsPerSubscriber: 3},
+		{Name: "x", Publishers: 1, RatePerPublisher: 1, Channels: 1, Duration: time.Second,
+			PatternSubscribers: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, s)
+		}
+	}
+}

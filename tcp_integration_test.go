@@ -178,6 +178,40 @@ func TestTCPDeploymentEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTCPClientFlush: Flush is the barrier between "Publish returned" and
+// "the broker acked it" — after Flush every pipelined publish is on the
+// server, and a closed client refuses the call.
+func TestTCPClientFlush(t *testing.T) {
+	d := startTCPDeployment(t, 2)
+
+	pub, err := dynamoth.Connect(dynamoth.Config{Addrs: d.addrs, NodeID: 503})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	for i := 0; i < 200; i++ {
+		if err := pub.Publish(fmt.Sprintf("flush-%d", i%8), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Flush(5 * time.Second); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	var acked uint64
+	for _, node := range d.nodes {
+		acked += node.Broker.Stats().Published
+	}
+	if acked < 200 {
+		t.Fatalf("after Flush the brokers have %d publishes, want >= 200", acked)
+	}
+
+	pub.Close()
+	if err := pub.Flush(time.Second); err != dynamoth.ErrClosed {
+		t.Fatalf("flush on closed client: %v, want ErrClosed", err)
+	}
+}
+
 func TestTCPDeploymentMigrationUnderTraffic(t *testing.T) {
 	d := startTCPDeployment(t, 2)
 

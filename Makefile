@@ -2,12 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos replay obs conns channels scenarios bench experiments examples vet clean
+.PHONY: all build test test-short race chaos replay obs latency conns channels scenarios bench experiments examples vet clean
+
+# Build identity baked into binaries and the dynamoth_build_info metric.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -X github.com/dynamoth/dynamoth/internal/buildinfo.Version=$(VERSION)
 
 all: vet test
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +48,15 @@ obs:
 	$(GO) test -race -run 'Obs|Metrics|Scrape|Admin|TopK|Exposition|Stamp|Quantile|Trace|Events|Timeline|Tail' ./...
 	$(GO) test -race ./internal/trace/
 	$(GO) test -run TestAdminEndpointIntegration ./cmd/dynamoth-node/
+
+# Latency-waterfall suite: the multi-stage stamp wire format, the stage
+# histograms and region attribution through the LLA report path, and the
+# waterfall endpoints/CLI, all under the race detector — then the publish hot
+# path with stage stamping enabled must still run at 0 allocs/op.
+latency:
+	$(GO) test -race -run 'Stage|Waterfall|Region|LatencyTopK|BuildInfo|ShowLatency|Skew' ./...
+	$(GO) test -race ./internal/message/ ./internal/lla/
+	$(GO) test -run xxx -bench 'BenchmarkBrokerPublishParallel|BenchmarkBrokerPublishReplay|BenchmarkPeekStageStamp' -benchmem ./...
 
 # Connection-scale suite: both connection cores' protocol/churn/shutdown
 # tests under the race detector, then a reduced-scale run of the C100k

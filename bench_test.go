@@ -211,10 +211,14 @@ func BenchmarkDeduperObserve(b *testing.B) {
 func BenchmarkBrokerFanOut(b *testing.B) {
 	for _, subs := range []int{1, 10, 100} {
 		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
-			// Replay on (the cluster default): raw payloads take the
-			// peek-and-skip path through the retain hook, which must stay
-			// allocation-free.
-			br := broker.New(broker.Options{OutputBuffer: 1 << 16, ReplayDepth: 256})
+			// Replay and stage stamping on (the cluster defaults): raw
+			// payloads take the peek-and-skip path through both hooks, which
+			// must stay allocation-free.
+			br := broker.New(broker.Options{
+				OutputBuffer: 1 << 16,
+				ReplayDepth:  256,
+				NowNanos:     func() int64 { return time.Now().UnixNano() },
+			})
 			defer br.Close()
 			connect := func() {
 				for br.Subscribers("bench") < subs {
@@ -260,7 +264,11 @@ func (discardSink) Closed(error)           {}
 // worker cycles through its own slice of the channel space, so with lock
 // striping publishers should (almost) never contend.
 func BenchmarkBrokerPublishParallel(b *testing.B) {
-	br := broker.New(broker.Options{OutputBuffer: 1 << 16, ReplayDepth: 256})
+	br := broker.New(broker.Options{
+		OutputBuffer: 1 << 16,
+		ReplayDepth:  256,
+		NowNanos:     func() int64 { return time.Now().UnixNano() },
+	})
 	defer br.Close()
 	const channels = 64
 	names := make([]string, channels)
@@ -304,9 +312,15 @@ func BenchmarkBrokerPublishParallel(b *testing.B) {
 // ring slot. Steady state must be zero allocations per publish — the ring is
 // on the hot path of every replay-enabled broker. (No subscribers: each
 // published buffer is stamped in place and the bench reuses it, which a
-// concurrent fan-out reader must never observe.)
+// concurrent fan-out reader must never observe.) Stage stamping is on, so
+// this is also the full staged-publish hot path: sequence + ingress/fanout
+// marks + ring retain, all in place.
 func BenchmarkBrokerPublishReplay(b *testing.B) {
-	br := broker.New(broker.Options{OutputBuffer: 1 << 16, ReplayDepth: 256})
+	br := broker.New(broker.Options{
+		OutputBuffer: 1 << 16,
+		ReplayDepth:  256,
+		NowNanos:     func() int64 { return time.Now().UnixNano() },
+	})
 	defer br.Close()
 	env := &message.Envelope{
 		Type:    message.TypeData,

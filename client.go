@@ -91,6 +91,12 @@ type Config struct {
 	// client's control plane; implementations must not call back into the
 	// client synchronously.
 	OnReplayGap func(channel string, missed uint64)
+	// Region declares the subscriber region this client runs in (e.g.
+	// "eu-west"). It is announced to every server the client connects to,
+	// letting brokers attribute delivery latency per region in their LLA
+	// reports — the signal latency-aware placement consumes. Empty declares
+	// nothing and costs nothing.
+	Region string
 	// Logger receives structured client logs. Nil discards.
 	Logger *slog.Logger
 }
@@ -229,6 +235,18 @@ type Client struct {
 	// sendToConns and the stamp is read back on every data delivery. This is
 	// the full-path measurement behind the paper's latency CDFs (Fig. 8).
 	e2e *metrics.Histogram
+	// The client-side stage waterfall, decomposing e2e per delivery using
+	// the broker's in-place stage marks: ingress (publisher send → broker
+	// Publish entry), fanout (entry → fan-out enqueue), deliver (fan-out
+	// enqueue → this client). The three legs sum to e2e exactly — all four
+	// durations derive from one clock read against the same frame.
+	stageIngress *metrics.Histogram
+	stageFanout  *metrics.Histogram
+	stageDeliver *metrics.Histogram
+	// skewClamped counts deliveries whose e2e latency came out negative
+	// (cross-machine clock skew) and was clamped by Observe — exported so
+	// skew is visible instead of silently swallowed.
+	skewClamped atomic.Uint64
 
 	// repairKick wakes maintain for an immediate repair sweep after a
 	// disconnect (capacity 1; losing a duplicate kick is fine).
@@ -340,20 +358,25 @@ func ConnectWithDialer(dialer transport.Dialer, servers []string, cfg Config) (*
 		return nil, err
 	}
 	c := &Client{
-		cfg:        cfg,
-		dialer:     dialer,
-		gen:        message.NewGenerator(cfg.NodeID),
-		dedup:      message.NewDeduper(0),
-		local:      localplan.NewWithCap(servers, cfg.EntryTimeout, cfg.LocalPlanCap),
-		conns:      make(map[plan.ServerID]*clientConn),
-		dials:      make(map[plan.ServerID]*dialBackoff),
-		subs:       make(map[string]*subscription),
-		rec:        cfg.Recorder,
-		log:        trace.Component(cfg.Logger, "client"),
-		e2e:        metrics.NewHistogram(100*time.Microsecond, 30*time.Second, 160),
-		repairKick: make(chan struct{}, 1),
-		stop:       make(chan struct{}),
-		done:       make(chan struct{}),
+		cfg:    cfg,
+		dialer: dialer,
+		gen:    message.NewGenerator(cfg.NodeID),
+		dedup:  message.NewDeduper(0),
+		local:  localplan.NewWithCap(servers, cfg.EntryTimeout, cfg.LocalPlanCap),
+		conns:  make(map[plan.ServerID]*clientConn),
+		dials:  make(map[plan.ServerID]*dialBackoff),
+		subs:   make(map[string]*subscription),
+		rec:    cfg.Recorder,
+		log:    trace.Component(cfg.Logger, "client"),
+		e2e:    metrics.NewHistogram(100*time.Microsecond, 30*time.Second, 160),
+		// Stage legs can be single-digit microseconds, so their floor sits
+		// well below the e2e histogram's (see the node's stage histograms).
+		stageIngress: metrics.NewHistogram(time.Microsecond, 30*time.Second, 200),
+		stageFanout:  metrics.NewHistogram(time.Microsecond, 30*time.Second, 200),
+		stageDeliver: metrics.NewHistogram(time.Microsecond, 30*time.Second, 200),
+		repairKick:   make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 	// A window evicted under cap pressure flushes like a close: its
 	// suppressed count reaches the recorder, keeping timeline sums equal to
@@ -419,6 +442,18 @@ func (c *Client) Stats() Stats {
 // message arrives on any subscription.
 func (c *Client) E2ELatency() *metrics.Histogram { return c.e2e }
 
+// StageLatencies returns the client-side waterfall legs: ingress (publisher
+// send → broker Publish entry), fanout (entry → fan-out enqueue) and deliver
+// (fan-out enqueue → this client). Per delivery the three legs sum exactly
+// to the e2e observation.
+func (c *Client) StageLatencies() (ingress, fanout, deliver *metrics.Histogram) {
+	return c.stageIngress, c.stageFanout, c.stageDeliver
+}
+
+// SkewClamped reports how many deliveries arrived with a negative e2e
+// latency (cross-machine clock skew) that Observe clamped to zero.
+func (c *Client) SkewClamped() uint64 { return c.skewClamped.Load() }
+
 // RegisterMetrics exports the client's counters and end-to-end latency
 // histogram on r under the dynamoth_client_* namespace. All reads happen at
 // scrape time; registration adds nothing to the publish or delivery paths.
@@ -456,9 +491,21 @@ func (c *Client) RegisterMetrics(r *obs.Registry) {
 	r.Counter("dynamoth_client_replay_gap_unrecoverable_total",
 		"Frames declared unrecoverable: the broker ring had already overwritten them.",
 		c.replayGaps.Load)
+	r.Counter("dynamoth_client_e2e_skew_clamped_total",
+		"Deliveries whose e2e latency was negative (clock skew) and clamped to zero.",
+		c.skewClamped.Load)
 	r.Histogram("dynamoth_client_e2e_latency_seconds",
 		"Publish-to-deliver latency observed by this client.",
 		c.e2e, 0.5, 0.99, 0.999)
+	r.Histogram("dynamoth_stage_latency_ingress_seconds",
+		"Waterfall stage: publisher send to broker Publish entry.",
+		c.stageIngress, 0.5, 0.99)
+	r.Histogram("dynamoth_stage_latency_fanout_seconds",
+		"Waterfall stage: broker Publish entry to fan-out enqueue.",
+		c.stageFanout, 0.5, 0.99)
+	r.Histogram("dynamoth_stage_latency_deliver_seconds",
+		"Waterfall stage: broker fan-out enqueue to client delivery.",
+		c.stageDeliver, 0.5, 0.99)
 	r.RegisterCaches("dynamoth_client",
 		hotstate.NamedStats{Name: "local_plan", Stats: c.local.CacheStats},
 		hotstate.NamedStats{Name: "dedup_windows", Stats: c.windows.Stats},
@@ -821,6 +868,16 @@ func (c *Client) connLocked(server plan.ServerID) (*clientConn, error) {
 	if nr, ok := conn.(transport.NonRetaining); ok && nr.PublishNonRetaining() {
 		cc.noRetain = true
 	}
+	if c.cfg.Region != "" {
+		if rd, ok := conn.(transport.RegionDeclarer); ok {
+			if err := rd.DeclareRegion(c.cfg.Region); err != nil {
+				// Attribution is best-effort: a server that cannot take the
+				// declaration still serves traffic, just without region tags.
+				c.log.Warn("region declaration failed",
+					slog.String("server", server), slog.Any("err", err))
+			}
+		}
+	}
 	c.conns[server] = cc
 	return cc, nil
 }
@@ -1006,8 +1063,24 @@ func (c *Client) handleMessage(channel string, payload []byte) {
 			return
 		}
 		if env.Stamp != 0 {
-			// Observe clamps negative durations (cross-machine clock skew).
-			c.e2e.Observe(time.Duration(c.cfg.Clock.Now().UnixNano() - env.Stamp))
+			now := c.cfg.Clock.Now().UnixNano()
+			age := now - env.Stamp
+			if age < 0 {
+				// Observe clamps negative durations (cross-machine clock
+				// skew); count the clamp so skew is visible, not swallowed.
+				c.skewClamped.Add(1)
+			}
+			c.e2e.Observe(time.Duration(age))
+			if env.StageIngressUs != 0 {
+				c.stageIngress.Observe(time.Duration(env.StageIngressUs) * time.Microsecond)
+				if env.StageFanoutUs >= env.StageIngressUs {
+					c.stageFanout.Observe(time.Duration(env.StageFanoutUs-env.StageIngressUs) * time.Microsecond)
+					// The deliver leg closes the waterfall: everything after
+					// the broker's fan-out enqueue, measured against the same
+					// clock read as e2e so the three legs sum to it exactly.
+					c.stageDeliver.Observe(time.Duration(now - (env.Stamp + int64(env.StageFanoutUs)*1000)))
+				}
+			}
 		}
 		c.touch(channel)
 		c.deliver(channel, env)

@@ -46,6 +46,16 @@ func (c *Cluster) E2ELatency(id string) *metrics.Histogram {
 	return n.E2ELatency()
 }
 
+// Waterfall returns the named node's per-stage latency waterfall, exactly as
+// its /debug/latency endpoint would serve it.
+func (c *Cluster) Waterfall(id string) (server.Waterfall, error) {
+	n := c.Node(id)
+	if n == nil {
+		return server.Waterfall{}, fmt.Errorf("cluster: no node %s", id)
+	}
+	return n.Waterfall(), nil
+}
+
 // BalancerRegistry returns the load balancer's metric registry (plan version,
 // rebalance and failure counters, per-server utilization gauges), building it
 // on first use. Returns nil when the cluster runs without a balancer.

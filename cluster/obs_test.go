@@ -7,6 +7,7 @@ import (
 	"time"
 
 	dynamoth "github.com/dynamoth/dynamoth"
+	"github.com/dynamoth/dynamoth/internal/clock"
 	"github.com/dynamoth/dynamoth/internal/obs"
 )
 
@@ -130,6 +131,205 @@ func TestClusterScrapeUnderLoad(t *testing.T) {
 	if sub.E2ELatency().Count() == 0 {
 		t.Error("client e2e histogram empty")
 	}
+}
+
+// TestClusterRegionAttribution drives region-tagged deliveries end to end:
+// a subscriber declaring Region must show up in the node's waterfall, ride
+// the LLA report path into the balancer's state, and render on the
+// balancer's scrape — the full attribution chain the balancer consumes.
+func TestClusterRegionAttribution(t *testing.T) {
+	c, err := Start(Options{
+		InitialServers: 1,
+		Balancer:       BalancerDynamoth,
+		UnitInterval:   100 * time.Millisecond,
+		ReportEvery:    250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	sub, err := c.NewClient(dynamoth.Config{NodeID: 1, Region: "eu-west", SubscribeBuffer: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := c.NewClient(dynamoth.Config{NodeID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	msgs, err := sub.Subscribe("arena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		if err := pub.Publish("arena", []byte("tick")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := 0
+	timeout := time.After(5 * time.Second)
+	for received < sent {
+		select {
+		case <-msgs:
+			received++
+		case <-timeout:
+			t.Fatalf("received %d/%d", received, sent)
+		}
+	}
+
+	// Node view: the waterfall's cumulative region digest must carry the tag.
+	wf, err := c.Waterfall("pub1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundNode := false
+	for _, rs := range wf.Regions {
+		if rs.Region == "eu-west" && rs.Count > 0 {
+			foundNode = true
+		}
+	}
+	if !foundNode {
+		t.Fatalf("node waterfall regions = %+v, want eu-west", wf.Regions)
+	}
+
+	// Balancer view: the tag must survive the report path into the
+	// orchestrator's aggregated state (reports flow every ReportEvery).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		regions := c.orch.RegionLatencies()
+		if rs := regions["pub1"]; len(rs) > 0 && rs[0].Region == "eu-west" && rs[0].Count > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("balancer never saw region stats: %+v", regions)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	merged := c.orch.MergedRegionLatencies()
+	if len(merged) == 0 || merged[0].Region != "eu-west" {
+		t.Fatalf("merged regions = %+v", merged)
+	}
+
+	out, err := c.ScrapeBalancerMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateExposition(out); err != nil {
+		t.Fatalf("balancer exposition invalid: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `dynamoth_region_delivery_latency_p99_seconds{region="eu-west"}`) {
+		t.Errorf("balancer exposition missing region p99 gauge:\n%s", out)
+	}
+	if !strings.Contains(out, "dynamoth_build_info{") {
+		t.Errorf("balancer exposition missing build info:\n%s", out)
+	}
+}
+
+// TestClusterStageWaterfallCrossCheck validates the per-stage decomposition
+// against the end-to-end measurement on both sides of the wire, under a
+// WAN-latency model so every leg sits well above the histogram floors:
+//
+//   - node side, the ingress+fanout p99 sum must land within one histogram
+//     bucket of the broker-observed e2e p99 (they decompose it exactly per
+//     observation);
+//   - client side, the three stage means must sum to the e2e mean almost
+//     exactly (one clock read per delivery, µs truncation only).
+func TestClusterStageWaterfallCrossCheck(t *testing.T) {
+	clk := clock.NewScaled(epoch, 50)
+	c, err := Start(Options{InitialServers: 1, Balancer: BalancerNone, WANLatency: true, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	sub, err := c.NewClient(dynamoth.Config{NodeID: 1, SubscribeBuffer: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := c.NewClient(dynamoth.Config{NodeID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	msgs, err := sub.Subscribe("arena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sent = 600
+	for i := 0; i < sent; i++ {
+		if err := pub.Publish("arena", []byte("tick")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := 0
+	timeout := time.After(20 * time.Second)
+	for received < sent {
+		select {
+		case <-msgs:
+			received++
+		case <-timeout:
+			t.Fatalf("received %d/%d", received, sent)
+		}
+	}
+
+	// Node side.
+	wf, err := c.Waterfall("pub1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.E2E.Count == 0 {
+		t.Fatal("node e2e summary empty")
+	}
+	stages := map[string]serverStage{}
+	for _, st := range wf.Stages {
+		stages[st.Stage] = serverStage{count: st.Count, p99ms: st.P99ms}
+	}
+	for _, name := range []string{"ingress", "fanout"} {
+		if stages[name].count == 0 {
+			t.Fatalf("stage %s unobserved: %+v", name, wf.Stages)
+		}
+	}
+	if stages["flush"].count == 0 {
+		t.Errorf("flush stage unobserved after %d deliveries (1/16 sampling)", sent)
+	}
+	sum := stages["ingress"].p99ms + stages["fanout"].p99ms
+	if hi := wf.E2E.P99ms*1.09 + 1; sum > hi {
+		t.Errorf("stage p99 sum %.3fms exceeds e2e p99 %.3fms by more than one bucket", sum, wf.E2E.P99ms)
+	}
+	if lo := wf.E2E.P99ms * 0.7; sum < lo {
+		t.Errorf("stage p99 sum %.3fms implausibly below e2e p99 %.3fms", sum, wf.E2E.P99ms)
+	}
+
+	// Client side: exact per-delivery decomposition, so means must agree.
+	ing, fan, del := sub.StageLatencies()
+	e2e := sub.E2ELatency()
+	if ing.Count() == 0 || fan.Count() == 0 || del.Count() == 0 {
+		t.Fatalf("client stage counts: ingress=%d fanout=%d deliver=%d", ing.Count(), fan.Count(), del.Count())
+	}
+	sumMean := ing.Mean() + fan.Mean() + del.Mean()
+	e2eMean := e2e.Mean()
+	diff := sumMean - e2eMean
+	if diff < 0 {
+		diff = -diff
+	}
+	if tol := e2eMean/50 + 20*time.Microsecond; diff > tol {
+		t.Errorf("client stage means %v (i %v + f %v + d %v) vs e2e mean %v: diff %v > tol %v",
+			sumMean, ing.Mean(), fan.Mean(), del.Mean(), e2eMean, diff, tol)
+	}
+	if sub.SkewClamped() != 0 {
+		t.Errorf("skew clamped %d on a single-clock deployment", sub.SkewClamped())
+	}
+}
+
+type serverStage struct {
+	count uint64
+	p99ms float64
 }
 
 // TestClusterBalancerScrape checks the balancer-side registry renders the

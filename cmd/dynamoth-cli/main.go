@@ -9,10 +9,12 @@
 //	dynamoth-cli -server pub1=localhost:6379 pub room.lobby "hello world"
 //	dynamoth-cli -server pub1=localhost:6379 ping room.lobby
 //	dynamoth-cli events http://localhost:8080
+//	dynamoth-cli latency http://localhost:8080
 //
-// events needs no -server: it talks to the admin HTTP endpoint
-// (-admin-addr on dynamoth-node / dynamoth-lb), polling /debug/events with
-// a ?since= cursor so each reconfiguration event prints exactly once.
+// events and latency need no -server: they talk to the admin HTTP endpoint
+// (-admin-addr on dynamoth-node / dynamoth-lb). events polls /debug/events
+// with a ?since= cursor so each reconfiguration event prints exactly once;
+// latency renders a node's /debug/latency per-stage waterfall.
 package main
 
 import (
@@ -58,6 +60,12 @@ func run() error {
 			return fmt.Errorf("usage: dynamoth-cli events <admin-url>")
 		}
 		return tailEvents(args[1], *interval, *follow, os.Stdout)
+	}
+	if len(args) >= 1 && args[0] == "latency" {
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dynamoth-cli latency <admin-url>")
+		}
+		return showLatency(args[1], os.Stdout)
 	}
 	if len(servers) == 0 {
 		return fmt.Errorf("at least one -server required")
@@ -176,7 +184,7 @@ func run() error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want sub, pub, ping or events)", cmd)
+		return fmt.Errorf("unknown command %q (want sub, pub, ping, latency or events)", cmd)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/balancer"
+	"github.com/dynamoth/dynamoth/internal/buildinfo"
 	"github.com/dynamoth/dynamoth/internal/lla"
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/obs"
@@ -195,7 +196,7 @@ func run() error {
 		fmt.Printf("admin http on %s\n", aln.Addr())
 	}
 
-	fmt.Printf("dynamoth-lb balancing %d nodes: %s\n", len(ids), nodes.String())
+	fmt.Printf("dynamoth-lb (%s) balancing %d nodes: %s\n", buildinfo.Version, len(ids), nodes.String())
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	<-sigc

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/dynamoth/dynamoth/internal/broker"
+	"github.com/dynamoth/dynamoth/internal/buildinfo"
 	"github.com/dynamoth/dynamoth/internal/obs"
 	"github.com/dynamoth/dynamoth/internal/plan"
 	"github.com/dynamoth/dynamoth/internal/server"
@@ -67,7 +68,7 @@ func run() error {
 		nodeNum = flag.Uint("node", 0xD001, "unique numeric node ID for control envelopes")
 		maxBps  = flag.Float64("max-bps", 1.25e6, "theoretical max outgoing bandwidth T_i (bytes/s)")
 		dialTO  = flag.Duration("dial-timeout", 5*time.Second, "deadline for dialing peer nodes (forwarding)")
-		admin   = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof, /debug/events, /debug/rebalances (empty = disabled)")
+		admin   = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof, /debug/events, /debug/rebalances, /debug/latency, /debug/freemem (empty = disabled)")
 		logLvl  = flag.String("log-level", "warn", "structured log level on stderr (debug, info, warn, error)")
 		ccore   = flag.String("conn-core", "auto", "connection core: auto (reactor where available), goroutine, or reactor")
 		reuse   = flag.Bool("reuseport", false, "set SO_REUSEPORT on the RESP listener (linux; lets several nodes share one address)")
@@ -129,13 +130,17 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *listen, err)
 	}
-	fmt.Printf("dynamoth-node %s serving RESP on %s (conn-core: %s, peers: %s)\n",
-		*id, ln.Addr(), n.ConnCore(), peers.String())
+	fmt.Printf("dynamoth-node %s (%s) serving RESP on %s (conn-core: %s, peers: %s)\n",
+		*id, buildinfo.Version, ln.Addr(), n.ConnCore(), peers.String())
 
 	if *admin != "" {
 		srv, aln, err := obs.Serve(*admin, obs.NewAdminMux(n.Registry(), n.Status,
 			obs.Route{Pattern: "/debug/events", Handler: rec.EventsHandler()},
 			obs.Route{Pattern: "/debug/rebalances", Handler: rec.RebalancesHandler()},
+			// Per-stage latency waterfall: e2e plus ingress/fanout/flush
+			// summaries, slow channels, and per-region delivery latency.
+			obs.Route{Pattern: "/debug/latency", Handler: obs.JSONHandler(
+				func() any { return n.Waterfall() })},
 			// Forces a GC and returns freed pages to the OS, so memory
 			// harnesses (the channel soak) can read a live-set RSS instead
 			// of the allocation high-water mark.

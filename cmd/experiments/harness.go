@@ -8,6 +8,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -183,6 +184,24 @@ func awaitMetric(adminAddr, name string, timeout time.Duration, pred func(float6
 // from".
 func awaitCounterAdvance(adminAddr, name string, from, delta float64, timeout time.Duration) error {
 	return awaitMetric(adminAddr, name, timeout, func(v float64) bool { return v >= from+delta })
+}
+
+// fetchWaterfall reads the node's /debug/latency document as generic JSON
+// (the per-stage breakdown scenario outputs embed verbatim).
+func fetchWaterfall(adminAddr string) (map[string]any, error) {
+	resp, err := http.Get("http://" + adminAddr + "/debug/latency")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/latency: %s", resp.Status)
+	}
+	var wf map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&wf); err != nil {
+		return nil, err
+	}
+	return wf, nil
 }
 
 // forceNodeGC makes the node subprocess run a GC and return freed pages to

@@ -220,6 +220,14 @@ func runScenario(nodeBin string, sc workload.Scenario, seed int64) error {
 	awaitDeliveryStable(blended, 10*time.Second)
 
 	out := scenarioJSON(sc, runs[0].rep, blended, churnOps.Load())
+	// Per-stage latency breakdown from the node's /debug/latency waterfall:
+	// broker-side e2e with its ingress/fanout/flush decomposition, slow
+	// channels, and regions — scraped before the node stops.
+	if wf, err := fetchWaterfall(node.AdminAddr); err == nil {
+		out["stageBreakdown"] = wf
+	} else {
+		fmt.Printf("warning: stage breakdown unavailable: %v\n", err)
+	}
 	if len(sc.Components) > 0 {
 		comps := map[string]any{}
 		for _, run := range runs {

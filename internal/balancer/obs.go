@@ -3,6 +3,7 @@ package balancer
 import (
 	"sort"
 
+	"github.com/dynamoth/dynamoth/internal/buildinfo"
 	"github.com/dynamoth/dynamoth/internal/lla"
 	"github.com/dynamoth/dynamoth/internal/obs"
 )
@@ -13,6 +14,18 @@ func (o *Orchestrator) Loads() []ServerLoad {
 	loads := o.state.Snapshot()
 	sort.Slice(loads, func(i, j int) bool { return loads[i].Server < loads[j].Server })
 	return loads
+}
+
+// RegionLatencies returns each server's accumulated per-region
+// delivery-latency distributions from the LLA reports.
+func (o *Orchestrator) RegionLatencies() map[string][]lla.RegionStats {
+	return o.state.RegionLatencies()
+}
+
+// MergedRegionLatencies returns the deployment-wide per-region distributions
+// (every server's view of a region merged bucket-wise), sorted by region.
+func (o *Orchestrator) MergedRegionLatencies() []lla.RegionStats {
+	return o.state.MergedRegionLatencies()
 }
 
 // DetectorStatus reports the failure detector's per-server view. It returns
@@ -31,7 +44,10 @@ type BalancerStatus struct {
 	Rebalances  int                `json:"rebalances"`
 	Failures    int                `json:"failures"`
 	Loads       []ServerLoad       `json:"loads"`
+	Regions     []lla.RegionStats  `json:"regions,omitempty"`
 	Detector    []lla.ServerStatus `json:"detector,omitempty"`
+	Version     string             `json:"version"`
+	GoVersion   string             `json:"goVersion"`
 }
 
 // Status snapshots the orchestrator for /statusz.
@@ -48,7 +64,10 @@ func (o *Orchestrator) Status() any {
 		Rebalances:  o.Rebalances(),
 		Failures:    o.Failures(),
 		Loads:       o.Loads(),
+		Regions:     o.MergedRegionLatencies(),
 		Detector:    o.DetectorStatus(),
+		Version:     buildinfo.Version,
+		GoVersion:   buildinfo.GoVersion(),
 	}
 }
 
@@ -105,6 +124,18 @@ func (o *Orchestrator) RegisterMetrics(r *obs.Registry) {
 			}
 			return out
 		})
+	r.GaugeVec("dynamoth_region_delivery_latency_p99_seconds",
+		"Deployment-wide 99th-percentile delivery latency per subscriber region, merged across all servers' LLA reports.",
+		"region",
+		func() []obs.Sample {
+			regions := o.MergedRegionLatencies()
+			out := make([]obs.Sample, 0, len(regions))
+			for _, rs := range regions {
+				out = append(out, obs.Sample{Label: rs.Region, Value: rs.P99Ms / 1e3})
+			}
+			return out
+		})
+	buildinfo.Register(r)
 	// The flight recorder's derived dynamoth_reconfig_* families ride on the
 	// same registry (no-op when the orchestrator has no recorder).
 	o.rec.RegisterMetrics(r)

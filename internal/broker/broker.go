@@ -29,8 +29,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dynamoth/dynamoth/internal/hotstate"
+	"github.com/dynamoth/dynamoth/internal/message"
 )
 
 // Sink receives deliveries for one session. Implementations must be fast;
@@ -94,6 +96,26 @@ type Observer interface {
 	OnUnsubscribe(channel, session string, subscribers int)
 }
 
+// FlushObserver is optionally implemented by Observers that also want the
+// writer-flush stage of the latency waterfall: OnFlush fires once per
+// delivery as the frame leaves the broker's output queue into the
+// connection's write buffer (the last broker-side instant before the
+// socket). It runs on writer/shard goroutines concurrently with publishes,
+// so implementations must be cheap and typically sample.
+type FlushObserver interface {
+	OnFlush(payload []byte)
+}
+
+// RegionLatencyObserver is optionally implemented by Observers that want
+// per-subscriber-region delivery attribution: ObserveRegionDelivery fires
+// once per enqueued delivery to a region-tagged session, with the frame's
+// age since its publisher stamp at fanout-enqueue time. It only fires when
+// the broker has stage stamping enabled (Options.NowNanos) and at least one
+// session declared a region, so untagged deployments pay nothing.
+type RegionLatencyObserver interface {
+	ObserveRegionDelivery(region string, age time.Duration)
+}
+
 // Session close reasons.
 var (
 	ErrSlowConsumer  = errors.New("broker: output buffer overflow")
@@ -133,6 +155,12 @@ type Options struct {
 	// (0 = DefaultReplayChannels, negative = unbounded). Rings of currently
 	// subscribed channels are pinned against eviction.
 	ReplayChannels int
+	// NowNanos, when set, enables stage stamping: Publish writes the
+	// broker-ingress and fanout-enqueue marks of the latency waterfall into
+	// every stamped data envelope in place (message.StampStages) while it
+	// still exclusively owns the frame. nil disables stamping (frames pass
+	// through with zero stage offsets).
+	NowNanos func() int64
 }
 
 // shard is one stripe of the channel→subscribers registry. Padded so two
@@ -169,8 +197,19 @@ type Broker struct {
 	sessions map[*Session]struct{}
 
 	// observers is copy-on-write: registration is rare, reads happen on
-	// every publish.
+	// every publish. flushObs and regionObs hold the observers that
+	// additionally implement the optional waterfall interfaces, extracted at
+	// registration so the hot paths pay one pointer load, not a type switch.
 	observers atomic.Pointer[[]Observer]
+	flushObs  atomic.Pointer[[]FlushObserver]
+	regionObs atomic.Pointer[[]RegionLatencyObserver]
+
+	// nowNanos enables in-place stage stamping on Publish (nil = disabled).
+	nowNanos func() int64
+
+	// regionSessions counts sessions that declared a region, so the fan-out
+	// loop skips region attribution entirely in untagged deployments.
+	regionSessions atomic.Int64
 
 	// patternSubs counts live (pattern, session) entries so Publish can
 	// skip the glob scan entirely when no patterns exist (the common case).
@@ -202,6 +241,7 @@ func New(opts Options) *Broker {
 		name:       opts.Name,
 		outBuffer:  opts.OutputBuffer,
 		writeBatch: opts.WriteBatch,
+		nowNanos:   opts.NowNanos,
 		patterns:   make(map[string]map[*Session]struct{}),
 		sessions:   make(map[*Session]struct{}),
 	}
@@ -231,6 +271,33 @@ func (b *Broker) AddObserver(o Observer) {
 	}
 	obs = append(obs, o)
 	b.observers.Store(&obs)
+	if fo, ok := o.(FlushObserver); ok {
+		var fos []FlushObserver
+		if cur := b.flushObs.Load(); cur != nil {
+			fos = append(fos, *cur...)
+		}
+		fos = append(fos, fo)
+		b.flushObs.Store(&fos)
+	}
+	if ro, ok := o.(RegionLatencyObserver); ok {
+		var ros []RegionLatencyObserver
+		if cur := b.regionObs.Load(); cur != nil {
+			ros = append(ros, *cur...)
+		}
+		ros = append(ros, ro)
+		b.regionObs.Store(&ros)
+	}
+}
+
+// observeFlush hands a delivery frame to the flush observers as it leaves
+// the broker's output queue. Called per delivery from writer and shard
+// goroutines; one atomic load when no observer wants flushes.
+func (b *Broker) observeFlush(payload []byte) {
+	if obs := b.flushObs.Load(); obs != nil {
+		for _, o := range *obs {
+			o.OnFlush(payload)
+		}
+	}
 }
 
 func (b *Broker) notifyPublish(channel string, payload []byte, receivers int) {
@@ -310,11 +377,17 @@ var targetPool = sync.Pool{New: func() any { return new([]target) }}
 // whose output buffer is full are disconnected, not blocked on.
 //
 // On a replay-enabled broker, a data-envelope payload is stamped in place
-// with its (epoch, channelSeq) replay coordinates before fan-out, so the
+// with its (epoch, channelSeq) replay coordinates before fan-out; with
+// stage stamping enabled (Options.NowNanos) the broker-ingress and
+// fanout-enqueue waterfall marks are written the same way. Either way the
 // caller must exclusively own payload until Publish returns.
 func (b *Broker) Publish(channel string, payload []byte) int {
 	if b.closed.Load() {
 		return 0
+	}
+	var ingressNs int64 // broker-ingress instant (0 = stamping disabled)
+	if b.nowNanos != nil {
+		ingressNs = b.nowNanos()
 	}
 	if b.replay != nil {
 		// Retain (and sequence-stamp) before reading the subscriber set:
@@ -330,6 +403,9 @@ func (b *Broker) Publish(channel string, payload []byte) int {
 	if len(subs) == 0 && !hasPatterns {
 		// Early exit: nobody could possibly receive this. No slice work.
 		sh.mu.RUnlock()
+		if ingressNs != 0 {
+			message.StampStages(payload, ingressNs, b.nowNanos())
+		}
 		b.published.Add(1)
 		b.notifyPublish(channel, payload, 0)
 		return 0
@@ -354,6 +430,19 @@ func (b *Broker) Publish(channel string, payload []byte) int {
 		b.mu.RUnlock()
 	}
 
+	// Stage-stamp while the frame is still exclusively ours: ingress at
+	// Publish entry, fanout now — the last instant before a subscriber
+	// queue (and its concurrently-reading writer) can see the bytes.
+	var fanoutNs, pubStamp int64
+	if ingressNs != 0 {
+		fanoutNs = b.nowNanos()
+		pubStamp, _ = message.StampStages(payload, ingressNs, fanoutNs)
+	}
+	var regionObs *[]RegionLatencyObserver
+	if pubStamp != 0 && b.regionSessions.Load() > 0 {
+		regionObs = b.regionObs.Load()
+	}
+
 	// One delivery value is shared across the whole fan-out; the channel
 	// send copies it, so per-subscriber delivery structs are never heap
 	// allocated.
@@ -372,16 +461,26 @@ func (b *Broker) Publish(channel string, payload []byte) int {
 				delivered++
 			} else {
 				overflowed = append(overflowed, s)
+				continue
 			}
-			continue
+		} else {
+			d.pattern = ts[i].pattern
+			select {
+			case s.out <- d:
+				delivered++
+			default:
+				// Output buffer full: slow consumer, disconnect it.
+				overflowed = append(overflowed, s)
+				continue
+			}
 		}
-		d.pattern = ts[i].pattern
-		select {
-		case s.out <- d:
-			delivered++
-		default:
-			// Output buffer full: slow consumer, disconnect it.
-			overflowed = append(overflowed, s)
+		if regionObs != nil {
+			if r := s.Region(); r != "" {
+				age := time.Duration(fanoutNs - pubStamp)
+				for _, ro := range *regionObs {
+					ro.ObserveRegionDelivery(r, age)
+				}
+			}
 		}
 	}
 	clear(ts) // drop *Session references so the pool does not pin them
@@ -535,6 +634,9 @@ func (b *Broker) removeSession(s *Session, subs, psubs []string) {
 	}
 	delete(b.sessions, s)
 	b.mu.Unlock()
+	if s.region.Load() != nil {
+		b.regionSessions.Add(-1)
+	}
 	for _, ch := range subs {
 		sh := &b.shards[shardIndex(ch)]
 		sh.mu.Lock()
@@ -581,6 +683,10 @@ type Session struct {
 	subs  map[string]struct{}
 	psubs map[string]struct{}
 
+	// region is the subscriber-declared region tag (REGION command /
+	// SetRegion), read per delivery by the fan-out's region attribution.
+	region atomic.Pointer[string]
+
 	closeOnce sync.Once
 	closed    atomic.Bool
 	done      chan struct{}
@@ -592,6 +698,26 @@ func (s *Session) Name() string { return s.name }
 
 // Broker returns the broker this session is connected to.
 func (s *Session) Broker() *Broker { return s.broker }
+
+// SetRegion declares the client-side region of this session, tagging its
+// deliveries for per-region latency attribution (the RESP REGION command
+// lands here). Empty strings are ignored; re-declaring replaces the tag.
+func (s *Session) SetRegion(region string) {
+	if region == "" {
+		return
+	}
+	if s.region.Swap(&region) == nil {
+		s.broker.regionSessions.Add(1)
+	}
+}
+
+// Region returns the session's declared region ("" when untagged).
+func (s *Session) Region() string {
+	if p := s.region.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
 
 // Subscribe adds the session to the given channels and returns the session's
 // total subscription count (the Redis reply convention).
@@ -869,6 +995,10 @@ func (s *Session) writer() {
 }
 
 func (s *Session) dispatch(d delivery) {
+	// The frame is leaving the output queue for the sink's write buffer:
+	// the writer-flush observation point of the latency waterfall (queue
+	// wait is the dominant broker-side delay this stage exists to expose).
+	s.broker.observeFlush(d.payload)
 	if d.pattern != "" {
 		if ps, ok := s.sink.(PatternSink); ok {
 			ps.DeliverPattern(d.pattern, d.channel, d.payload)

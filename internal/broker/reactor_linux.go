@@ -234,6 +234,9 @@ func (rs *rsession) Enqueue(channel, pattern string, payload []byte) bool {
 	}
 	rs.markDirtyLocked()
 	rs.mu.Unlock()
+	// The frame is now in the connection's write buffer, flushed on the
+	// shard's next pass: the reactor core's writer-flush observation point.
+	rs.sh.r.b.observeFlush(payload)
 	return true
 }
 

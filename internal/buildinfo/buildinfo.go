@@ -1,0 +1,27 @@
+// Package buildinfo carries the binary's build identity for the
+// dynamoth_build_info metric and /statusz. Version is injected at link time:
+//
+//	go build -ldflags "-X github.com/dynamoth/dynamoth/internal/buildinfo.Version=v1.2.3"
+//
+// and defaults to "dev" for plain `go build` / `go test` binaries.
+package buildinfo
+
+import (
+	"github.com/dynamoth/dynamoth/internal/obs"
+	"runtime"
+)
+
+// Version is the ldflags-injected build version.
+var Version = "dev"
+
+// GoVersion is the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// Register adds the dynamoth_build_info info metric to r.
+func Register(r *obs.Registry) {
+	r.Info("dynamoth_build_info",
+		"Build identity of this binary; value is always 1.",
+		[2]string{"version", Version},
+		[2]string{"go_version", GoVersion()},
+	)
+}

@@ -1,0 +1,264 @@
+package lla
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RegionBuckets is the per-region delivery-latency histogram resolution:
+// power-of-two microsecond buckets, bucket i covering (2^i, 2^(i+1)] µs —
+// the same compact scheme the node's per-channel latency tracker uses, so
+// one bucket index means the same latency range everywhere. 28 buckets span
+// 1µs to ~4.5 minutes.
+const RegionBuckets = 28
+
+// DefaultRegionCap bounds the distinct subscriber regions a tracker holds.
+// Deployments have few regions (the King dataset clusters into continents);
+// the cap only guards against a client declaring garbage regions. Beyond it,
+// observations fold into the RegionOverflow pseudo-region.
+const DefaultRegionCap = 64
+
+// RegionOverflow is the pseudo-region that absorbs observations once the
+// region cap is reached, so the load is visible even when unattributable.
+const RegionOverflow = "+overflow"
+
+// RegionStats is one subscriber region's delivery-latency digest over a
+// report window: a compact histogram plus count/sum/max so the balancer can
+// merge windows from many servers without losing tail shape.
+type RegionStats struct {
+	Region string `json:"region"`
+	Count  uint64 `json:"count"`
+	// SumMs/MaxMs/P99Ms are milliseconds; P99 is the upper bound of the
+	// bucket holding the window's 99th-percentile observation.
+	SumMs float64 `json:"sumMs"`
+	MaxMs float64 `json:"maxMs"`
+	P99Ms float64 `json:"p99Ms"`
+	// Buckets are the window's observation counts per power-of-two
+	// microsecond bucket (see RegionBuckets).
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// regionBucket maps a latency to its power-of-two bucket index.
+func regionBucket(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= RegionBuckets {
+		b = RegionBuckets - 1
+	}
+	return b
+}
+
+// RegionBucketUpperMs is bucket i's upper bound in milliseconds.
+func RegionBucketUpperMs(i int) float64 {
+	return float64(uint64(1)<<uint(i+1)) / 1e3
+}
+
+// regionHist is one region's accumulation. Counters are cumulative atomics
+// (Observe runs on the broker's fan-out path); prev holds the values already
+// shipped in earlier reports and is only touched under the tracker's drain
+// lock.
+type regionHist struct {
+	counts [RegionBuckets]atomic.Uint64
+	sumUs  atomic.Int64
+	maxUs  atomic.Int64 // cumulative max; reset on drain
+
+	prev      [RegionBuckets]uint64
+	prevSumUs int64
+}
+
+func (h *regionHist) observe(d time.Duration) {
+	h.counts[regionBucket(d)].Add(1)
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.sumUs.Add(us)
+	for {
+		cur := h.maxUs.Load()
+		if us <= cur || h.maxUs.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// regionTracker accumulates per-subscriber-region delivery latencies. The
+// observe path is lock-free after a region's first observation (one RLock'd
+// map hit plus atomic adds); draining a report window happens under drainMu.
+type regionTracker struct {
+	cap   int
+	delay func(region string) time.Duration // optional WAN-delay model
+
+	mu      sync.RWMutex
+	regions map[string]*regionHist
+
+	drainMu sync.Mutex
+}
+
+func newRegionTracker(cap int, delay func(string) time.Duration) *regionTracker {
+	if cap <= 0 {
+		cap = DefaultRegionCap
+	}
+	return &regionTracker{
+		cap:     cap,
+		delay:   delay,
+		regions: make(map[string]*regionHist),
+	}
+}
+
+// Observe records one delivery to a subscriber in region, d after publish.
+// When a WAN-delay model is configured the modeled region delay is added —
+// in-process deployments measure loopback fan-out, so the model is what puts
+// the geography back into the signal.
+func (t *regionTracker) Observe(region string, d time.Duration) {
+	if region == "" {
+		return
+	}
+	if t.delay != nil {
+		d += t.delay(region)
+	}
+	t.mu.RLock()
+	h := t.regions[region]
+	t.mu.RUnlock()
+	if h == nil {
+		t.mu.Lock()
+		h = t.regions[region]
+		if h == nil {
+			if len(t.regions) >= t.cap {
+				if h = t.regions[RegionOverflow]; h == nil {
+					h = new(regionHist)
+					t.regions[RegionOverflow] = h
+				}
+			} else {
+				h = new(regionHist)
+				t.regions[region] = h
+			}
+		}
+		t.mu.Unlock()
+	}
+	h.observe(d)
+}
+
+// statsFrom turns a window's bucket deltas into a RegionStats.
+func statsFrom(region string, window [RegionBuckets]uint64, sumUs, maxUs int64) (RegionStats, bool) {
+	var total uint64
+	for _, c := range window {
+		total += c
+	}
+	if total == 0 {
+		return RegionStats{}, false
+	}
+	target := (total*99 + 99) / 100
+	var cum uint64
+	p99 := RegionBucketUpperMs(RegionBuckets - 1)
+	for i, c := range window {
+		cum += c
+		if cum >= target {
+			p99 = RegionBucketUpperMs(i)
+			break
+		}
+	}
+	return RegionStats{
+		Region:  region,
+		Count:   total,
+		SumMs:   float64(sumUs) / 1e3,
+		MaxMs:   float64(maxUs) / 1e3,
+		P99Ms:   p99,
+		Buckets: append([]uint64(nil), window[:]...),
+	}, true
+}
+
+// Drain returns the per-region stats accumulated since the previous Drain
+// (the report-window semantics buildReport needs) and advances the window.
+func (t *regionTracker) Drain() []RegionStats {
+	t.drainMu.Lock()
+	defer t.drainMu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.regions) == 0 {
+		return nil
+	}
+	out := make([]RegionStats, 0, len(t.regions))
+	for region, h := range t.regions {
+		var window [RegionBuckets]uint64
+		for i := range window {
+			cum := h.counts[i].Load()
+			window[i] = cum - h.prev[i]
+			h.prev[i] = cum
+		}
+		sum := h.sumUs.Load()
+		winSum := sum - h.prevSumUs
+		h.prevSumUs = sum
+		maxUs := h.maxUs.Swap(0)
+		if s, ok := statsFrom(region, window, winSum, maxUs); ok {
+			out = append(out, s)
+		}
+	}
+	sortRegionStats(out)
+	return out
+}
+
+// Snapshot returns the cumulative (since-start) per-region stats without
+// disturbing the report window — the non-destructive read /debug/latency
+// uses.
+func (t *regionTracker) Snapshot() []RegionStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.regions) == 0 {
+		return nil
+	}
+	out := make([]RegionStats, 0, len(t.regions))
+	for region, h := range t.regions {
+		var window [RegionBuckets]uint64
+		for i := range window {
+			window[i] = h.counts[i].Load()
+		}
+		if s, ok := statsFrom(region, window, h.sumUs.Load(), h.maxUs.Load()); ok {
+			out = append(out, s)
+		}
+	}
+	sortRegionStats(out)
+	return out
+}
+
+func sortRegionStats(s []RegionStats) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Region < s[j-1].Region; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// MergeRegionStats folds b into a (matching regions merge bucket-wise; the
+// merged P99 is recomputed from the merged buckets). The balancer uses this
+// to aggregate one region's latency across every server reporting it.
+func MergeRegionStats(a, b RegionStats) RegionStats {
+	var buckets [RegionBuckets]uint64
+	for i := range buckets {
+		if i < len(a.Buckets) {
+			buckets[i] += a.Buckets[i]
+		}
+		if i < len(b.Buckets) {
+			buckets[i] += b.Buckets[i]
+		}
+	}
+	sumUs := int64((a.SumMs + b.SumMs) * 1e3)
+	maxMs := a.MaxMs
+	if b.MaxMs > maxMs {
+		maxMs = b.MaxMs
+	}
+	merged, ok := statsFrom(a.Region, buckets, sumUs, int64(maxMs*1e3))
+	if !ok {
+		// Neither side carried buckets; fall back to the scalar fields.
+		merged = RegionStats{Region: a.Region, Count: a.Count + b.Count,
+			SumMs: a.SumMs + b.SumMs, MaxMs: maxMs}
+		if merged.P99Ms = a.P99Ms; b.P99Ms > merged.P99Ms {
+			merged.P99Ms = b.P99Ms
+		}
+	}
+	return merged
+}

@@ -122,9 +122,30 @@ type Envelope struct {
 	// fixed-width header region so stamping never shifts the encoding.
 	Epoch      uint64
 	ChannelSeq uint64
+
+	// StageIngressUs, StageFanoutUs and StageFlushUs are the per-stage
+	// latency waterfall marks: microsecond offsets from Stamp at which the
+	// frame crossed broker ingress (Publish entry), fanout enqueue (handed to
+	// the first subscriber queue) and writer flush. Publishers encode zeros;
+	// the home broker stamps ingress and fanout in place (StampStages) while
+	// it still exclusively owns the frame. The flush slot exists for sinks
+	// that own a private copy of the frame; the shared-fanout cores instead
+	// observe flush age broker-side. 0 means "not stamped"; real marks are
+	// clamped to >= 1µs. Like the replay coordinates they live in a
+	// fixed-width header region so stamping never shifts the encoding.
+	StageIngressUs uint32
+	StageFanoutUs  uint32
+	StageFlushUs   uint32
 }
 
-const envelopeMagic = 0xD7
+// Envelope magics. Legacy (pre-stage) frames carry envelopeMagic and no
+// stage block; frames marshaled by this version carry envelopeMagicStaged
+// plus the fixed 12-byte stage block. Decoders accept both — a legacy frame
+// simply has zero stage marks.
+const (
+	envelopeMagic       = 0xD7
+	envelopeMagicStaged = 0xD8
+)
 
 // seqHeaderLen is the fixed-width (epoch, channelSeq) region between the
 // magic/type bytes and the varint fields: two little-endian uint64s at
@@ -132,8 +153,43 @@ const envelopeMagic = 0xD7
 // stamping possible on an already-encoded frame.
 const seqHeaderLen = 16
 
-// envelopeHeaderLen is magic + type + the fixed sequence header.
+// stageHeaderLen is the fixed-width stage block on staged envelopes: three
+// little-endian uint32 microsecond offsets (ingress, fanout, flush) at
+// [18,22), [22,26), [26,30).
+const stageHeaderLen = 12
+
+// envelopeHeaderLen is magic + type + the fixed sequence header (legacy
+// frames); staged frames additionally carry the stage block.
 const envelopeHeaderLen = 2 + seqHeaderLen
+
+// stagedHeaderLen is the full fixed header of a staged envelope.
+const stagedHeaderLen = envelopeHeaderLen + stageHeaderLen
+
+// Stage block byte offsets within a staged envelope.
+const (
+	stageIngressOff = envelopeHeaderLen
+	stageFanoutOff  = envelopeHeaderLen + 4
+	stageFlushOff   = envelopeHeaderLen + 8
+)
+
+// peekHeader validates the envelope magic and returns the fixed-header
+// length (after which the uvarint fields begin) and whether the frame
+// carries a stage block. ok is false for non-envelope payloads.
+func peekHeader(data []byte) (hdr int, staged, ok bool) {
+	if len(data) < envelopeHeaderLen {
+		return 0, false, false
+	}
+	switch data[0] {
+	case envelopeMagic:
+		return envelopeHeaderLen, false, true
+	case envelopeMagicStaged:
+		if len(data) < stagedHeaderLen {
+			return 0, false, false
+		}
+		return stagedHeaderLen, true, true
+	}
+	return 0, false, false
+}
 
 // Encoding errors.
 var (
@@ -148,12 +204,12 @@ const maxFieldLen = 1 << 24
 
 // Marshal encodes the envelope into a compact binary form.
 //
-// Layout: magic, type, epoch(8, LE), channelSeq(8, LE),
-// planVersion(uvarint), node(uvarint), seq(uvarint), stamp(uvarint),
-// channel(len-prefixed), strategy, servers(count + len-prefixed each),
-// payload (remainder).
+// Layout: magic, type, epoch(8, LE), channelSeq(8, LE), ingressUs(4, LE),
+// fanoutUs(4, LE), flushUs(4, LE), planVersion(uvarint), node(uvarint),
+// seq(uvarint), stamp(uvarint), channel(len-prefixed), strategy,
+// servers(count + len-prefixed each), payload (remainder).
 func (e *Envelope) Marshal() []byte {
-	n := envelopeHeaderLen +
+	n := stagedHeaderLen +
 		binary.MaxVarintLen64*4 +
 		binary.MaxVarintLen32 + len(e.Channel) +
 		1 + // strategy
@@ -173,9 +229,12 @@ func (e *Envelope) Marshal() []byte {
 // reusable scratch buffer — e.g. one from GetBuffer — encodes a publication
 // with zero allocations.
 func (e *Envelope) AppendMarshal(dst []byte) []byte {
-	dst = append(dst, envelopeMagic, byte(e.Type))
+	dst = append(dst, envelopeMagicStaged, byte(e.Type))
 	dst = binary.LittleEndian.AppendUint64(dst, e.Epoch)
 	dst = binary.LittleEndian.AppendUint64(dst, e.ChannelSeq)
+	dst = binary.LittleEndian.AppendUint32(dst, e.StageIngressUs)
+	dst = binary.LittleEndian.AppendUint32(dst, e.StageFanoutUs)
+	dst = binary.LittleEndian.AppendUint32(dst, e.StageFlushUs)
 	dst = binary.AppendUvarint(dst, e.PlanVersion)
 	dst = binary.AppendUvarint(dst, uint64(e.ID.Node))
 	dst = binary.AppendUvarint(dst, e.ID.Seq)
@@ -223,10 +282,11 @@ func Unmarshal(data []byte) (*Envelope, error) {
 	if len(data) < 2 {
 		return nil, ErrTruncated
 	}
-	if data[0] != envelopeMagic {
+	if data[0] != envelopeMagic && data[0] != envelopeMagicStaged {
 		return nil, ErrBadMagic
 	}
-	if len(data) < envelopeHeaderLen {
+	hdr, staged, ok := peekHeader(data)
+	if !ok {
 		return nil, ErrTruncated
 	}
 	e := &Envelope{
@@ -234,7 +294,12 @@ func Unmarshal(data []byte) (*Envelope, error) {
 		Epoch:      binary.LittleEndian.Uint64(data[2:10]),
 		ChannelSeq: binary.LittleEndian.Uint64(data[10:18]),
 	}
-	rest := data[envelopeHeaderLen:]
+	if staged {
+		e.StageIngressUs = binary.LittleEndian.Uint32(data[stageIngressOff:])
+		e.StageFanoutUs = binary.LittleEndian.Uint32(data[stageFanoutOff:])
+		e.StageFlushUs = binary.LittleEndian.Uint32(data[stageFlushOff:])
+	}
+	rest := data[hdr:]
 
 	var err error
 	var u uint64
@@ -339,10 +404,11 @@ func (e *Envelope) WireSize() int { return len(e.Marshal()) }
 // broker's publish hot path for every message, where a full Unmarshal would
 // heap-allocate an Envelope per publication.
 func PeekNode(data []byte) (node uint32, ok bool) {
-	if len(data) < envelopeHeaderLen || data[0] != envelopeMagic {
+	hdr, _, ok := peekHeader(data)
+	if !ok {
 		return 0, false
 	}
-	rest := data[envelopeHeaderLen:]
+	rest := data[hdr:]
 	_, n := binary.Uvarint(rest) // skip planVersion
 	if n <= 0 {
 		return 0, false
@@ -355,11 +421,12 @@ func PeekNode(data []byte) (node uint32, ok bool) {
 }
 
 func PeekStamp(data []byte) (t Type, stamp int64, ok bool) {
-	if len(data) < envelopeHeaderLen || data[0] != envelopeMagic {
+	hdr, _, ok := peekHeader(data)
+	if !ok {
 		return 0, 0, false
 	}
 	t = Type(data[1])
-	rest := data[envelopeHeaderLen:]
+	rest := data[hdr:]
 	for i := 0; i < 3; i++ { // skip planVersion, node, seq
 		_, n := binary.Uvarint(rest)
 		if n <= 0 {
@@ -374,6 +441,111 @@ func PeekStamp(data []byte) (t Type, stamp int64, ok bool) {
 	return t, int64(u), true
 }
 
+// StageStamp is the zero-alloc view of a frame's latency waterfall marks:
+// the publisher's send stamp plus the broker's in-place stage offsets.
+// Offsets are microseconds from Stamp; 0 means the stage was never stamped
+// (legacy frame, control envelope, or a broker without stage stamping).
+type StageStamp struct {
+	Type      Type
+	Stamp     int64 // publisher send time, Unix nanoseconds (0 = unstamped)
+	IngressUs uint32
+	FanoutUs  uint32
+	FlushUs   uint32
+}
+
+// IngressAt, FanoutAt and FlushAt return the absolute Unix-nanosecond
+// instants of the stamped stages (0 when the stage is unstamped).
+func (s StageStamp) IngressAt() int64 { return stageAt(s.Stamp, s.IngressUs) }
+func (s StageStamp) FanoutAt() int64  { return stageAt(s.Stamp, s.FanoutUs) }
+func (s StageStamp) FlushAt() int64   { return stageAt(s.Stamp, s.FlushUs) }
+
+func stageAt(stamp int64, us uint32) int64 {
+	if stamp == 0 || us == 0 {
+		return 0
+	}
+	return stamp + int64(us)*1000
+}
+
+// PeekStageStamp extracts the full multi-stage stamp from an encoded
+// envelope without decoding (or allocating) anything else — the stage
+// sibling of PeekStamp, and like it safe to call on the hot path. Legacy
+// (pre-stage) envelopes decode with zero stage offsets; ok is false only
+// for non-envelope payloads.
+func PeekStageStamp(data []byte) (s StageStamp, ok bool) {
+	_, staged, ok := peekHeader(data)
+	if !ok {
+		return StageStamp{}, false
+	}
+	t, stamp, ok := PeekStamp(data)
+	if !ok {
+		return StageStamp{}, false
+	}
+	s = StageStamp{Type: t, Stamp: stamp}
+	if staged {
+		s.IngressUs = binary.LittleEndian.Uint32(data[stageIngressOff:])
+		s.FanoutUs = binary.LittleEndian.Uint32(data[stageFanoutOff:])
+		s.FlushUs = binary.LittleEndian.Uint32(data[stageFlushOff:])
+	}
+	return s, true
+}
+
+// stageDeltaUs converts an absolute stage instant into the on-wire
+// microsecond offset from stamp: clamped to [1, MaxUint32] so a genuine
+// mark is never encoded as "unstamped" and clock skew never wraps.
+func stageDeltaUs(stamp, at int64) uint32 {
+	d := (at - stamp) / 1000
+	if d < 1 {
+		return 1
+	}
+	if d > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(d)
+}
+
+// StampStages writes the broker's ingress and fanout-enqueue marks into an
+// already-encoded staged data envelope in place, and returns the frame's
+// publisher stamp so the caller can derive stage ages without a second
+// peek. It stamps only TypeData and TypeForwarded frames whose publisher
+// stamp is set; everything else (control envelopes, legacy frames, raw
+// payloads) is left untouched with ok false. Like StampChannelSeq, the
+// caller must exclusively own data — the broker stamps before the first
+// subscriber queue sees the frame.
+func StampStages(data []byte, ingressNanos, fanoutNanos int64) (stamp int64, ok bool) {
+	if _, staged, ok := peekHeader(data); !ok || !staged {
+		return 0, false
+	}
+	if t := Type(data[1]); t != TypeData && t != TypeForwarded {
+		return 0, false
+	}
+	_, stamp, ok = PeekStamp(data)
+	if !ok || stamp == 0 {
+		return 0, false
+	}
+	binary.LittleEndian.PutUint32(data[stageIngressOff:], stageDeltaUs(stamp, ingressNanos))
+	binary.LittleEndian.PutUint32(data[stageFanoutOff:], stageDeltaUs(stamp, fanoutNanos))
+	return stamp, true
+}
+
+// StampFlush writes the writer-flush mark into a staged data envelope in
+// place. It is only safe on frames the caller exclusively owns (a sink's
+// private copy); the shared-fanout delivery cores must not call it and
+// instead observe flush age broker-side.
+func StampFlush(data []byte, flushNanos int64) bool {
+	if _, staged, ok := peekHeader(data); !ok || !staged {
+		return false
+	}
+	if t := Type(data[1]); t != TypeData && t != TypeForwarded {
+		return false
+	}
+	_, stamp, ok := PeekStamp(data)
+	if !ok || stamp == 0 {
+		return false
+	}
+	binary.LittleEndian.PutUint32(data[stageFlushOff:], stageDeltaUs(stamp, flushNanos))
+	return true
+}
+
 // StampChannelSeq writes the broker-assigned replay coordinates into an
 // already-encoded data envelope in place. It stamps only TypeData and
 // TypeForwarded frames (control envelopes and raw payloads are left
@@ -381,7 +553,7 @@ func PeekStamp(data []byte) (t Type, stamp int64, ok bool) {
 // data: the broker's publish path stamps the frame it is about to fan out,
 // before any subscriber sees it.
 func StampChannelSeq(data []byte, epoch, seq uint64) bool {
-	if len(data) < envelopeHeaderLen || data[0] != envelopeMagic {
+	if _, _, ok := peekHeader(data); !ok {
 		return false
 	}
 	if t := Type(data[1]); t != TypeData && t != TypeForwarded {
@@ -396,7 +568,7 @@ func StampChannelSeq(data []byte, epoch, seq uint64) bool {
 // without decoding anything else. ok is false for non-envelope payloads and
 // for envelopes never stamped by a replay-enabled broker (epoch 0).
 func PeekChannelSeq(data []byte) (epoch, seq uint64, ok bool) {
-	if len(data) < envelopeHeaderLen || data[0] != envelopeMagic {
+	if _, _, ok := peekHeader(data); !ok {
 		return 0, 0, false
 	}
 	epoch = binary.LittleEndian.Uint64(data[2:10])

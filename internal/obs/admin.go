@@ -59,6 +59,20 @@ func NewAdminMux(reg *Registry, status func() any, extra ...Route) *http.ServeMu
 	return mux
 }
 
+// JSONHandler serves the value fn returns as indented JSON on every request
+// (the shape /statusz uses, for extra document-style admin routes like
+// /debug/latency).
+func JSONHandler(fn func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fn()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
 // Serve listens on addr and serves the admin mux in a background goroutine.
 // It returns the bound listener (addr ":0" picks a free port — read
 // ln.Addr()) and the server for shutdown. Serving errors after Close are

@@ -42,7 +42,8 @@ type family struct {
 	gauge   func() float64
 	vec     func() []Sample
 	hist    *metrics.Histogram
-	quants  []float64 // rendered quantiles for hist families
+	quants  []float64   // rendered quantiles for hist families
+	info    [][2]string // static label pairs for info families
 }
 
 // Registry holds metric families and renders them in Prometheus text
@@ -120,6 +121,23 @@ func (r *Registry) CounterVec(name, help, label string, fn func() []Sample) {
 	r.add(&family{name: name, help: help, kind: "counter", label: label, vec: fn})
 }
 
+// Info registers a constant gauge with value 1 whose labels carry the
+// interesting data — the Prometheus "info metric" idiom (build version,
+// runtime, and similar identity facts). labels are (name, value) pairs
+// rendered in the given order; label names must be valid, values are
+// escaped.
+func (r *Registry) Info(name, help string, labels ...[2]string) {
+	for _, l := range labels {
+		if !validName(l[0]) {
+			panic("obs: invalid info label name " + strconv.Quote(l[0]))
+		}
+	}
+	if len(labels) == 0 {
+		labels = [][2]string{} // non-nil so render picks the info branch
+	}
+	r.add(&family{name: name, help: help, kind: "gauge", info: labels})
+}
+
 // Histogram registers h as a Prometheus histogram family (cumulative
 // _bucket/_sum/_count series) plus a companion "<name>_quantile" gauge
 // family exporting the given quantiles (e.g. 0.5, 0.99, 0.999) estimated by
@@ -155,6 +173,22 @@ func (r *Registry) String() string {
 func (f *family) render(b *strings.Builder) {
 	writeHeader(b, f.name, f.help, f.kind)
 	switch {
+	case f.info != nil:
+		b.WriteString(f.name)
+		if len(f.info) > 0 {
+			b.WriteByte('{')
+			for i, l := range f.info {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(l[0])
+				b.WriteString(`="`)
+				b.WriteString(escapeLabel(l[1]))
+				b.WriteByte('"')
+			}
+			b.WriteByte('}')
+		}
+		b.WriteString(" 1\n")
 	case f.counter != nil:
 		writeSample(b, f.name, "", "", strconv.FormatUint(f.counter(), 10))
 	case f.gauge != nil:

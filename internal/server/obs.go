@@ -1,10 +1,13 @@
 package server
 
 import (
+	"sync/atomic"
 	"time"
 
+	"github.com/dynamoth/dynamoth/internal/buildinfo"
 	"github.com/dynamoth/dynamoth/internal/clock"
 	"github.com/dynamoth/dynamoth/internal/hotstate"
+	"github.com/dynamoth/dynamoth/internal/lla"
 	"github.com/dynamoth/dynamoth/internal/message"
 	"github.com/dynamoth/dynamoth/internal/metrics"
 	"github.com/dynamoth/dynamoth/internal/obs"
@@ -25,26 +28,64 @@ func newE2EHistogram() *metrics.Histogram {
 	return metrics.NewHistogram(e2eLatencyMin, e2eLatencyMax, e2eLatencyBuckets)
 }
 
+// Stage latency histogram range: stage legs are broker-internal and often
+// single-digit microseconds on loopback, so the floor sits at 1 µs (not the
+// e2e histogram's 100 µs) — otherwise every fast stage would clamp up to the
+// floor bucket and the waterfall's sum-of-stages would overstate e2e.
+const (
+	stageLatencyMin     = 1 * time.Microsecond
+	stageLatencyMax     = 30 * time.Second
+	stageLatencyBuckets = 200
+)
+
+// stageHistograms is the node-side half of the latency waterfall: the legs
+// the broker can observe locally. The deliver leg (fanout→client) lives on
+// the client registry; see DESIGN.md §18.
+type stageHistograms struct {
+	ingress *metrics.Histogram // publisher send → broker Publish entry
+	fanout  *metrics.Histogram // Publish entry → fan-out enqueue
+	flush   *metrics.Histogram // fan-out enqueue → connection write buffer
+}
+
+func newStageHistograms() *stageHistograms {
+	return &stageHistograms{
+		ingress: metrics.NewHistogram(stageLatencyMin, stageLatencyMax, stageLatencyBuckets),
+		fanout:  metrics.NewHistogram(stageLatencyMin, stageLatencyMax, stageLatencyBuckets),
+		flush:   metrics.NewHistogram(stageLatencyMin, stageLatencyMax, stageLatencyBuckets),
+	}
+}
+
 // latencyObserver measures publish→deliver latency at the broker: every
-// stamped data envelope's age at the moment its fan-out was queued. It sits
-// on the publish hot path, so it peeks only the envelope header — no
-// decoding, no allocation.
+// stamped data envelope's age at the moment its fan-out was queued, plus the
+// per-stage waterfall marks the broker stamped into the frame. It sits on
+// the publish hot path, so it peeks only the envelope header — no decoding,
+// no allocation.
 type latencyObserver struct {
-	clk  clock.Clock
-	hist *metrics.Histogram
+	clk     clock.Clock
+	hist    *metrics.Histogram
+	stages  *stageHistograms
+	latTopk *obs.LatencyTopK
 }
 
 // OnPublish implements broker.Observer.
-func (o *latencyObserver) OnPublish(_ string, payload []byte, _ int) {
-	t, stamp, ok := message.PeekStamp(payload)
-	if !ok || stamp == 0 {
+func (o *latencyObserver) OnPublish(ch string, payload []byte, _ int) {
+	s, ok := message.PeekStageStamp(payload)
+	if !ok || s.Stamp == 0 {
 		return
 	}
-	if t != message.TypeData && t != message.TypeForwarded {
+	if s.Type != message.TypeData && s.Type != message.TypeForwarded {
 		return
 	}
 	// Observe clamps negative durations (clock skew across real machines).
-	o.hist.Observe(time.Duration(o.clk.Now().UnixNano() - stamp))
+	age := time.Duration(o.clk.Now().UnixNano() - s.Stamp)
+	o.hist.Observe(age)
+	o.latTopk.Observe(ch, age)
+	if s.IngressUs != 0 {
+		o.stages.ingress.Observe(time.Duration(s.IngressUs) * time.Microsecond)
+		if s.FanoutUs >= s.IngressUs {
+			o.stages.fanout.Observe(time.Duration(s.FanoutUs-s.IngressUs) * time.Microsecond)
+		}
+	}
 }
 
 // OnSubscribe implements broker.Observer (ignored).
@@ -52,6 +93,43 @@ func (o *latencyObserver) OnSubscribe(string, string, int) {}
 
 // OnUnsubscribe implements broker.Observer (ignored).
 func (o *latencyObserver) OnUnsubscribe(string, string, int) {}
+
+// flushObserver measures the writer-flush leg: the age of a frame past its
+// fanout-enqueue mark at the moment it leaves the broker's output queue for
+// a connection write buffer. OnFlush runs once per delivery on the dispatch
+// path, so it samples (every 2^shift-th delivery) and peeks only on the
+// sampled subset.
+type flushObserver struct {
+	clk  clock.Clock
+	hist *metrics.Histogram
+	n    atomic.Uint64
+}
+
+// OnFlush implements broker.FlushObserver.
+func (o *flushObserver) OnFlush(payload []byte) {
+	if o.n.Add(1)&(1<<obs.DefaultSampleShift-1) != 0 {
+		return
+	}
+	s, ok := message.PeekStageStamp(payload)
+	if !ok || s.FanoutUs == 0 {
+		return
+	}
+	at := s.FanoutAt()
+	if at == 0 {
+		return
+	}
+	o.hist.Observe(time.Duration(o.clk.Now().UnixNano() - at))
+}
+
+// OnPublish implements broker.Observer (ignored; flush frames arrive via
+// OnFlush).
+func (o *flushObserver) OnPublish(string, []byte, int) {}
+
+// OnSubscribe implements broker.Observer (ignored).
+func (o *flushObserver) OnSubscribe(string, string, int) {}
+
+// OnUnsubscribe implements broker.Observer (ignored).
+func (o *flushObserver) OnUnsubscribe(string, string, int) {}
 
 // Registry returns the node's metric registry, served by the admin
 // endpoint's /metrics and the cluster scrape helpers.
@@ -69,6 +147,8 @@ func (n *Node) E2ELatency() *metrics.Histogram { return n.e2e }
 // Status is the node's /statusz document.
 type Status struct {
 	Server      string            `json:"server"`
+	Version     string            `json:"version"`
+	GoVersion   string            `json:"goVersion"`
 	PlanVersion uint64            `json:"planVersion"`
 	PlanServers []string          `json:"planServers"`
 	Sessions    int               `json:"sessions"`
@@ -112,6 +192,8 @@ func (n *Node) Status() any {
 	}
 	return Status{
 		Server:      string(n.ID),
+		Version:     buildinfo.Version,
+		GoVersion:   buildinfo.GoVersion(),
 		PlanVersion: p.Version,
 		PlanServers: servers,
 		Sessions:    st.Sessions,
@@ -123,6 +205,51 @@ func (n *Node) Status() any {
 		Dropped:     st.Dropped,
 		HotChannels: n.topk.Top(10),
 		E2ELatency:  summarize(n.e2e),
+	}
+}
+
+// StageSummary is one waterfall stage's latency digest.
+type StageSummary struct {
+	Stage string `json:"stage"`
+	LatencySummary
+}
+
+// Waterfall is the /debug/latency document: the node's end-to-end latency
+// with its per-stage decomposition, the channels contributing the most tail
+// latency, and the per-subscriber-region delivery latencies the LLA folds
+// into its reports. All numbers are read-only digests; rendering touches
+// nothing on the publish path.
+type Waterfall struct {
+	Server string `json:"server"`
+	// E2E is publish→fan-out latency as observed broker-side (the node
+	// cannot see client delivery; clients export the deliver leg on their
+	// own registries).
+	E2E LatencySummary `json:"e2e"`
+	// Stages holds the broker-side legs in pipeline order: ingress
+	// (publisher send → Publish entry), fanout (Publish entry → fan-out
+	// enqueue), flush (fan-out enqueue → connection write buffer; sampled).
+	// Ingress + fanout decompose E2E exactly; flush extends past it.
+	Stages []StageSummary `json:"stages"`
+	// SlowChannels ranks channels by p99 contribution (p99 × count) over
+	// the window since the previous Waterfall call.
+	SlowChannels []obs.ChannelLatency `json:"slowChannels"`
+	// Regions is the cumulative per-subscriber-region delivery-latency
+	// digest (empty when no session declared a region).
+	Regions []lla.RegionStats `json:"regions"`
+}
+
+// Waterfall snapshots the node's latency waterfall for /debug/latency.
+func (n *Node) Waterfall() Waterfall {
+	return Waterfall{
+		Server: string(n.ID),
+		E2E:    summarize(n.e2e),
+		Stages: []StageSummary{
+			{Stage: "ingress", LatencySummary: summarize(n.stages.ingress)},
+			{Stage: "fanout", LatencySummary: summarize(n.stages.fanout)},
+			{Stage: "flush", LatencySummary: summarize(n.stages.flush)},
+		},
+		SlowChannels: n.latTopk.Top(10),
+		Regions:      n.LLA.RegionSnapshot(),
 	}
 }
 
@@ -195,6 +322,16 @@ func (n *Node) buildRegistry() {
 	r.Histogram("dynamoth_e2e_latency_seconds",
 		"Publish-to-deliver latency: stamped at client publish, observed at broker fan-out.",
 		n.e2e, 0.5, 0.99, 0.999)
+	r.Histogram("dynamoth_stage_latency_ingress_seconds",
+		"Waterfall stage: publisher send to broker Publish entry.",
+		n.stages.ingress, 0.5, 0.99)
+	r.Histogram("dynamoth_stage_latency_fanout_seconds",
+		"Waterfall stage: broker Publish entry to fan-out enqueue.",
+		n.stages.fanout, 0.5, 0.99)
+	r.Histogram("dynamoth_stage_latency_flush_seconds",
+		"Waterfall stage: fan-out enqueue to connection write buffer (sampled).",
+		n.stages.flush, 0.5, 0.99)
+	buildinfo.Register(r)
 	r.Counter("dynamoth_node_lla_reports_total",
 		"LLA reports built since startup. Harnesses poll this to wait out a full LLA cycle instead of sleeping a guessed interval.",
 		n.LLA.ReportsBuilt)
@@ -205,6 +342,7 @@ func (n *Node) buildRegistry() {
 		{Name: "lla_units", Stats: accum.UnitCacheStats},
 		{Name: "lla_subscribers", Stats: accum.SubscriberCacheStats},
 		{Name: "topk", Stats: n.topk.CacheStats},
+		{Name: "latency_topk", Stats: n.latTopk.CacheStats},
 	}
 	if n.Broker.ReplayEnabled() {
 		caches = append(caches, hotstate.NamedStats{Name: "replay_rings", Stats: n.Broker.ReplayCacheStats})

@@ -52,6 +52,10 @@ type Options struct {
 	// TopKCap bounds the hot-channel tracker's channel set
 	// (0 = obs.DefaultTopKCap, negative = unbounded).
 	TopKCap int
+	// RegionDelay optionally models the WAN delay to a subscriber region for
+	// the LLA's per-region delivery-latency attribution (e.g. from netsim's
+	// King-dataset model). Nil reports raw measured ages.
+	RegionDelay func(region string) time.Duration
 	// OutputBuffer is the broker's per-session output limit.
 	OutputBuffer int
 	// ReplayDepth is the broker's per-channel replay ring depth: the last
@@ -93,7 +97,9 @@ type Node struct {
 
 	reg     *obs.Registry
 	topk    *obs.TopK
+	latTopk *obs.LatencyTopK
 	e2e     *metrics.Histogram
+	stages  *stageHistograms
 	rec     *trace.Recorder
 	log     *slog.Logger
 	connSrv *broker.ConnServer
@@ -118,11 +124,15 @@ func New(opts Options) (*Node, error) {
 	case replayDepth < 0:
 		replayDepth = 0 // disabled
 	}
+	clk := opts.Clock
 	b := broker.New(broker.Options{
 		Name:           opts.ID,
 		OutputBuffer:   opts.OutputBuffer,
 		ReplayDepth:    replayDepth,
 		ReplayChannels: opts.ReplayChannels,
+		// Stage stamping on: the broker marks ingress and fanout-enqueue on
+		// every stamped data frame, in place and allocation-free.
+		NowNanos: func() int64 { return clk.Now().UnixNano() },
 	})
 	analyzer := lla.NewAnalyzer(lla.Config{
 		Server:         opts.ID,
@@ -130,6 +140,7 @@ func New(opts Options) (*Node, error) {
 		Unit:           opts.Unit,
 		ReportEvery:    opts.ReportEvery,
 		ChannelCap:     opts.LLAChannelCap,
+		RegionDelay:    opts.RegionDelay,
 		Clock:          opts.Clock,
 		Logger:         opts.Logger,
 	})
@@ -159,7 +170,9 @@ func New(opts Options) (*Node, error) {
 		LLA:        analyzer,
 		Dispatcher: disp,
 		topk:       obs.NewTopKWithCap(-1, topKCap(opts.TopKCap), opts.Clock.Now),
+		latTopk:    obs.NewLatencyTopK(-1, opts.Clock.Now),
 		e2e:        newE2EHistogram(),
+		stages:     newStageHistograms(),
 		rec:        opts.Recorder,
 		log:        trace.Component(opts.Logger, "server"),
 		gen:        message.NewGenerator(opts.NodeNum),
@@ -171,10 +184,17 @@ func New(opts Options) (*Node, error) {
 		Shards:   opts.ConnShards,
 		Observer: &connTracer{rec: opts.Recorder},
 	})
-	// Observability observers: both are allocation-free in steady state (the
-	// latency observer peeks the envelope header; the top-K tracker samples).
+	// Observability observers: all are allocation-free in steady state (the
+	// latency observer peeks the envelope header once; the top-K trackers and
+	// the flush observer sample).
 	b.AddObserver(n.topk)
-	b.AddObserver(&latencyObserver{clk: opts.Clock, hist: n.e2e})
+	b.AddObserver(&latencyObserver{
+		clk:     opts.Clock,
+		hist:    n.e2e,
+		stages:  n.stages,
+		latTopk: n.latTopk,
+	})
+	b.AddObserver(&flushObserver{clk: opts.Clock, hist: n.stages.flush})
 	n.buildRegistry()
 	go n.pumpReports(opts.PublishReports)
 	return n, nil
